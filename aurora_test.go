@@ -1,0 +1,168 @@
+package aurora_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"aurora"
+)
+
+// TestPublicAPIAlgorithms walks the algorithm layer exactly as the
+// package documentation advertises.
+func TestPublicAPIAlgorithms(t *testing.T) {
+	cluster, err := aurora.UniformCluster(3, 4, 50, 4)
+	if err != nil {
+		t.Fatalf("UniformCluster: %v", err)
+	}
+	specs := []aurora.BlockSpec{
+		{ID: 1, Popularity: 900, MinReplicas: 3, MinRacks: 2},
+		{ID: 2, Popularity: 90, MinReplicas: 3, MinRacks: 2},
+		{ID: 3, Popularity: 9, MinReplicas: 3, MinRacks: 2},
+	}
+	p, err := aurora.NewPlacement(cluster, specs)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	for _, s := range specs {
+		if err := aurora.PlaceBlock(p, s.ID, s.MinReplicas, aurora.NoMachine); err != nil {
+			t.Fatalf("PlaceBlock: %v", err)
+		}
+	}
+	if err := p.CheckFeasible(); err != nil {
+		t.Fatalf("CheckFeasible: %v", err)
+	}
+
+	rf, err := aurora.ReplicationFactors(specs, 15, cluster.NumMachines(), 0)
+	if err != nil {
+		t.Fatalf("ReplicationFactors: %v", err)
+	}
+	if rf.Factors[1] <= rf.Factors[3] {
+		t.Errorf("hot block factor %d <= cold %d", rf.Factors[1], rf.Factors[3])
+	}
+
+	res, err := aurora.Optimize(p, aurora.OptimizerOptions{
+		Epsilon:           0.1,
+		RackAware:         true,
+		ReplicationBudget: 15,
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Replications == 0 {
+		t.Error("Optimize performed no replications")
+	}
+	if sr, err := aurora.BalanceRacks(p, aurora.SearchOptions{}); err != nil || sr.FinalCost > sr.InitialCost {
+		t.Errorf("BalanceRacks = %+v, %v", sr, err)
+	}
+
+	opt, err := aurora.ExactOptimal(cluster, specs[:2], nil)
+	if err != nil {
+		t.Fatalf("ExactOptimal: %v", err)
+	}
+	if lb := aurora.LowerBound(cluster, specs[:2], nil); lb > opt {
+		t.Errorf("LowerBound %v exceeds OPT %v", lb, opt)
+	}
+}
+
+// TestPublicAPIController drives the framework layer over a standalone
+// placement.
+func TestPublicAPIController(t *testing.T) {
+	cluster, err := aurora.UniformCluster(2, 2, 20, 2)
+	if err != nil {
+		t.Fatalf("UniformCluster: %v", err)
+	}
+	specs := []aurora.BlockSpec{
+		{ID: 1, MinReplicas: 2, MinRacks: 2},
+		{ID: 2, MinReplicas: 2, MinRacks: 2},
+	}
+	p, err := aurora.NewPlacement(cluster, specs)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	for _, s := range specs {
+		if err := aurora.PlaceBlock(p, s.ID, 2, aurora.NoMachine); err != nil {
+			t.Fatalf("PlaceBlock: %v", err)
+		}
+	}
+	var now int64
+	target, err := aurora.NewStandaloneTarget(p, 10, 2, func() int64 { return now })
+	if err != nil {
+		t.Fatalf("NewStandaloneTarget: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		target.RecordAccess(1)
+	}
+	ctl, err := aurora.NewController(target, aurora.ControllerConfig{
+		Period: time.Hour,
+		Options: aurora.OptimizerOptions{
+			RackAware:         true,
+			ReplicationBudget: 6,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	defer ctl.Close()
+	if _, err := ctl.RunOnce(); err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+	if st := ctl.Stats(); st.Periods != 1 || st.Replications == 0 {
+		t.Errorf("Stats = %+v, want 1 period with replications", st)
+	}
+}
+
+// TestPublicAPIFileSystem drives the DFS layer end to end.
+func TestPublicAPIFileSystem(t *testing.T) {
+	nn, err := aurora.StartNameNode(aurora.NameNodeConfig{
+		ExpectedNodes:     4,
+		Racks:             2,
+		BlockSize:         1 << 12,
+		ReconcileInterval: 25 * time.Millisecond,
+		Placer:            aurora.AuroraPlacer{},
+	})
+	if err != nil {
+		t.Fatalf("StartNameNode: %v", err)
+	}
+	defer nn.Close()
+	var dns []*aurora.DataNode
+	for i := 0; i < 4; i++ {
+		dn, err := aurora.StartDataNode(aurora.DataNodeConfig{
+			NameNodeAddr:      nn.Addr(),
+			Rack:              i % 2,
+			CapacityBlocks:    128,
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartDataNode: %v", err)
+		}
+		defer dn.Close()
+		dns = append(dns, dn)
+	}
+	if err := nn.WaitReady(5 * time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	c := aurora.NewFSClient(nn.Addr(), aurora.WithBlockSize(1<<12), aurora.WithClientSeed(1))
+	data := bytes.Repeat([]byte("aurora"), 1000)
+	if err := c.Create("/pub", data, 3); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := c.Read("/pub")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	ctl, err := aurora.NewController(nn, aurora.ControllerConfig{
+		Period:  time.Hour,
+		Options: aurora.OptimizerOptions{Epsilon: 0.1, RackAware: true},
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	defer ctl.Close()
+	if _, err := ctl.RunOnce(); err != nil {
+		t.Fatalf("RunOnce over namenode: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Command aurora-balancer runs the Aurora optimizer once against a
+// cluster snapshot file — an offline what-if tool: feed it the current
+// block map and popularity counts, and it reports the rebalancing plan
+// Algorithm 5 would execute.
+//
+// Usage:
+//
+//	aurora-balancer -gen-example > snapshot.json   # emit a sample input
+//	aurora-balancer -snapshot snapshot.json -epsilon 0.1 -budget-extra 20
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aurora"
+)
+
+// snapshot is the input format: topology plus per-block state.
+type snapshot struct {
+	Racks           int             `json:"racks"`
+	MachinesPerRack int             `json:"machinesPerRack"`
+	Capacity        int             `json:"capacityBlocks"`
+	Blocks          []snapshotBlock `json:"blocks"`
+}
+
+type snapshotBlock struct {
+	ID          int64   `json:"id"`
+	Popularity  float64 `json:"popularity"`
+	MinReplicas int     `json:"minReplicas"`
+	MinRacks    int     `json:"minRacks"`
+	Replicas    []int   `json:"replicas"` // machine IDs currently holding the block
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aurora-balancer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aurora-balancer", flag.ContinueOnError)
+	var (
+		path        = fs.String("snapshot", "", "snapshot JSON file")
+		epsilon     = fs.Float64("epsilon", 0.1, "admissibility threshold")
+		budgetExtra = fs.Int("budget-extra", 0, "replica budget beyond current total (0 disables dynamic replication)")
+		genExample  = fs.Bool("gen-example", false, "print a sample snapshot and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *genExample {
+		return writeExample(out)
+	}
+	if *path == "" {
+		return errors.New("pass -snapshot or -gen-example (see -h)")
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("parse snapshot: %w", err)
+	}
+	cluster, err := aurora.UniformCluster(snap.Racks, snap.MachinesPerRack, snap.Capacity, 1)
+	if err != nil {
+		return err
+	}
+	var specs []aurora.BlockSpec
+	for _, b := range snap.Blocks {
+		specs = append(specs, aurora.BlockSpec{
+			ID:          aurora.BlockID(b.ID),
+			Popularity:  b.Popularity,
+			MinReplicas: b.MinReplicas,
+			MinRacks:    b.MinRacks,
+		})
+	}
+	p, err := aurora.NewPlacement(cluster, specs)
+	if err != nil {
+		return err
+	}
+	for _, b := range snap.Blocks {
+		for _, m := range b.Replicas {
+			if err := p.AddReplica(aurora.BlockID(b.ID), aurora.MachineID(m)); err != nil {
+				return fmt.Errorf("block %d on machine %d: %w", b.ID, m, err)
+			}
+		}
+	}
+	if err := p.CheckFeasible(); err != nil {
+		fmt.Fprintf(out, "warning: snapshot is not fault-tolerance feasible: %v\n", err)
+	}
+
+	before := p.Cost()
+	opts := aurora.OptimizerOptions{
+		Epsilon:   *epsilon,
+		RackAware: true,
+		OnOp: func(op aurora.Op) {
+			fmt.Fprintf(out, "  %-8s block %-6d %3d -> %-3d", op.Kind, op.Block, op.From, op.To)
+			if op.OtherBlock != 0 {
+				fmt.Fprintf(out, "  (swapped with block %d)", op.OtherBlock)
+			}
+			fmt.Fprintln(out)
+		},
+	}
+	if *budgetExtra > 0 {
+		opts.ReplicationBudget = p.TotalReplicas() + *budgetExtra
+		opts.OnReplicate = func(id aurora.BlockID, src, dst aurora.MachineID) {
+			fmt.Fprintf(out, "  replicate block %-6d %3d -> %d\n", id, src, dst)
+		}
+		opts.OnEvict = func(id aurora.BlockID, m aurora.MachineID) {
+			fmt.Fprintf(out, "  evict     block %-6d from %d\n", id, m)
+		}
+	}
+	fmt.Fprintln(out, "plan:")
+	res, err := aurora.Optimize(p, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nmax machine load: %.3f -> %.3f\n", before, p.Cost())
+	fmt.Fprintf(out, "operations: %d migrations (%d block transfers), %d replications, %d evictions\n",
+		res.Search.Iterations, res.Search.Movements, res.Replications, res.Evictions)
+	if res.Targets != nil {
+		fmt.Fprintf(out, "replication objective (max per-replica popularity): %.3f\n", res.RepFactor.Objective)
+	}
+	return nil
+}
+
+func writeExample(out io.Writer) error {
+	example := snapshot{
+		Racks:           2,
+		MachinesPerRack: 3,
+		Capacity:        16,
+		Blocks: []snapshotBlock{
+			{ID: 1, Popularity: 120, MinReplicas: 3, MinRacks: 2, Replicas: []int{0, 1, 3}},
+			{ID: 2, Popularity: 40, MinReplicas: 3, MinRacks: 2, Replicas: []int{0, 1, 4}},
+			{ID: 3, Popularity: 5, MinReplicas: 3, MinRacks: 2, Replicas: []int{0, 3, 4}},
+		},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(example)
+}

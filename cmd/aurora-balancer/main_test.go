@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExampleRoundTrip(t *testing.T) {
+	var example strings.Builder
+	if err := run([]string{"-gen-example"}, &example); err != nil {
+		t.Fatalf("gen-example: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, []byte(example.String()), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-snapshot", path, "-budget-extra", "5"}, &out); err != nil {
+		t.Fatalf("balance: %v", err)
+	}
+	for _, want := range []string{"plan:", "max machine load", "replications"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBalancerWithoutBudgetOnlyMigrates(t *testing.T) {
+	var example strings.Builder
+	if err := run([]string{"-gen-example"}, &example); err != nil {
+		t.Fatalf("gen-example: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, []byte(example.String()), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-snapshot", path}, &out); err != nil {
+		t.Fatalf("balance: %v", err)
+	}
+	if strings.Contains(out.String(), "replicate block") {
+		t.Errorf("replications happened without budget:\n%s", out.String())
+	}
+}
+
+func TestBalancerErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+	if err := run([]string{"-snapshot", "/nonexistent"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run([]string{"-snapshot", bad}, &out); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Command aurora-sim runs the paper's trace-driven simulation
+// experiments (Figures 3-5 of Section VI.A) and prints each figure's
+// three panels as a table.
+//
+// Usage:
+//
+//	aurora-sim -experiment fig3            # Case 1: BP-Node, HDFS vs Aurora
+//	aurora-sim -experiment fig4            # Case 2: BP-Rack
+//	aurora-sim -experiment fig5            # Case 3: BP-Replicate vs Scarlett
+//	aurora-sim -experiment all -scale paper -seed 7
+//
+// -scale default is a laptop-sized rendition of the paper's setup;
+// -scale paper uses the full 845-machine / 13-rack configuration (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"aurora/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aurora-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aurora-sim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig3 | fig4 | fig5 | all")
+		scale      = fs.String("scale", "default", "default | paper")
+		seed       = fs.Uint64("seed", 42, "deterministic workload seed")
+		hours      = fs.Int("hours", 0, "override simulated hours (0 = scale default)")
+		files      = fs.Int("files", 0, "override file count (0 = scale default)")
+		jobsPerHr  = fs.Float64("jobs-per-hour", 0, "override job arrival rate (0 = scale default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var setup experiments.Setup
+	switch *scale {
+	case "default":
+		setup = experiments.DefaultSetup(*seed)
+	case "paper":
+		setup = experiments.PaperSetup(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *hours > 0 {
+		setup.Hours = *hours
+	}
+	if *files > 0 {
+		setup.Files = *files
+	}
+	if *jobsPerHr > 0 {
+		setup.JobsPerHour = *jobsPerHr
+	}
+
+	type figFn struct {
+		name string
+		fn   func(experiments.Setup) (*experiments.Figure, error)
+	}
+	var figs []figFn
+	switch strings.ToLower(*experiment) {
+	case "fig3":
+		figs = []figFn{{"fig3", experiments.Fig3}}
+	case "fig4":
+		figs = []figFn{{"fig4", experiments.Fig4}}
+	case "fig5":
+		figs = []figFn{{"fig5", experiments.Fig5}}
+	case "all":
+		figs = []figFn{{"fig3", experiments.Fig3}, {"fig4", experiments.Fig4}, {"fig5", experiments.Fig5}}
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+
+	for _, f := range figs {
+		start := time.Now()
+		fig, err := f.fn(setup)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		if err := fig.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+		if f.name == "fig5" {
+			sys, pct, err := fig.Headline()
+			if err == nil {
+				fmt.Fprintf(out, "headline: %s reduces remote tasks by %.1f%% vs %s (paper reports up to 26.9%%)\n\n",
+					sys, pct, fig.Rows[0].System)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig3Tiny(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-experiment", "fig3", "-hours", "1", "-files", "30", "-jobs-per-hour", "300", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 3", "HDFS", "Aurora eps=0.1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

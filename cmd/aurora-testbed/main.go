@@ -1,0 +1,52 @@
+// Command aurora-testbed runs the paper's testbed experiment (Figure 6,
+// Section VI.B) on the mini distributed file system: a real
+// namenode/datanode cluster on loopback serves a SWIM-like workload
+// under default HDFS, Scarlett and Aurora, and the three panels are
+// printed as text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aurora/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aurora-testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aurora-testbed", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 42, "workload seed")
+		nodes   = fs.Int("nodes", 10, "datanodes (paper: 10)")
+		files   = fs.Int("files", 24, "files in the dataset")
+		jobs    = fs.Int("jobs", 400, "jobs to replay")
+		epsilon = fs.Float64("epsilon", 0.8, "Aurora epsilon (paper: 0.8)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setup := experiments.DefaultTestbedSetup(*seed)
+	setup.Nodes = *nodes
+	setup.Files = *files
+	setup.Jobs = *jobs
+	setup.Epsilon = *epsilon
+
+	start := time.Now()
+	res, err := experiments.Fig6(setup)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

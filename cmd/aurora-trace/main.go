@@ -1,0 +1,113 @@
+// Command aurora-trace generates and inspects synthetic workload traces.
+//
+// Usage:
+//
+//	aurora-trace -gen -out trace.jsonl -files 2000 -hours 24 -rate 2000
+//	aurora-trace -inspect trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"aurora/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aurora-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aurora-trace", flag.ContinueOnError)
+	var (
+		gen     = fs.Bool("gen", false, "generate a trace")
+		inspect = fs.String("inspect", "", "path of a trace to summarize")
+		outPath = fs.String("out", "", "output path for -gen (default stdout)")
+		preset  = fs.String("preset", "yahoo", "yahoo | swim")
+		seed    = fs.Uint64("seed", 42, "generator seed")
+		files   = fs.Int("files", 500, "number of files")
+		hours   = fs.Int("hours", 24, "trace length in hours")
+		rate    = fs.Float64("rate", 500, "jobs per hour")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *gen:
+		var cfg trace.Config
+		switch *preset {
+		case "yahoo":
+			cfg = trace.YahooLike(*seed, *files, *hours, *rate)
+		case "swim":
+			cfg = trace.SWIMLike(*seed, *files, *hours, *rate)
+		default:
+			return fmt.Errorf("unknown preset %q", *preset)
+		}
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		w := out
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.Write(w, tr); err != nil {
+			return err
+		}
+		if *outPath != "" {
+			fmt.Fprintf(out, "wrote %s: %d files, %d blocks, %d jobs over %d hours\n",
+				*outPath, len(tr.Files), tr.NumBlocks(), len(tr.Jobs), cfg.Hours)
+		}
+		return nil
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		return summarize(out, tr)
+	default:
+		return fmt.Errorf("pass -gen or -inspect (see -h)")
+	}
+}
+
+func summarize(out io.Writer, tr *trace.Trace) error {
+	counts := tr.AccessCounts()
+	var perBlock []int64
+	var total int64
+	for _, c := range counts {
+		perBlock = append(perBlock, c)
+		total += c
+	}
+	sort.Slice(perBlock, func(i, j int) bool { return perBlock[i] > perBlock[j] })
+	var topDecile int64
+	n := len(perBlock) / 10
+	for i := 0; i < n && i < len(perBlock); i++ {
+		topDecile += perBlock[i]
+	}
+	fmt.Fprintf(out, "files:            %d\n", len(tr.Files))
+	fmt.Fprintf(out, "blocks:           %d\n", tr.NumBlocks())
+	fmt.Fprintf(out, "jobs:             %d\n", len(tr.Jobs))
+	fmt.Fprintf(out, "block accesses:   %d\n", total)
+	if total > 0 && n > 0 {
+		fmt.Fprintf(out, "top-decile share: %.1f%%\n", 100*float64(topDecile)/float64(total))
+	}
+	fmt.Fprintf(out, "hours:            %d\n", tr.Config.Hours)
+	fmt.Fprintf(out, "config:           %+v\n", tr.Config)
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-gen", "-out", path, "-files", "20", "-hours", "1", "-rate", "30"}, &out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("gen output = %q", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	for _, want := range []string{"files:", "blocks:", "jobs:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGenerateSWIMPresetToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "-preset", "swim", "-files", "10", "-hours", "1", "-rate", "20"}, &out); err != nil {
+		t.Fatalf("gen swim: %v", err)
+	}
+	if !strings.Contains(out.String(), `"type":"header"`) {
+		t.Errorf("stdout trace missing header: %.100s", out.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-gen", "-preset", "bogus"}, &out); err == nil {
+		t.Error("bogus preset accepted")
+	}
+	if err := run([]string{"-inspect", "/nonexistent/file"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package aurora
+
+import (
+	"aurora/internal/dfs/client"
+	"aurora/internal/dfs/datanode"
+	"aurora/internal/dfs/namenode"
+	"aurora/internal/dfs/proto"
+)
+
+// The mini distributed file system: the substrate equivalent of the
+// paper's HDFS prototype. A NameNode owns metadata and desired
+// placement, DataNodes store replicas and heartbeat, and a FSClient
+// writes/reads files. Replica placement is pluggable (HDFSPlacer random
+// default, AuroraPlacer for Algorithm 4), and NameNode.OptimizeNow is
+// the Aurora balancer entry point — wire it to a Controller for periodic
+// optimization.
+type (
+	// NameNode is the metadata service.
+	NameNode = namenode.NameNode
+	// NameNodeConfig parameterizes a NameNode.
+	NameNodeConfig = namenode.Config
+	// Placer chooses initial replica locations.
+	Placer = namenode.Placer
+	// AuroraPlacer is Algorithm 4 initial placement.
+	AuroraPlacer = namenode.AuroraPlacer
+	// HDFSPlacer is the default random policy.
+	HDFSPlacer = namenode.HDFSPlacer
+
+	// DataNode is a storage node.
+	DataNode = datanode.DataNode
+	// DataNodeConfig parameterizes a DataNode.
+	DataNodeConfig = datanode.Config
+
+	// FSClient is the file system client.
+	FSClient = client.Client
+	// FSClientOption configures an FSClient.
+	FSClientOption = client.Option
+
+	// FileInfo describes a stored file.
+	FileInfo = proto.FileInfo
+	// NodeInfo describes a datanode.
+	NodeInfo = proto.NodeInfo
+	// BlockLocation maps a block to its replica addresses.
+	BlockLocation = proto.BlockLocation
+	// DFSNodeID identifies a datanode.
+	DFSNodeID = proto.NodeID
+	// DFSHealthReport is the fsck summary.
+	DFSHealthReport = proto.HealthReport
+)
+
+// StartNameNode launches a namenode.
+func StartNameNode(cfg NameNodeConfig) (*NameNode, error) { return namenode.Start(cfg) }
+
+// StartDataNode launches a datanode that registers with the namenode in
+// its config.
+func StartDataNode(cfg DataNodeConfig) (*DataNode, error) { return datanode.Start(cfg) }
+
+// NewFSClient creates a client for the namenode at addr.
+func NewFSClient(namenodeAddr string, opts ...FSClientOption) *FSClient {
+	return client.New(namenodeAddr, opts...)
+}
+
+// Client options re-exported for discoverability.
+var (
+	// WithBlockSize overrides the client-side block split size.
+	WithBlockSize = client.WithBlockSize
+	// WithClientTimeout overrides the client's per-RPC timeout.
+	WithClientTimeout = client.WithTimeout
+	// WithLocalDataNode marks the client as colocated with a datanode so
+	// written blocks land locally first.
+	WithLocalDataNode = client.WithLocalDataNode
+	// WithClientSeed makes replica selection deterministic.
+	WithClientSeed = client.WithSeed
+)
+
+// NewHDFSPlacer builds the default random placer with a deterministic
+// seed.
+func NewHDFSPlacer(seed uint64) (*HDFSPlacer, error) { return namenode.NewHDFSPlacer(seed) }

@@ -1,0 +1,90 @@
+package aurora_test
+
+import (
+	"fmt"
+	"sort"
+
+	"aurora"
+)
+
+// ExampleOptimize runs one full Algorithm 5 period over a small skewed
+// dataset: the hot block picks up the spare replication budget and the
+// maximum machine load falls.
+func ExampleOptimize() {
+	cluster, _ := aurora.UniformCluster(2, 3, 20, 4)
+	specs := []aurora.BlockSpec{
+		{ID: 1, Popularity: 600, MinReplicas: 3, MinRacks: 2}, // hot
+		{ID: 2, Popularity: 60, MinReplicas: 3, MinRacks: 2},
+		{ID: 3, Popularity: 6, MinReplicas: 3, MinRacks: 2},
+	}
+	p, _ := aurora.NewPlacement(cluster, specs)
+	for _, s := range specs {
+		_ = aurora.PlaceBlock(p, s.ID, s.MinReplicas, aurora.NoMachine)
+	}
+	before := p.Cost()
+
+	res, _ := aurora.Optimize(p, aurora.OptimizerOptions{
+		Epsilon:           0.1,
+		RackAware:         true,
+		ReplicationBudget: 12, // 9 minimum + 3 spare
+	})
+
+	fmt.Printf("hot block replicas: %d\n", p.ReplicaCount(1))
+	fmt.Printf("cold block replicas: %d\n", p.ReplicaCount(3))
+	fmt.Printf("replications: %d\n", res.Replications)
+	fmt.Printf("max load fell: %v\n", p.Cost() < before)
+	// Output:
+	// hot block replicas: 6
+	// cold block replicas: 3
+	// replications: 3
+	// max load fell: true
+}
+
+// ExampleReplicationFactors shows Algorithm 3 levelling per-replica
+// popularity under a budget: the hottest block takes most of the spare
+// replicas.
+func ExampleReplicationFactors() {
+	specs := []aurora.BlockSpec{
+		{ID: 1, Popularity: 100, MinReplicas: 1, MinRacks: 1},
+		{ID: 2, Popularity: 10, MinReplicas: 1, MinRacks: 1},
+		{ID: 3, Popularity: 1, MinReplicas: 1, MinRacks: 1},
+	}
+	res, _ := aurora.ReplicationFactors(specs, 13, 100, 0)
+
+	ids := []aurora.BlockID{1, 2, 3}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		fmt.Printf("block %d: %d replicas\n", id, res.Factors[id])
+	}
+	fmt.Printf("objective (max per-replica popularity): %.0f\n", res.Objective)
+	// Output:
+	// block 1: 11 replicas
+	// block 2: 1 replicas
+	// block 3: 1 replicas
+	// objective (max per-replica popularity): 10
+}
+
+// ExampleBalanceRacks shows the local search repairing an adversarial
+// placement while honouring rack-level fault tolerance.
+func ExampleBalanceRacks() {
+	cluster, _ := aurora.UniformCluster(2, 2, 20, 4)
+	specs := []aurora.BlockSpec{
+		{ID: 1, Popularity: 90, MinReplicas: 2, MinRacks: 2},
+		{ID: 2, Popularity: 60, MinReplicas: 2, MinRacks: 2},
+		{ID: 3, Popularity: 30, MinReplicas: 2, MinRacks: 2},
+	}
+	p, _ := aurora.NewPlacement(cluster, specs)
+	// Adversarial start: everything on machines 0 (rack 0) and 2 (rack 1).
+	for _, s := range specs {
+		_ = p.AddReplica(s.ID, 0)
+		_ = p.AddReplica(s.ID, 2)
+	}
+
+	res, _ := aurora.BalanceRacks(p, aurora.SearchOptions{})
+
+	fmt.Printf("cost: %.0f -> %.0f\n", res.InitialCost, res.FinalCost)
+	fmt.Printf("still rack-feasible: %v\n", p.CheckFeasible() == nil)
+	// Output:
+	// cost: 90 -> 45
+	// still rack-feasible: true
+}

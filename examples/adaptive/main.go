@@ -1,0 +1,98 @@
+// Adaptive: popularity churns over simulated days and Aurora's
+// controller re-targets replication factors each period — the dynamic
+// behaviour Section V is designed for ("if the block usage pattern
+// becomes stable, over time Aurora will eventually converge to a near
+// optimal solution").
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aurora"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := aurora.UniformCluster(3, 8, 300, 8)
+	if err != nil {
+		return err
+	}
+	const blocks = 120
+	var specs []aurora.BlockSpec
+	for i := 1; i <= blocks; i++ {
+		specs = append(specs, aurora.BlockSpec{
+			ID:          aurora.BlockID(i),
+			MinReplicas: 3,
+			MinRacks:    2,
+		})
+	}
+	p, err := aurora.NewPlacement(cluster, specs)
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		if err := aurora.PlaceBlock(p, s.ID, 3, aurora.NoMachine); err != nil {
+			return err
+		}
+	}
+
+	// A standalone target with a 2-period sliding window (W = 2, the
+	// paper's setting), on a virtual clock: 1 period = 3600 ticks.
+	var now int64
+	target, err := aurora.NewStandaloneTarget(p, 3600, 2, func() int64 { return now })
+	if err != nil {
+		return err
+	}
+	opts := aurora.OptimizerOptions{
+		Epsilon:             0.1,
+		RackAware:           true,
+		ReplicationBudget:   blocks*3 + 60,
+		MaxReplicationMoves: 20000,
+	}
+
+	// Three "days"; each day a different block decile is hot.
+	for day := 0; day < 3; day++ {
+		hotStart := aurora.BlockID(day*40 + 1)
+		for period := 0; period < 4; period++ {
+			// The hot decile gets 50 accesses per block per period, the
+			// rest get 1.
+			for i := 1; i <= blocks; i++ {
+				id := aurora.BlockID(i)
+				n := 1
+				if id >= hotStart && id < hotStart+12 {
+					n = 50
+				}
+				for a := 0; a < n; a++ {
+					target.RecordAccess(id)
+				}
+			}
+			now += 3600
+			res, err := target.OptimizeNow(opts)
+			if err != nil {
+				return err
+			}
+			if period == 3 {
+				coldID := aurora.BlockID((day*40+80)%blocks + 1)
+				var hotReplicas, coldReplicas int
+				if err := target.WithPlacement(func(p *aurora.Placement) error {
+					hotReplicas = p.ReplicaCount(hotStart)
+					coldReplicas = p.ReplicaCount(coldID)
+					return nil
+				}); err != nil {
+					return err
+				}
+				fmt.Printf("day %d: hot block %d has %d replicas, cold block %d has %d (replications this period: %d)\n",
+					day+1, hotStart, hotReplicas, coldID, coldReplicas, res.Replications)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Quickstart: place a skewed dataset on a cluster, then let Aurora
+// choose replication factors and balance the load.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"aurora"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 4-rack, 40-machine cluster; each machine stores up to 200 blocks.
+	cluster, err := aurora.UniformCluster(4, 10, 200, 8)
+	if err != nil {
+		return err
+	}
+
+	// 300 blocks with long-tailed popularity: a few hot, many cold.
+	// Every block wants >= 3 replicas across >= 2 racks (the HDFS
+	// default the paper keeps as its fault-tolerance floor).
+	rng := rand.New(rand.NewPCG(1, 2))
+	var specs []aurora.BlockSpec
+	for i := 1; i <= 300; i++ {
+		pop := rng.Float64() * 5 // cold by default
+		switch {
+		case i <= 3:
+			pop = 400 + rng.Float64()*200 // very hot
+		case i <= 30:
+			pop = 40 + rng.Float64()*20 // warm
+		}
+		specs = append(specs, aurora.BlockSpec{
+			ID:          aurora.BlockID(i),
+			Popularity:  pop,
+			MinReplicas: 3,
+			MinRacks:    2,
+		})
+	}
+
+	// Initial placement with Algorithm 4 (writer-local when a task
+	// produced the block; here the blocks are loaded data, so NoMachine).
+	p, err := aurora.NewPlacement(cluster, specs)
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		if err := aurora.PlaceBlock(p, s.ID, s.MinReplicas, aurora.NoMachine); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("after initial placement: max machine load %.1f, total replicas %d\n",
+		p.Cost(), p.TotalReplicas())
+
+	// One Algorithm 5 period: Algorithm 3 levels per-replica popularity
+	// under a budget of 150 extra replicas, then the admissible local
+	// search (Algorithm 2) moves/swaps blocks between machines.
+	budget := p.TotalReplicas() + 150
+	res, err := aurora.Optimize(p, aurora.OptimizerOptions{
+		Epsilon:           0.1,
+		RackAware:         true,
+		ReplicationBudget: budget,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimizer: %d replications, %d migrations, %d evictions\n",
+		res.Replications, res.Search.Movements, res.Evictions)
+	fmt.Printf("after optimization: max machine load %.1f (lower bound %.1f)\n",
+		p.Cost(), aurora.LowerBound(cluster, specs, res.Targets))
+
+	// The hot blocks got the budget.
+	for _, id := range []aurora.BlockID{1, 2, 3, 100} {
+		fmt.Printf("  block %-3d now has %d replicas across %d racks\n",
+			id, p.ReplicaCount(id), p.RackSpread(id))
+	}
+	if err := p.CheckFeasible(); err != nil {
+		return fmt.Errorf("fault-tolerance violated: %w", err)
+	}
+	fmt.Println("all fault-tolerance requirements hold")
+	return nil
+}

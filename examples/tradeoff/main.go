@@ -1,0 +1,77 @@
+// Tradeoff: sweep the epsilon admissibility knob (Section IV of the
+// paper) and print how solution quality trades against reconfiguration
+// cost — the relationship behind Figures 3c/4c.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"text/tabwriter"
+
+	"aurora"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := aurora.UniformCluster(4, 10, 400, 8)
+	if err != nil {
+		return err
+	}
+	// Zipf-ish block popularity, placed adversarially (random) so the
+	// local search has work to do.
+	rng := rand.New(rand.NewPCG(3, 4))
+	var specs []aurora.BlockSpec
+	for i := 1; i <= 600; i++ {
+		specs = append(specs, aurora.BlockSpec{
+			ID:          aurora.BlockID(i),
+			Popularity:  1000 / float64(i),
+			MinReplicas: 3,
+			MinRacks:    2,
+		})
+	}
+	base, err := aurora.NewPlacement(cluster, specs)
+	if err != nil {
+		return err
+	}
+	machines := cluster.Machines()
+	for _, s := range specs {
+		for base.ReplicaCount(s.ID) < 3 {
+			m := machines[rng.IntN(len(machines))]
+			if base.RackSpread(s.ID) < 2 && base.ReplicaCount(s.ID) == 1 {
+				// force the second replica into the other rack group
+				first := base.Replicas(s.ID)[0]
+				if cluster.SameRack(first, m) {
+					continue
+				}
+			}
+			_ = base.AddReplica(s.ID, m)
+		}
+	}
+	fmt.Printf("random start: max machine load %.1f, lower bound %.1f\n\n",
+		base.Cost(), aurora.LowerBound(cluster, specs, nil))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epsilon\tfinal max load\toperations\tblock transfers")
+	for _, eps := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := base.Clone()
+		res, err := aurora.BalanceRacks(p, aurora.SearchOptions{Epsilon: eps})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%.1f\t%.1f\t%d\t%d\n", eps, res.FinalCost, res.Iterations, res.Movements)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nsmaller epsilon: better balance, more block movements (Theorem 9's tradeoff)")
+	return nil
+}

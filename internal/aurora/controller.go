@@ -1,0 +1,198 @@
+// Package aurora wires the Section V framework together: a usage monitor
+// feeding block popularity, the block placement controller (Algorithm 4)
+// and the placement optimizer (Algorithm 5) running once per
+// reconfiguration period against a target system — the mini-DFS namenode
+// or a standalone placement.
+package aurora
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/popularity"
+)
+
+// Target is anything the periodic controller can optimize: the mini-DFS
+// namenode implements it natively, and StandaloneTarget adapts a bare
+// placement for library users.
+type Target interface {
+	OptimizeNow(core.OptimizerOptions) (core.OptimizeResult, error)
+}
+
+// Errors returned by the controller.
+var (
+	ErrBadPeriod = errors.New("aurora: period must be positive")
+	ErrNilTarget = errors.New("aurora: nil target")
+	ErrStopped   = errors.New("aurora: controller stopped")
+)
+
+// Config parameterizes the periodic controller.
+type Config struct {
+	// Period is the reconfiguration interval (the paper uses 1 hour in
+	// production; tests and the loopback testbed use seconds).
+	Period time.Duration
+	// Options configure each Algorithm 5 run: epsilon, replication
+	// budget beta, the K bound, rack awareness.
+	Options core.OptimizerOptions
+	// OnPeriod, if non-nil, observes every optimization outcome.
+	OnPeriod func(core.OptimizeResult, error)
+}
+
+// Stats aggregates the controller's lifetime activity.
+type Stats struct {
+	Periods      int
+	Replications int
+	Migrations   int
+	Evictions    int
+	Errors       int
+	LastCost     float64
+}
+
+// Controller runs Algorithm 5 against a Target once per period.
+type Controller struct {
+	cfg    Config
+	target Target
+
+	mu    sync.Mutex
+	stats Stats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewController validates the configuration and starts the periodic
+// loop.
+func NewController(target Target, cfg Config) (*Controller, error) {
+	if target == nil {
+		return nil, ErrNilTarget
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadPeriod, cfg.Period)
+	}
+	c := &Controller{
+		cfg:    cfg,
+		target: target,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go c.loop()
+	return c, nil
+}
+
+// RunOnce triggers one optimization period immediately (in the caller's
+// goroutine), independent of the timer.
+func (c *Controller) RunOnce() (core.OptimizeResult, error) {
+	res, err := c.target.OptimizeNow(c.cfg.Options)
+	c.record(res, err)
+	return res, err
+}
+
+// Stats returns a copy of the lifetime counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close stops the periodic loop and waits for it to exit.
+func (c *Controller) Close() error {
+	select {
+	case <-c.stop:
+		return ErrStopped
+	default:
+	}
+	close(c.stop)
+	<-c.done
+	return nil
+}
+
+func (c *Controller) loop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			res, err := c.target.OptimizeNow(c.cfg.Options)
+			c.record(res, err)
+		}
+	}
+}
+
+func (c *Controller) record(res core.OptimizeResult, err error) {
+	c.mu.Lock()
+	c.stats.Periods++
+	if err != nil {
+		c.stats.Errors++
+	} else {
+		c.stats.Replications += res.Replications
+		c.stats.Migrations += res.Search.Movements
+		c.stats.Evictions += res.Evictions
+		c.stats.LastCost = res.Search.FinalCost
+	}
+	c.mu.Unlock()
+	if c.cfg.OnPeriod != nil {
+		c.cfg.OnPeriod(res, err)
+	}
+}
+
+// StandaloneTarget adapts a bare placement plus usage monitor into a
+// Target, for embedding Aurora in systems that are not the mini-DFS: the
+// caller records block accesses and the controller periodically refreshes
+// popularities and optimizes.
+type StandaloneTarget struct {
+	mu        sync.Mutex
+	placement *core.Placement
+	monitor   *popularity.Monitor[core.BlockID]
+	clock     func() int64
+}
+
+// NewStandaloneTarget wraps placement with a usage monitor whose sliding
+// window spans windowBuckets*bucketLen ticks of the given clock.
+func NewStandaloneTarget(p *core.Placement, bucketLen int64, windowBuckets int, clock func() int64) (*StandaloneTarget, error) {
+	if p == nil {
+		return nil, errors.New("aurora: nil placement")
+	}
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	mon, err := popularity.NewMonitor[core.BlockID](bucketLen, windowBuckets)
+	if err != nil {
+		return nil, err
+	}
+	return &StandaloneTarget{placement: p, monitor: mon, clock: clock}, nil
+}
+
+// RecordAccess registers one access of block id at the current clock.
+func (t *StandaloneTarget) RecordAccess(id core.BlockID) {
+	t.monitor.Record(id, t.clock())
+}
+
+// OptimizeNow implements Target: refresh popularities and run one
+// Algorithm 5 period.
+func (t *StandaloneTarget) OptimizeNow(opts core.OptimizerOptions) (core.OptimizeResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := t.monitor.Snapshot(t.clock())
+	for _, id := range t.placement.Blocks() {
+		if err := t.placement.SetPopularity(id, float64(snap[id])); err != nil {
+			return core.OptimizeResult{}, err
+		}
+	}
+	return core.Optimize(t.placement, opts)
+}
+
+// WithPlacement runs fn on the wrapped placement under the target's
+// lock, for reads and writes that must not race the optimizer.
+func (t *StandaloneTarget) WithPlacement(fn func(*core.Placement) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fn(t.placement)
+}
+
+var _ Target = (*StandaloneTarget)(nil)

@@ -1,0 +1,168 @@
+package aurora
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/topology"
+)
+
+// fakeTarget counts optimizations and can fail on demand.
+type fakeTarget struct {
+	calls atomic.Int64
+	fail  atomic.Bool
+}
+
+func (f *fakeTarget) OptimizeNow(core.OptimizerOptions) (core.OptimizeResult, error) {
+	f.calls.Add(1)
+	if f.fail.Load() {
+		return core.OptimizeResult{}, errors.New("boom")
+	}
+	return core.OptimizeResult{
+		Replications: 2,
+		Evictions:    1,
+		Search:       core.SearchResult{Movements: 3, FinalCost: 7},
+	}, nil
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(nil, Config{Period: time.Second}); !errors.Is(err, ErrNilTarget) {
+		t.Errorf("nil target err = %v, want ErrNilTarget", err)
+	}
+	if _, err := NewController(&fakeTarget{}, Config{}); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("zero period err = %v, want ErrBadPeriod", err)
+	}
+}
+
+func TestControllerPeriodicRuns(t *testing.T) {
+	ft := &fakeTarget{}
+	c, err := NewController(ft, Config{Period: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for ft.calls.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := ft.calls.Load(); got < 3 {
+		t.Fatalf("optimizer ran %d times, want >= 3", got)
+	}
+	st := c.Stats()
+	if st.Periods < 3 || st.Replications < 6 || st.Migrations < 9 || st.LastCost != 7 {
+		t.Errorf("Stats = %+v, want at least 3 periods of (2 rep, 3 mig)", st)
+	}
+}
+
+func TestControllerRunOnceAndErrors(t *testing.T) {
+	ft := &fakeTarget{}
+	var observed atomic.Int64
+	c, err := NewController(ft, Config{
+		Period:   time.Hour, // timer never fires during the test
+		OnPeriod: func(core.OptimizeResult, error) { observed.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.RunOnce(); err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+	ft.fail.Store(true)
+	if _, err := c.RunOnce(); err == nil {
+		t.Fatal("RunOnce with failing target succeeded")
+	}
+	st := c.Stats()
+	if st.Periods != 2 || st.Errors != 1 {
+		t.Errorf("Stats = %+v, want 2 periods 1 error", st)
+	}
+	if observed.Load() != 2 {
+		t.Errorf("OnPeriod fired %d times, want 2", observed.Load())
+	}
+}
+
+func TestControllerCloseIdempotent(t *testing.T) {
+	c, err := NewController(&fakeTarget{}, Config{Period: time.Hour})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); !errors.Is(err, ErrStopped) {
+		t.Errorf("second Close err = %v, want ErrStopped", err)
+	}
+}
+
+func TestStandaloneTargetEndToEnd(t *testing.T) {
+	cl, err := topology.Uniform(2, 3, 20, 2)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	specs := []core.BlockSpec{
+		{ID: 1, MinReplicas: 3, MinRacks: 2},
+		{ID: 2, MinReplicas: 3, MinRacks: 2},
+	}
+	p, err := core.NewPlacement(cl, specs)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	for _, s := range specs {
+		if err := core.InitialPlace(p, s.ID, 3, topology.NoMachine); err != nil {
+			t.Fatalf("InitialPlace: %v", err)
+		}
+	}
+	var now int64
+	st, err := NewStandaloneTarget(p, 100, 2, func() int64 { return now })
+	if err != nil {
+		t.Fatalf("NewStandaloneTarget: %v", err)
+	}
+	// Block 1 is hot.
+	for i := 0; i < 50; i++ {
+		st.RecordAccess(1)
+	}
+	st.RecordAccess(2)
+	now = 50
+	res, err := st.OptimizeNow(core.OptimizerOptions{
+		RackAware:         true,
+		ReplicationBudget: 10, // 6 minimum + 4 spare
+	})
+	if err != nil {
+		t.Fatalf("OptimizeNow: %v", err)
+	}
+	if res.Replications == 0 {
+		t.Error("no replications for the hot block")
+	}
+	if err := st.WithPlacement(func(p *core.Placement) error {
+		if p.ReplicaCount(1) <= p.ReplicaCount(2) {
+			t.Errorf("hot block replicas %d <= cold %d", p.ReplicaCount(1), p.ReplicaCount(2))
+		}
+		return p.Validate()
+	}); err != nil {
+		t.Errorf("WithPlacement: %v", err)
+	}
+}
+
+func TestStandaloneTargetValidation(t *testing.T) {
+	if _, err := NewStandaloneTarget(nil, 100, 2, nil); err == nil {
+		t.Error("nil placement accepted")
+	}
+	cl, err := topology.Uniform(1, 1, 5, 1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	p, err := core.NewPlacement(cl, nil)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	if _, err := NewStandaloneTarget(p, 0, 2, nil); err == nil {
+		t.Error("zero bucket length accepted")
+	}
+	// nil clock defaults to wall time.
+	if _, err := NewStandaloneTarget(p, 100, 2, nil); err != nil {
+		t.Errorf("nil clock rejected: %v", err)
+	}
+}

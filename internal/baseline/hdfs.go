@@ -1,0 +1,156 @@
+// Package baseline implements the comparison systems from the paper's
+// evaluation: the default HDFS random block placement policy and
+// Scarlett's popularity-based replication heuristics (Ananthanarayanan et
+// al., EuroSys'11). Aurora is compared against both in Section VI.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"aurora/internal/core"
+	"aurora/internal/topology"
+)
+
+// Errors returned by baseline placement.
+var (
+	ErrNoCapacity = errors.New("baseline: no machine with free capacity")
+	ErrNilRand    = errors.New("baseline: nil random source")
+)
+
+// HDFSPolicy reproduces the default HDFS replica placement described in
+// Section II of the paper: if the block is written by a task, the first
+// replica goes to the writer machine and the remaining replicas to random
+// machines in one random remote rack; otherwise all replicas go to random
+// machines across two random racks. Replication factors are static.
+type HDFSPolicy struct {
+	rng *rand.Rand
+}
+
+// NewHDFSPolicy creates the policy with the given deterministic random
+// source.
+func NewHDFSPolicy(rng *rand.Rand) (*HDFSPolicy, error) {
+	if rng == nil {
+		return nil, ErrNilRand
+	}
+	return &HDFSPolicy{rng: rng}, nil
+}
+
+// Place writes k replicas of block id using the default HDFS policy.
+// writer is the machine that produced the block, or topology.NoMachine.
+// The block's MinRacks is honoured: racks are added until the spread
+// requirement is met, mirroring HDFS's 2-rack default.
+func (h *HDFSPolicy) Place(p *core.Placement, id core.BlockID, k int, writer topology.MachineID) error {
+	spec, err := p.Spec(id)
+	if err != nil {
+		return err
+	}
+	if k < spec.MinReplicas {
+		k = spec.MinReplicas
+	}
+	cl := p.Cluster()
+	if k > cl.NumMachines() {
+		k = cl.NumMachines()
+	}
+
+	// First replica: writer-local when written by a task, else random.
+	if p.ReplicaCount(id) == 0 {
+		first := writer
+		if first == topology.NoMachine || p.FreeCapacity(first) == 0 {
+			first, err = h.randomMachineWithCapacity(p, id, nil)
+			if err != nil {
+				return fmt.Errorf("baseline: first replica of block %d: %w", id, err)
+			}
+		}
+		if err := p.AddReplica(id, first); err != nil {
+			return fmt.Errorf("baseline: first replica of block %d: %w", id, err)
+		}
+	}
+
+	// Pick the remote rack(s): enough random racks, excluding the first
+	// replica's rack, to satisfy MinRacks (HDFS default: one remote
+	// rack, giving a 2-rack spread).
+	firstRack, err := cl.RackOf(p.Replicas(id)[0])
+	if err != nil {
+		return err
+	}
+	remoteRacks := h.pickRemoteRacks(cl, firstRack, spec.MinRacks-1)
+
+	for p.ReplicaCount(id) < k {
+		var m topology.MachineID
+		var err error
+		if p.RackSpread(id) < spec.MinRacks && len(remoteRacks) > 0 {
+			// Next replica must land in a not-yet-used remote rack.
+			rack := remoteRacks[0]
+			remoteRacks = remoteRacks[1:]
+			m, err = h.randomMachineWithCapacity(p, id, &rack)
+			if err != nil {
+				// Chosen rack full: fall back to any machine.
+				m, err = h.randomMachineWithCapacity(p, id, nil)
+			}
+		} else {
+			m, err = h.randomMachineWithCapacity(p, id, nil)
+		}
+		if err != nil {
+			return fmt.Errorf("baseline: replica of block %d: %w", id, err)
+		}
+		if err := p.AddReplica(id, m); err != nil {
+			return fmt.Errorf("baseline: replica of block %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// pickRemoteRacks chooses n distinct random racks other than exclude.
+func (h *HDFSPolicy) pickRemoteRacks(cl *topology.Cluster, exclude topology.RackID, n int) []topology.RackID {
+	if n <= 0 {
+		return nil
+	}
+	racks := cl.Racks()
+	h.rng.Shuffle(len(racks), func(i, j int) { racks[i], racks[j] = racks[j], racks[i] })
+	var out []topology.RackID
+	for _, r := range racks {
+		if r == exclude {
+			continue
+		}
+		out = append(out, r)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// randomMachineWithCapacity returns a uniformly random machine (within
+// rack, if given) that can host a new replica of block id.
+func (h *HDFSPolicy) randomMachineWithCapacity(p *core.Placement, id core.BlockID, rack *topology.RackID) (topology.MachineID, error) {
+	var pool []topology.MachineID
+	if rack != nil {
+		ms, err := p.Cluster().MachinesInRack(*rack)
+		if err != nil {
+			return topology.NoMachine, err
+		}
+		pool = ms
+	} else {
+		pool = p.Cluster().Machines()
+	}
+	// Rejection-sample a few times (fast path on mostly-empty clusters),
+	// then fall back to an exhaustive filtered pick.
+	for attempt := 0; attempt < 8; attempt++ {
+		m := pool[h.rng.IntN(len(pool))]
+		if !p.HasReplica(id, m) && p.FreeCapacity(m) > 0 {
+			return m, nil
+		}
+	}
+	var eligible []topology.MachineID
+	for _, m := range pool {
+		if !p.HasReplica(id, m) && p.FreeCapacity(m) > 0 {
+			eligible = append(eligible, m)
+		}
+	}
+	if len(eligible) == 0 {
+		return topology.NoMachine, ErrNoCapacity
+	}
+	return eligible[h.rng.IntN(len(eligible))], nil
+}

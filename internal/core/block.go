@@ -1,0 +1,68 @@
+// Package core implements the paper's primary contribution: the block
+// placement problems (BP-Node, BP-Rack, BP-Replicate) and the local-search
+// approximation algorithms that solve them (Algorithms 1-5 of the Aurora
+// paper, ICDCS'15), together with the epsilon-admissibility mechanism that
+// trades solution optimality for reconfiguration cost (Section IV).
+//
+// The load model follows Section III: each block i has a total popularity
+// P_i over the optimization period, is replicated k_i times, and each
+// replica carries per-replica popularity p_i = P_i / k_i — the demand for
+// a block divides evenly among its replicas. A machine's load is the sum
+// of the per-replica popularities of the replicas it stores; the
+// optimization objective is to minimize the maximum machine load λ.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockID identifies a block. IDs are opaque; the trace generator and the
+// DFS assign them densely but nothing in this package requires that.
+type BlockID int64
+
+// BlockSpec describes one block's demand and fault-tolerance
+// requirements.
+type BlockSpec struct {
+	ID BlockID
+	// Popularity is the total demand P_i for the block over the
+	// optimization period (e.g. accesses within the sliding window W).
+	Popularity float64
+	// MinReplicas is k_low: the node-level fault-tolerance requirement.
+	// The placement may hold more replicas than this (dynamic
+	// replication) but never fewer once fully placed.
+	MinReplicas int
+	// MinRacks is ρ_i: the number of distinct racks the block's replicas
+	// must span. MinRacks <= MinReplicas.
+	MinRacks int
+}
+
+// Errors shared across the package.
+var (
+	ErrUnknownBlock   = errors.New("core: unknown block")
+	ErrDuplicateBlock = errors.New("core: duplicate block")
+	ErrBadSpec        = errors.New("core: invalid block spec")
+	ErrAlreadyPlaced  = errors.New("core: machine already holds a replica of the block")
+	ErrNotPlaced      = errors.New("core: machine does not hold a replica of the block")
+	ErrMachineFull    = errors.New("core: machine at capacity")
+	ErrRackConstraint = errors.New("core: operation would violate rack spread requirement")
+	ErrInfeasible     = errors.New("core: placement violates fault-tolerance requirements")
+)
+
+// Validate checks a spec for internal consistency.
+func (s BlockSpec) Validate() error {
+	if s.Popularity < 0 {
+		return fmt.Errorf("%w: block %d has negative popularity %v", ErrBadSpec, s.ID, s.Popularity)
+	}
+	if s.MinReplicas < 1 {
+		return fmt.Errorf("%w: block %d has MinReplicas %d < 1", ErrBadSpec, s.ID, s.MinReplicas)
+	}
+	if s.MinRacks < 1 {
+		return fmt.Errorf("%w: block %d has MinRacks %d < 1", ErrBadSpec, s.ID, s.MinRacks)
+	}
+	if s.MinRacks > s.MinReplicas {
+		return fmt.Errorf("%w: block %d has MinRacks %d > MinReplicas %d",
+			ErrBadSpec, s.ID, s.MinRacks, s.MinReplicas)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"aurora/internal/topology"
+)
+
+// BPNodeSearch implements Algorithm 1 of the paper: local search for the
+// BP-Node problem (known replication factors, node-level fault tolerance
+// only).
+//
+// Algorithm 1 as printed identifies the most-loaded machine m and the
+// least-loaded machine n each iteration and performs an improving
+// Move(m, i, n) or Swap(m, i, n, j). On large Zipf instances the single
+// extreme pair frequently gets stuck — the top machine's load is one
+// indivisible hot replica — while plenty of admissible operations remain
+// between other pairs, so this implementation follows Algorithm 5's
+// closure ("while ∃ an admissible Move or Swap, perform it"): sources are
+// probed in descending load order against the least-loaded machine, and
+// the search terminates only when *no* source yields an admissible
+// operation. The terminal state therefore still satisfies Theorem 2's
+// condition on the extreme pair — no improving operation between the
+// most- and least-loaded machines — giving SOL <= OPT + p_max, a
+// 2-approximation (Corollary 3); with epsilon-admissibility the factor
+// degrades gracefully per Theorem 9 (see SearchOptions.Epsilon).
+//
+// The placement is modified in place. Rack-spread constraints of the
+// blocks, if any, are still honoured by the underlying operations, so the
+// function is safe to call on BP-Rack instances too.
+func BPNodeSearch(p *Placement, opts SearchOptions) (SearchResult, error) {
+	res := SearchResult{InitialCost: p.Cost()}
+	// stuck marks sources that had no admissible operation when last
+	// probed. The set is invalidated lazily: applied operations only
+	// unstick the two machines they touched, and termination requires a
+	// clean verification pass (full clear, then every source re-probed
+	// without finding an operation) so the terminal condition — no
+	// admissible operation anywhere — is exact.
+	stuck := make(map[topology.MachineID]bool)
+	verified := false
+	for opts.MaxIterations == 0 || res.Iterations < opts.MaxIterations {
+		n := p.MinLoadedMachine()
+		m, ok := maxLoadedExcluding(p, stuck, p.Load(n))
+		if !ok {
+			if verified {
+				break
+			}
+			clear(stuck)
+			verified = true
+			continue
+		}
+		c, found := bestPairOpSwap(p, m, n, opts.Epsilon, !opts.DisableSwap)
+		if !found {
+			stuck[m] = true
+			continue
+		}
+		if err := applyCandidate(p, c, &opts, &res); err != nil {
+			return res, err
+		}
+		verified = false
+		delete(stuck, c.op.From)
+		delete(stuck, c.op.To)
+	}
+	res.FinalCost = p.Cost()
+	return res, nil
+}
+
+// maxLoadedExcluding returns the most-loaded machine not in the stuck set
+// whose load exceeds minLoad, or ok=false when none remains.
+func maxLoadedExcluding(p *Placement, stuck map[topology.MachineID]bool, minLoad float64) (topology.MachineID, bool) {
+	best := topology.NoMachine
+	bestLoad := minLoad
+	for _, m := range p.Cluster().Machines() {
+		if stuck[m] {
+			continue
+		}
+		if l := p.Load(m); l > bestLoad {
+			best, bestLoad = m, l
+		}
+	}
+	return best, best != topology.NoMachine
+}

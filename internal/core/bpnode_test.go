@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"aurora/internal/topology"
+)
+
+// randomPlacement places each block's replicas uniformly at random
+// (HDFS-style), panicking only on programming errors. Replica counts use
+// each spec's MinReplicas.
+func randomPlacement(t *testing.T, cl *topology.Cluster, specs []BlockSpec, rng *rand.Rand) *Placement {
+	t.Helper()
+	p := mustPlacement(t, cl, specs)
+	machines := cl.Machines()
+	for _, s := range specs {
+		placed := 0
+		for attempts := 0; placed < s.MinReplicas && attempts < 10000; attempts++ {
+			m := machines[rng.IntN(len(machines))]
+			if err := p.AddReplica(s.ID, m); err == nil {
+				placed++
+			}
+		}
+		if placed < s.MinReplicas {
+			t.Fatalf("could not randomly place block %d", s.ID)
+		}
+	}
+	return p
+}
+
+func randomSpecs(rng *rand.Rand, n, k, rho int, maxPop int) []BlockSpec {
+	specs := make([]BlockSpec, n)
+	for i := range specs {
+		specs[i] = BlockSpec{
+			ID:          BlockID(i + 1),
+			Popularity:  float64(rng.IntN(maxPop) + 1),
+			MinReplicas: k,
+			MinRacks:    rho,
+		}
+	}
+	return specs
+}
+
+func TestBPNodeSearchImprovesSkewedStart(t *testing.T) {
+	// All blocks piled on one machine; the search must spread them out.
+	cl := mustCluster(t, 1, 4, 100)
+	specs := randomSpecs(rand.New(rand.NewPCG(1, 1)), 16, 1, 1, 10)
+	p := mustPlacement(t, cl, specs)
+	for _, s := range specs {
+		if err := p.AddReplica(s.ID, 0); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	before := p.Cost()
+	res, err := BPNodeSearch(p, SearchOptions{})
+	if err != nil {
+		t.Fatalf("BPNodeSearch: %v", err)
+	}
+	if res.FinalCost >= before {
+		t.Errorf("FinalCost %v did not improve on %v", res.FinalCost, before)
+	}
+	if res.InitialCost != before {
+		t.Errorf("InitialCost = %v, want %v", res.InitialCost, before)
+	}
+	if res.FinalCost != p.Cost() {
+		t.Errorf("FinalCost = %v, placement Cost = %v", res.FinalCost, p.Cost())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Theorem 2 terminal condition: SOL <= LB + p_max, with LB a valid
+	// lower bound on OPT.
+	lb := LowerBound(cl, specs, nil)
+	if res.FinalCost > lb+p.MaxPerReplicaPopularity()+1e-9 {
+		t.Errorf("terminal cost %v exceeds LB+pmax = %v", res.FinalCost, lb+p.MaxPerReplicaPopularity())
+	}
+}
+
+func TestBPNodeSearchPreservesReplicaCounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	cl := mustCluster(t, 2, 3, 8)
+	specs := randomSpecs(rng, 10, 2, 1, 20)
+	p := randomPlacement(t, cl, specs, rng)
+	want := make(map[BlockID]int)
+	for _, id := range p.Blocks() {
+		want[id] = p.ReplicaCount(id)
+	}
+	if _, err := BPNodeSearch(p, SearchOptions{}); err != nil {
+		t.Fatalf("BPNodeSearch: %v", err)
+	}
+	for id, k := range want {
+		if got := p.ReplicaCount(id); got != k {
+			t.Errorf("block %d replica count changed: %d -> %d", id, k, got)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// Theorem 2 / Corollary 3: on instances small enough for the exact
+// solver, the local search lands within OPT + p_max (and hence within
+// 2*OPT).
+func TestBPNodeApproximationGuarantee(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed+100))
+		cl := mustCluster(t, 1, 4, 6)
+		nBlocks := rng.IntN(5) + 2
+		specs := randomSpecs(rng, nBlocks, rng.IntN(2)+1, 1, 30)
+		p := randomPlacement(t, cl, specs, rng)
+
+		res, err := BPNodeSearch(p, SearchOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: BPNodeSearch: %v", seed, err)
+		}
+		opt, err := ExactOptimal(cl, specs, nil)
+		if err != nil {
+			t.Fatalf("seed %d: ExactOptimal: %v", seed, err)
+		}
+		pmax := p.MaxPerReplicaPopularity()
+		if res.FinalCost > opt+pmax+1e-9 {
+			t.Errorf("seed %d: SOL %v > OPT %v + pmax %v", seed, res.FinalCost, opt, pmax)
+		}
+		if opt > 0 && res.FinalCost > 2*opt+1e-9 {
+			t.Errorf("seed %d: SOL %v > 2*OPT %v", seed, res.FinalCost, 2*opt)
+		}
+		if res.FinalCost < opt-1e-9 {
+			t.Errorf("seed %d: SOL %v beat OPT %v (exact solver bug?)", seed, res.FinalCost, opt)
+		}
+	}
+}
+
+func TestBPNodeEpsilonTradesMovesForQuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	cl := mustCluster(t, 1, 8, 200)
+	specs := randomSpecs(rng, 200, 1, 1, 50)
+	base := mustPlacement(t, cl, specs)
+	// Skewed start: everything on two machines.
+	for i, s := range specs {
+		if err := base.AddReplica(s.ID, topology.MachineID(i%2)); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	prevMoves := math.MaxInt
+	prevCost := 0.0
+	for _, eps := range []float64{0.0, 0.3, 0.8} {
+		p := base.Clone()
+		res, err := BPNodeSearch(p, SearchOptions{Epsilon: eps})
+		if err != nil {
+			t.Fatalf("eps %v: %v", eps, err)
+		}
+		if res.Movements > prevMoves {
+			t.Errorf("eps %v made more movements (%d) than smaller epsilon (%d)", eps, res.Movements, prevMoves)
+		}
+		if res.FinalCost < prevCost-1e-9 {
+			t.Errorf("eps %v achieved lower cost (%v) than smaller epsilon (%v)", eps, res.FinalCost, prevCost)
+		}
+		prevMoves, prevCost = res.Movements, res.FinalCost
+	}
+}
+
+func TestBPNodeMaxIterations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	cl := mustCluster(t, 1, 6, 200)
+	specs := randomSpecs(rng, 100, 1, 1, 50)
+	p := mustPlacement(t, cl, specs)
+	for _, s := range specs {
+		if err := p.AddReplica(s.ID, 0); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	res, err := BPNodeSearch(p, SearchOptions{MaxIterations: 3})
+	if err != nil {
+		t.Fatalf("BPNodeSearch: %v", err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("Iterations = %d, want <= 3", res.Iterations)
+	}
+}
+
+func TestBPNodeOnOpObserver(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	cl := mustCluster(t, 1, 4, 100)
+	specs := randomSpecs(rng, 40, 1, 1, 30)
+	p := mustPlacement(t, cl, specs)
+	for _, s := range specs {
+		if err := p.AddReplica(s.ID, 0); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	var seen []Op
+	res, err := BPNodeSearch(p, SearchOptions{OnOp: func(o Op) { seen = append(seen, o) }})
+	if err != nil {
+		t.Fatalf("BPNodeSearch: %v", err)
+	}
+	if len(seen) != res.Iterations {
+		t.Errorf("observer saw %d ops, result says %d", len(seen), res.Iterations)
+	}
+	movements := 0
+	for _, o := range seen {
+		movements += o.BlockMovements()
+	}
+	if movements != res.Movements {
+		t.Errorf("observer movements %d, result says %d", movements, res.Movements)
+	}
+}
+
+func TestBPNodeNoOpOnBalanced(t *testing.T) {
+	cl := mustCluster(t, 1, 3, 10)
+	specs := []BlockSpec{spec(1, 6, 3, 1)}
+	p := mustPlacement(t, cl, specs)
+	for m := topology.MachineID(0); m < 3; m++ {
+		if err := p.AddReplica(1, m); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	res, err := BPNodeSearch(p, SearchOptions{})
+	if err != nil {
+		t.Fatalf("BPNodeSearch: %v", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("Iterations = %d on a balanced placement, want 0", res.Iterations)
+	}
+}
+
+func TestBPNodeUsesSwapWhenTargetFull(t *testing.T) {
+	// Machine 1 is at capacity with a cold block; only a swap can
+	// relieve machine 0.
+	cl := mustCluster(t, 1, 2, 2)
+	specs := []BlockSpec{
+		spec(1, 100, 1, 1), spec(2, 90, 1, 1), // hot, on machine 0
+		spec(3, 1, 1, 1), spec(4, 2, 1, 1), // cold, on machine 1
+	}
+	p := mustPlacement(t, cl, specs)
+	for _, id := range []BlockID{1, 2} {
+		if err := p.AddReplica(id, 0); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	for _, id := range []BlockID{3, 4} {
+		if err := p.AddReplica(id, 1); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	res, err := BPNodeSearch(p, SearchOptions{})
+	if err != nil {
+		t.Fatalf("BPNodeSearch: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no operation performed; expected a swap")
+	}
+	// Loads should end at 101/92 (swap 90 against 1): pair cost 101.
+	if got := p.Cost(); math.Abs(got-101) > 1e-9 {
+		t.Errorf("Cost = %v, want 101", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"aurora/internal/topology"
+)
+
+// BPRackSearch implements Algorithm 2 of the paper: local search for the
+// BP-Rack problem (known replication factors with rack-level
+// fault-tolerance ρ_i), using the full operation set
+//
+//   - Move(m_r, i, n_r) / Swap(m_r, i, n_r, j) within a rack, and
+//   - RackMove(r, m, i, t, n) / RackSwap(r, m, i, t, n, j) between racks,
+//
+// where the underlying Move/Swap primitives enforce rack-spread
+// feasibility — that is what distinguishes RackMove/RackSwap from their
+// intra-rack counterparts.
+//
+// As with BPNodeSearch, the search follows Algorithm 5's closure: each
+// iteration probes source machines in descending load order, pairing each
+// source against the least-loaded machines of every rack (which subsumes
+// the paper's per-rack extreme pairs), applies the first admissible
+// operation found, and terminates only when no source yields one. By
+// Theorem 4 the terminal state satisfies SOL <= OPT + 3*p_max, a
+// 4-approximation (Corollary 5); epsilon-admissibility degrades the
+// factor gracefully per Theorem 9.
+func BPRackSearch(p *Placement, opts SearchOptions) (SearchResult, error) {
+	res := SearchResult{InitialCost: p.Cost()}
+	cluster := p.Cluster()
+	racks := cluster.Racks()
+	// Lazy stuck tracking with a clean verification pass before
+	// termination; see BPNodeSearch for the invariant.
+	stuck := make(map[topology.MachineID]bool)
+	verified := false
+	for opts.MaxIterations == 0 || res.Iterations < opts.MaxIterations {
+		targets := rackMinTargets(p, racks)
+		if len(targets) == 0 {
+			break
+		}
+		globalMin := targets[0].load
+		m, ok := maxLoadedExcluding(p, stuck, globalMin)
+		if !ok {
+			if verified {
+				break
+			}
+			clear(stuck)
+			verified = true
+			continue
+		}
+		c, found := bestAmongTargets(p, m, targets, opts.Epsilon, !opts.DisableSwap)
+		if !found {
+			stuck[m] = true
+			continue
+		}
+		if err := applyCandidate(p, c, &opts, &res); err != nil {
+			return res, err
+		}
+		verified = false
+		delete(stuck, c.op.From)
+		delete(stuck, c.op.To)
+	}
+	res.FinalCost = p.Cost()
+	return res, nil
+}
+
+// minTarget is a candidate destination machine: the least-loaded machine
+// of one rack.
+type minTarget struct {
+	machine topology.MachineID
+	load    float64
+}
+
+// rackMinTargets returns each rack's least-loaded machine, sorted by
+// ascending load (the global minimum first). Ties break by machine ID.
+func rackMinTargets(p *Placement, racks []topology.RackID) []minTarget {
+	targets := make([]minTarget, 0, len(racks))
+	for _, r := range racks {
+		m, err := p.MinLoadedMachineInRack(r)
+		if err != nil {
+			continue
+		}
+		targets = append(targets, minTarget{machine: m, load: p.Load(m)})
+	}
+	sort.Slice(targets, func(a, b int) bool {
+		if targets[a].load != targets[b].load {
+			return targets[a].load < targets[b].load
+		}
+		return targets[a].machine < targets[b].machine
+	})
+	return targets
+}
+
+// bestAmongTargets probes the source machine m against every rack's
+// least-loaded machine in ascending-load order and returns the first
+// admissible candidate.
+func bestAmongTargets(p *Placement, m topology.MachineID, targets []minTarget, epsilon float64, allowSwap bool) (candidate, bool) {
+	for _, t := range targets {
+		if t.machine == m {
+			continue
+		}
+		if c, ok := bestPairOpSwap(p, m, t.machine, epsilon, allowSwap); ok {
+			return c, true
+		}
+	}
+	return candidate{}, false
+}

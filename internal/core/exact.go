@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aurora/internal/topology"
+)
+
+// ExactOptimal computes the optimal objective λ* of the block placement
+// problem by exhaustive enumeration: every block i is assigned to every
+// feasible k_i-subset of machines (respecting capacity and rack spread),
+// and the minimum over all complete assignments of the maximum machine
+// load is returned.
+//
+// This is exponential and exists solely to verify the approximation
+// guarantees of the local-search algorithms on small instances (the
+// problem is NP-hard, Theorem 1). factors maps each block to its fixed
+// replication factor; blocks absent from the map use their MinReplicas.
+func ExactOptimal(cluster *topology.Cluster, specs []BlockSpec, factors map[BlockID]int) (float64, error) {
+	if cluster == nil || cluster.NumMachines() == 0 {
+		return 0, topology.ErrNoMachines
+	}
+	type item struct {
+		spec BlockSpec
+		k    int
+	}
+	items := make([]item, 0, len(specs))
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return 0, err
+		}
+		k := s.MinReplicas
+		if f, ok := factors[s.ID]; ok {
+			k = f
+		}
+		if k < s.MinRacks {
+			return 0, fmt.Errorf("%w: block %d factor %d below rack spread %d", ErrBadSpec, s.ID, k, s.MinRacks)
+		}
+		if k > cluster.NumMachines() {
+			return 0, fmt.Errorf("%w: block %d factor %d exceeds machine count", ErrBadSpec, s.ID, k)
+		}
+		items = append(items, item{spec: s, k: k})
+	}
+	// Assign heaviest blocks first: tighter pruning.
+	sort.Slice(items, func(a, b int) bool {
+		pa := items[a].spec.Popularity / float64(items[a].k)
+		pb := items[b].spec.Popularity / float64(items[b].k)
+		if pa != pb {
+			return pa > pb
+		}
+		return items[a].spec.ID < items[b].spec.ID
+	})
+
+	nm := cluster.NumMachines()
+	loads := make([]float64, nm)
+	used := make([]int, nm)
+	caps := make([]int, nm)
+	rackOf := make([]topology.RackID, nm)
+	for i := 0; i < nm; i++ {
+		caps[i] = cluster.Capacity(topology.MachineID(i))
+		r, err := cluster.RackOf(topology.MachineID(i))
+		if err != nil {
+			return 0, err
+		}
+		rackOf[i] = r
+	}
+
+	best := math.Inf(1)
+	subset := make([]int, 0, nm)
+
+	var assignBlock func(bi int)
+	// chooseMachines enumerates k-subsets of machines for items[bi]
+	// starting at machine index `from`, then recurses to the next block.
+	var chooseMachines func(bi, from, remaining int, racks map[topology.RackID]int)
+	chooseMachines = func(bi, from, remaining int, racks map[topology.RackID]int) {
+		if remaining == 0 {
+			if len(racks) < items[bi].spec.MinRacks {
+				return
+			}
+			assignBlock(bi + 1)
+			return
+		}
+		if nm-from < remaining {
+			return
+		}
+		perReplica := items[bi].spec.Popularity / float64(items[bi].k)
+		for m := from; m < nm; m++ {
+			if used[m] >= caps[m] {
+				continue
+			}
+			if loads[m]+perReplica >= best {
+				continue // placing here cannot beat the incumbent
+			}
+			used[m]++
+			loads[m] += perReplica
+			racks[rackOf[m]]++
+			subset = append(subset, m)
+			chooseMachines(bi, m+1, remaining-1, racks)
+			subset = subset[:len(subset)-1]
+			if racks[rackOf[m]]--; racks[rackOf[m]] == 0 {
+				delete(racks, rackOf[m])
+			}
+			loads[m] -= perReplica
+			used[m]--
+		}
+	}
+	assignBlock = func(bi int) {
+		if bi == len(items) {
+			max := 0.0
+			for _, l := range loads {
+				if l > max {
+					max = l
+				}
+			}
+			if max < best {
+				best = max
+			}
+			return
+		}
+		chooseMachines(bi, 0, items[bi].k, make(map[topology.RackID]int))
+	}
+	assignBlock(0)
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("%w: no feasible assignment exists", ErrInfeasible)
+	}
+	return best, nil
+}
+
+// LowerBound returns a valid lower bound on the optimal λ for fixed
+// replication factors: the larger of the average machine load
+// Σ_i P_i / |M| and the maximum per-replica popularity max_i P_i/k_i
+// (some machine must host a replica of the hottest block). These are the
+// two bounds the paper's proofs rely on.
+func LowerBound(cluster *topology.Cluster, specs []BlockSpec, factors map[BlockID]int) float64 {
+	var total, maxPer float64
+	for _, s := range specs {
+		total += s.Popularity
+		k := s.MinReplicas
+		if f, ok := factors[s.ID]; ok {
+			k = f
+		}
+		if k < 1 {
+			k = 1
+		}
+		if per := s.Popularity / float64(k); per > maxPer {
+			maxPer = per
+		}
+	}
+	avg := total / float64(cluster.NumMachines())
+	if avg > maxPer {
+		return avg
+	}
+	return maxPer
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"aurora/internal/topology"
+)
+
+func TestInitialPlaceWriterLocal(t *testing.T) {
+	cl := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 6, 3, 2)})
+	writer := topology.MachineID(3)
+	if err := InitialPlace(p, 1, 3, writer); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	if !p.HasReplica(1, writer) {
+		t.Errorf("first replica not on writer machine %d; replicas = %v", writer, p.Replicas(1))
+	}
+	if got := p.ReplicaCount(1); got != 3 {
+		t.Errorf("ReplicaCount = %d, want 3", got)
+	}
+	if got := p.RackSpread(1); got < 2 {
+		t.Errorf("RackSpread = %d, want >= 2", got)
+	}
+	if err := p.CheckFeasible(); err != nil {
+		t.Errorf("CheckFeasible: %v", err)
+	}
+}
+
+func TestInitialPlaceNoWriterPicksLeastLoaded(t *testing.T) {
+	cl := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 100, 1, 1), spec(2, 6, 1, 1)})
+	// Pre-load machine 0 (rack 0) so rack 1 is the least loaded.
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := InitialPlace(p, 2, 1, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	reps := p.Replicas(2)
+	if len(reps) != 1 {
+		t.Fatalf("replicas = %v, want 1", reps)
+	}
+	rack, err := cl.RackOf(reps[0])
+	if err != nil {
+		t.Fatalf("RackOf: %v", err)
+	}
+	if rack != 1 {
+		t.Errorf("block placed in rack %d, want least-loaded rack 1", rack)
+	}
+}
+
+func TestInitialPlaceSpansRacks(t *testing.T) {
+	cl := mustCluster(t, 4, 2, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 8, 4, 3)})
+	if err := InitialPlace(p, 1, 4, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	if got := p.RackSpread(1); got < 3 {
+		t.Errorf("RackSpread = %d, want >= 3", got)
+	}
+	if got := p.ReplicaCount(1); got != 4 {
+		t.Errorf("ReplicaCount = %d, want 4", got)
+	}
+}
+
+func TestInitialPlaceFillsWithinChosenRacks(t *testing.T) {
+	// rho=2, k=4 on a 3-rack cluster: after spreading over 2 racks, the
+	// remaining 2 replicas should stay inside those racks (paper's
+	// Algorithm 4), not leak into the third.
+	cl := mustCluster(t, 3, 3, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 8, 4, 2)})
+	if err := InitialPlace(p, 1, 4, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	racksUsed := make(map[topology.RackID]bool)
+	for _, m := range p.Replicas(1) {
+		r, err := cl.RackOf(m)
+		if err != nil {
+			t.Fatalf("RackOf: %v", err)
+		}
+		racksUsed[r] = true
+	}
+	if len(racksUsed) != 2 {
+		t.Errorf("replicas span %d racks, want exactly 2 (fill within chosen racks)", len(racksUsed))
+	}
+}
+
+func TestInitialPlaceRespectsCapacity(t *testing.T) {
+	cl := mustCluster(t, 1, 2, 1)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 5, 2, 1), spec(2, 5, 1, 1)})
+	if err := InitialPlace(p, 1, 2, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace block 1: %v", err)
+	}
+	// Cluster is now full; the next placement must fail with ErrMachineFull.
+	if err := InitialPlace(p, 2, 1, topology.NoMachine); !errors.Is(err, ErrMachineFull) {
+		t.Errorf("InitialPlace on full cluster err = %v, want ErrMachineFull", err)
+	}
+}
+
+func TestInitialPlaceClampsKToClusterSize(t *testing.T) {
+	cl := mustCluster(t, 1, 3, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 5, 1, 1)})
+	if err := InitialPlace(p, 1, 50, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	if got := p.ReplicaCount(1); got != 3 {
+		t.Errorf("ReplicaCount = %d, want 3 (clamped to machines)", got)
+	}
+}
+
+func TestInitialPlaceRaisesKToMinReplicas(t *testing.T) {
+	cl := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 5, 3, 2)})
+	if err := InitialPlace(p, 1, 1, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	if got := p.ReplicaCount(1); got != 3 {
+		t.Errorf("ReplicaCount = %d, want 3 (raised to MinReplicas)", got)
+	}
+}
+
+func TestInitialPlaceIdempotentWhenSatisfied(t *testing.T) {
+	cl := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, cl, []BlockSpec{spec(1, 5, 2, 2)})
+	if err := InitialPlace(p, 1, 2, topology.NoMachine); err != nil {
+		t.Fatalf("InitialPlace: %v", err)
+	}
+	before := p.Replicas(1)
+	if err := InitialPlace(p, 1, 2, topology.NoMachine); err != nil {
+		t.Fatalf("second InitialPlace: %v", err)
+	}
+	after := p.Replicas(1)
+	if len(before) != len(after) {
+		t.Errorf("replica set changed on re-placement: %v -> %v", before, after)
+	}
+}
+
+func TestInitialPlaceUnknownBlock(t *testing.T) {
+	cl := mustCluster(t, 1, 1, 10)
+	p := mustPlacement(t, cl, nil)
+	if err := InitialPlace(p, 42, 1, topology.NoMachine); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("err = %v, want ErrUnknownBlock", err)
+	}
+}
+
+func TestInitialPlaceBalancesAcrossBlocks(t *testing.T) {
+	// Placing many equal blocks one after another must spread load: no
+	// machine should end with more than ceil(total replicas / machines)
+	// + small slack replicas.
+	cl := mustCluster(t, 3, 3, 100)
+	var specs []BlockSpec
+	for i := 0; i < 30; i++ {
+		specs = append(specs, spec(BlockID(i+1), 10, 3, 2))
+	}
+	p := mustPlacement(t, cl, specs)
+	for _, s := range specs {
+		if err := InitialPlace(p, s.ID, 3, topology.NoMachine); err != nil {
+			t.Fatalf("InitialPlace %d: %v", s.ID, err)
+		}
+	}
+	totalReplicas := 30 * 3
+	perMachine := totalReplicas / cl.NumMachines() // 10
+	for _, m := range cl.Machines() {
+		if got := p.Used(m); got > perMachine+2 {
+			t.Errorf("machine %d has %d replicas, want <= %d", m, got, perMachine+2)
+		}
+	}
+	if err := p.CheckFeasible(); err != nil {
+		t.Errorf("CheckFeasible: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

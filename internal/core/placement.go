@@ -1,0 +1,726 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aurora/internal/topology"
+)
+
+// Placement is the mutable assignment of block replicas to machines, with
+// incremental load bookkeeping. It is the state all placement algorithms
+// operate on.
+//
+// Placement is not safe for concurrent use; the optimizer serializes
+// access.
+type Placement struct {
+	cluster  *topology.Cluster
+	blocks   map[BlockID]*blockState
+	machines []machineState
+	rackLoad []float64
+	replicas int // cached Σ_i k_i
+}
+
+type blockState struct {
+	spec      BlockSpec
+	replicas  map[topology.MachineID]struct{}
+	rackCount map[topology.RackID]int
+}
+
+type machineState struct {
+	load   float64
+	blocks map[BlockID]struct{}
+}
+
+// NewPlacement creates an empty placement (no replicas) for the given
+// blocks over the given cluster.
+func NewPlacement(cluster *topology.Cluster, specs []BlockSpec) (*Placement, error) {
+	if cluster == nil || cluster.NumMachines() == 0 {
+		return nil, topology.ErrNoMachines
+	}
+	p := &Placement{
+		cluster:  cluster,
+		blocks:   make(map[BlockID]*blockState, len(specs)),
+		machines: make([]machineState, cluster.NumMachines()),
+		rackLoad: make([]float64, cluster.NumRacks()),
+	}
+	for i := range p.machines {
+		p.machines[i].blocks = make(map[BlockID]struct{})
+	}
+	for _, s := range specs {
+		if err := p.AddBlock(s); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Cluster returns the cluster this placement is defined over.
+func (p *Placement) Cluster() *topology.Cluster { return p.cluster }
+
+// AddBlock registers a new, unplaced block.
+func (p *Placement) AddBlock(s BlockSpec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, ok := p.blocks[s.ID]; ok {
+		return fmt.Errorf("%w: block %d", ErrDuplicateBlock, s.ID)
+	}
+	if s.MinRacks > p.cluster.NumRacks() {
+		return fmt.Errorf("%w: block %d requires %d racks, cluster has %d",
+			ErrBadSpec, s.ID, s.MinRacks, p.cluster.NumRacks())
+	}
+	if s.MinReplicas > p.cluster.NumMachines() {
+		return fmt.Errorf("%w: block %d requires %d replicas, cluster has %d machines",
+			ErrBadSpec, s.ID, s.MinReplicas, p.cluster.NumMachines())
+	}
+	p.blocks[s.ID] = &blockState{
+		spec:      s,
+		replicas:  make(map[topology.MachineID]struct{}),
+		rackCount: make(map[topology.RackID]int),
+	}
+	return nil
+}
+
+// DeleteBlock removes a block and all its replicas from the placement.
+func (p *Placement) DeleteBlock(id BlockID) error {
+	b, ok := p.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
+	}
+	perReplica := b.perReplica()
+	for m := range b.replicas {
+		delete(p.machines[m].blocks, id)
+		p.machines[m].load -= perReplica
+		rack := p.cluster.MustMachine(m).Rack
+		p.rackLoad[rack] -= perReplica
+	}
+	p.replicas -= len(b.replicas)
+	delete(p.blocks, id)
+	return nil
+}
+
+// SetPopularity updates a block's total popularity, rescaling the load it
+// contributes to its current holders. This is how each optimization epoch
+// feeds fresh usage-monitor data into an existing placement.
+func (p *Placement) SetPopularity(id BlockID, popularity float64) error {
+	if popularity < 0 {
+		return fmt.Errorf("%w: negative popularity %v", ErrBadSpec, popularity)
+	}
+	b, ok := p.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
+	}
+	old := b.perReplica()
+	b.spec.Popularity = popularity
+	p.reloadBlock(b, old)
+	return nil
+}
+
+// Spec returns the spec of block id.
+func (p *Placement) Spec(id BlockID) (BlockSpec, error) {
+	b, ok := p.blocks[id]
+	if !ok {
+		return BlockSpec{}, fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
+	}
+	return b.spec, nil
+}
+
+// Blocks returns all block IDs in ascending order.
+func (p *Placement) Blocks() []BlockID {
+	ids := make([]BlockID, 0, len(p.blocks))
+	for id := range p.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumBlocks reports how many blocks are registered.
+func (p *Placement) NumBlocks() int { return len(p.blocks) }
+
+// perReplica is the load one replica of the block contributes: P_i / k_i
+// with the *current* replica count (zero if unplaced).
+func (b *blockState) perReplica() float64 {
+	if len(b.replicas) == 0 {
+		return 0
+	}
+	return b.spec.Popularity / float64(len(b.replicas))
+}
+
+// reloadBlock recomputes the load contribution of block b on all its
+// holders after its per-replica popularity changed from oldPerReplica.
+func (p *Placement) reloadBlock(b *blockState, oldPerReplica float64) {
+	newPerReplica := b.perReplica()
+	if newPerReplica == oldPerReplica {
+		return
+	}
+	delta := newPerReplica - oldPerReplica
+	for m := range b.replicas {
+		p.machines[m].load += delta
+		p.rackLoad[p.cluster.MustMachine(m).Rack] += delta
+	}
+}
+
+// AddReplica places one replica of block id on machine m. The demand for
+// the block re-divides among the enlarged replica set, so loads of the
+// existing holders shrink.
+func (p *Placement) AddReplica(id BlockID, m topology.MachineID) error {
+	b, ok := p.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
+	}
+	mach, err := p.cluster.Machine(m)
+	if err != nil {
+		return err
+	}
+	if _, dup := b.replicas[m]; dup {
+		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, id, m)
+	}
+	if len(p.machines[m].blocks) >= mach.Capacity {
+		return fmt.Errorf("%w: machine %d", ErrMachineFull, m)
+	}
+	old := b.perReplica()
+	b.replicas[m] = struct{}{}
+	p.replicas++
+	b.rackCount[mach.Rack]++
+	p.machines[m].blocks[id] = struct{}{}
+	// The new holder picks up the new per-replica load; existing holders
+	// are rescaled from the old value.
+	newPerReplica := b.perReplica()
+	p.machines[m].load += newPerReplica
+	p.rackLoad[mach.Rack] += newPerReplica
+	// Rescale the others (the new holder was already added at the new
+	// rate, so exclude it by adjusting with the old rate first).
+	for holder := range b.replicas {
+		if holder == m {
+			continue
+		}
+		p.machines[holder].load += newPerReplica - old
+		p.rackLoad[p.cluster.MustMachine(holder).Rack] += newPerReplica - old
+	}
+	return nil
+}
+
+// RemoveReplica removes the replica of block id from machine m. It does
+// not enforce MinReplicas — lazy deletion and intermediate optimizer
+// states legitimately drop below it; call Feasible to check the final
+// state.
+func (p *Placement) RemoveReplica(id BlockID, m topology.MachineID) error {
+	b, ok := p.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
+	}
+	if _, held := b.replicas[m]; !held {
+		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, id, m)
+	}
+	mach := p.cluster.MustMachine(m)
+	old := b.perReplica()
+	delete(b.replicas, m)
+	p.replicas--
+	if b.rackCount[mach.Rack]--; b.rackCount[mach.Rack] == 0 {
+		delete(b.rackCount, mach.Rack)
+	}
+	delete(p.machines[m].blocks, id)
+	p.machines[m].load -= old
+	p.rackLoad[mach.Rack] -= old
+	p.reloadBlock(b, old)
+	return nil
+}
+
+// MoveReplica relocates a replica of block id from machine `from` to
+// machine `to` atomically: the replica count is unchanged and the rack
+// spread requirement is verified before anything is mutated.
+func (p *Placement) MoveReplica(id BlockID, from, to topology.MachineID) error {
+	b, ok := p.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
+	}
+	if _, held := b.replicas[from]; !held {
+		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, id, from)
+	}
+	if _, dup := b.replicas[to]; dup {
+		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, id, to)
+	}
+	toMach, err := p.cluster.Machine(to)
+	if err != nil {
+		return err
+	}
+	if len(p.machines[to].blocks) >= toMach.Capacity {
+		return fmt.Errorf("%w: machine %d", ErrMachineFull, to)
+	}
+	if p.rackSpreadAfterMove(b, from, to) < b.spec.MinRacks && p.RackSpread(id) >= b.spec.MinRacks {
+		return fmt.Errorf("%w: block %d move %d->%d", ErrRackConstraint, id, from, to)
+	}
+	perReplica := b.perReplica()
+	fromMach := p.cluster.MustMachine(from)
+	delete(b.replicas, from)
+	if b.rackCount[fromMach.Rack]--; b.rackCount[fromMach.Rack] == 0 {
+		delete(b.rackCount, fromMach.Rack)
+	}
+	delete(p.machines[from].blocks, id)
+	p.machines[from].load -= perReplica
+	p.rackLoad[fromMach.Rack] -= perReplica
+
+	b.replicas[to] = struct{}{}
+	b.rackCount[toMach.Rack]++
+	p.machines[to].blocks[id] = struct{}{}
+	p.machines[to].load += perReplica
+	p.rackLoad[toMach.Rack] += perReplica
+	return nil
+}
+
+// rackSpreadAfterMove computes the number of distinct racks holding block
+// b if one replica moved from machine `from` to machine `to`.
+func (p *Placement) rackSpreadAfterMove(b *blockState, from, to topology.MachineID) int {
+	fromRack := p.cluster.MustMachine(from).Rack
+	toRack := p.cluster.MustMachine(to).Rack
+	spread := len(b.rackCount)
+	if fromRack == toRack {
+		return spread
+	}
+	if b.rackCount[fromRack] == 1 {
+		spread--
+	}
+	if b.rackCount[toRack] == 0 {
+		spread++
+	}
+	return spread
+}
+
+// CanMove reports whether MoveReplica(id, from, to) would succeed.
+func (p *Placement) CanMove(id BlockID, from, to topology.MachineID) bool {
+	b, ok := p.blocks[id]
+	if !ok {
+		return false
+	}
+	if _, held := b.replicas[from]; !held {
+		return false
+	}
+	if _, dup := b.replicas[to]; dup {
+		return false
+	}
+	toMach, err := p.cluster.Machine(to)
+	if err != nil || len(p.machines[to].blocks) >= toMach.Capacity {
+		return false
+	}
+	if p.rackSpreadAfterMove(b, from, to) < b.spec.MinRacks && p.RackSpread(id) >= b.spec.MinRacks {
+		return false
+	}
+	return true
+}
+
+// SwapReplicas exchanges a replica of block i on machine m with a replica
+// of block j on machine n, atomically. Capacities are unaffected (one
+// replica leaves and one arrives on each machine); rack spread is
+// verified for both blocks before mutation.
+func (p *Placement) SwapReplicas(i BlockID, m topology.MachineID, j BlockID, n topology.MachineID) error {
+	if i == j {
+		return fmt.Errorf("%w: cannot swap block %d with itself", ErrBadSpec, i)
+	}
+	if m == n {
+		return fmt.Errorf("%w: cannot swap on a single machine %d", ErrBadSpec, m)
+	}
+	bi, ok := p.blocks[i]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, i)
+	}
+	bj, ok := p.blocks[j]
+	if !ok {
+		return fmt.Errorf("%w: block %d", ErrUnknownBlock, j)
+	}
+	if _, held := bi.replicas[m]; !held {
+		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, i, m)
+	}
+	if _, held := bj.replicas[n]; !held {
+		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, j, n)
+	}
+	if _, dup := bi.replicas[n]; dup {
+		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, i, n)
+	}
+	if _, dup := bj.replicas[m]; dup {
+		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, j, m)
+	}
+	if p.rackSpreadAfterMove(bi, m, n) < bi.spec.MinRacks && p.RackSpread(i) >= bi.spec.MinRacks {
+		return fmt.Errorf("%w: block %d swap %d<->%d", ErrRackConstraint, i, m, n)
+	}
+	if p.rackSpreadAfterMove(bj, n, m) < bj.spec.MinRacks && p.RackSpread(j) >= bj.spec.MinRacks {
+		return fmt.Errorf("%w: block %d swap %d<->%d", ErrRackConstraint, j, n, m)
+	}
+
+	pi, pj := bi.perReplica(), bj.perReplica()
+	mRack := p.cluster.MustMachine(m).Rack
+	nRack := p.cluster.MustMachine(n).Rack
+
+	// i: m -> n
+	delete(bi.replicas, m)
+	if bi.rackCount[mRack]--; bi.rackCount[mRack] == 0 {
+		delete(bi.rackCount, mRack)
+	}
+	bi.replicas[n] = struct{}{}
+	bi.rackCount[nRack]++
+	delete(p.machines[m].blocks, i)
+	p.machines[n].blocks[i] = struct{}{}
+
+	// j: n -> m
+	delete(bj.replicas, n)
+	if bj.rackCount[nRack]--; bj.rackCount[nRack] == 0 {
+		delete(bj.rackCount, nRack)
+	}
+	bj.replicas[m] = struct{}{}
+	bj.rackCount[mRack]++
+	delete(p.machines[n].blocks, j)
+	p.machines[m].blocks[j] = struct{}{}
+
+	p.machines[m].load += pj - pi
+	p.machines[n].load += pi - pj
+	p.rackLoad[mRack] += pj - pi
+	p.rackLoad[nRack] += pi - pj
+	return nil
+}
+
+// CanSwap reports whether SwapReplicas(i, m, j, n) would succeed.
+func (p *Placement) CanSwap(i BlockID, m topology.MachineID, j BlockID, n topology.MachineID) bool {
+	if i == j || m == n {
+		return false
+	}
+	bi, ok := p.blocks[i]
+	if !ok {
+		return false
+	}
+	bj, ok := p.blocks[j]
+	if !ok {
+		return false
+	}
+	if _, held := bi.replicas[m]; !held {
+		return false
+	}
+	if _, held := bj.replicas[n]; !held {
+		return false
+	}
+	if _, dup := bi.replicas[n]; dup {
+		return false
+	}
+	if _, dup := bj.replicas[m]; dup {
+		return false
+	}
+	if p.rackSpreadAfterMove(bi, m, n) < bi.spec.MinRacks && p.RackSpread(i) >= bi.spec.MinRacks {
+		return false
+	}
+	if p.rackSpreadAfterMove(bj, n, m) < bj.spec.MinRacks && p.RackSpread(j) >= bj.spec.MinRacks {
+		return false
+	}
+	return true
+}
+
+// HasReplica reports whether machine m holds a replica of block id.
+func (p *Placement) HasReplica(id BlockID, m topology.MachineID) bool {
+	b, ok := p.blocks[id]
+	if !ok {
+		return false
+	}
+	_, held := b.replicas[m]
+	return held
+}
+
+// Replicas returns the machines holding block id, in ascending order.
+func (p *Placement) Replicas(id BlockID) []topology.MachineID {
+	b, ok := p.blocks[id]
+	if !ok {
+		return nil
+	}
+	out := make([]topology.MachineID, 0, len(b.replicas))
+	for m := range b.replicas {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReplicaCount returns k_i, the current replica count of block id (zero
+// for unknown blocks).
+func (p *Placement) ReplicaCount(id BlockID) int {
+	b, ok := p.blocks[id]
+	if !ok {
+		return 0
+	}
+	return len(b.replicas)
+}
+
+// RackSpread returns the number of distinct racks holding block id.
+func (p *Placement) RackSpread(id BlockID) int {
+	b, ok := p.blocks[id]
+	if !ok {
+		return 0
+	}
+	return len(b.rackCount)
+}
+
+// PerReplicaPopularity returns p_i = P_i / k_i for block id (zero if
+// unplaced).
+func (p *Placement) PerReplicaPopularity(id BlockID) float64 {
+	b, ok := p.blocks[id]
+	if !ok {
+		return 0
+	}
+	return b.perReplica()
+}
+
+// Load returns the popularity load of machine m.
+func (p *Placement) Load(m topology.MachineID) float64 {
+	if int(m) < 0 || int(m) >= len(p.machines) {
+		return 0
+	}
+	return p.machines[m].load
+}
+
+// Loads returns the full machine-load vector indexed by MachineID.
+func (p *Placement) Loads() []float64 {
+	out := make([]float64, len(p.machines))
+	for i := range p.machines {
+		out[i] = p.machines[i].load
+	}
+	return out
+}
+
+// RackLoadOf returns the total popularity load of rack r.
+func (p *Placement) RackLoadOf(r topology.RackID) float64 {
+	if int(r) < 0 || int(r) >= len(p.rackLoad) {
+		return 0
+	}
+	return p.rackLoad[r]
+}
+
+// Cost returns the optimization objective λ: the maximum machine load.
+func (p *Placement) Cost() float64 {
+	max := 0.0
+	for i := range p.machines {
+		if p.machines[i].load > max {
+			max = p.machines[i].load
+		}
+	}
+	return max
+}
+
+// Used returns the number of block replicas on machine m.
+func (p *Placement) Used(m topology.MachineID) int {
+	if int(m) < 0 || int(m) >= len(p.machines) {
+		return 0
+	}
+	return len(p.machines[m].blocks)
+}
+
+// FreeCapacity returns the remaining replica slots on machine m.
+func (p *Placement) FreeCapacity(m topology.MachineID) int {
+	return p.cluster.Capacity(m) - p.Used(m)
+}
+
+// TotalReplicas returns Σ_i k_i over all blocks.
+func (p *Placement) TotalReplicas() int { return p.replicas }
+
+// BlocksOn returns the blocks stored on machine m, in ascending ID order.
+func (p *Placement) BlocksOn(m topology.MachineID) []BlockID {
+	if int(m) < 0 || int(m) >= len(p.machines) {
+		return nil
+	}
+	out := make([]BlockID, 0, len(p.machines[m].blocks))
+	for id := range p.machines[m].blocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxLoadedMachine returns the machine with the highest load; ties break
+// toward the lowest machine ID so the algorithms are deterministic.
+func (p *Placement) MaxLoadedMachine() topology.MachineID {
+	best, bestLoad := topology.MachineID(0), math.Inf(-1)
+	for i := range p.machines {
+		if p.machines[i].load > bestLoad {
+			best, bestLoad = topology.MachineID(i), p.machines[i].load
+		}
+	}
+	return best
+}
+
+// MinLoadedMachine returns the machine with the lowest load (lowest ID on
+// ties).
+func (p *Placement) MinLoadedMachine() topology.MachineID {
+	best, bestLoad := topology.MachineID(0), math.Inf(1)
+	for i := range p.machines {
+		if p.machines[i].load < bestLoad {
+			best, bestLoad = topology.MachineID(i), p.machines[i].load
+		}
+	}
+	return best
+}
+
+// MaxLoadedMachineInRack returns the highest-loaded machine within rack r.
+func (p *Placement) MaxLoadedMachineInRack(r topology.RackID) (topology.MachineID, error) {
+	ms, err := p.cluster.MachinesInRack(r)
+	if err != nil {
+		return topology.NoMachine, err
+	}
+	best, bestLoad := topology.NoMachine, math.Inf(-1)
+	for _, m := range ms {
+		if p.machines[m].load > bestLoad {
+			best, bestLoad = m, p.machines[m].load
+		}
+	}
+	return best, nil
+}
+
+// MinLoadedMachineInRack returns the lowest-loaded machine within rack r.
+func (p *Placement) MinLoadedMachineInRack(r topology.RackID) (topology.MachineID, error) {
+	ms, err := p.cluster.MachinesInRack(r)
+	if err != nil {
+		return topology.NoMachine, err
+	}
+	best, bestLoad := topology.NoMachine, math.Inf(1)
+	for _, m := range ms {
+		if p.machines[m].load < bestLoad {
+			best, bestLoad = m, p.machines[m].load
+		}
+	}
+	return best, nil
+}
+
+// MaxPerReplicaPopularity returns p_max, the largest per-replica
+// popularity across all placed blocks. It appears in the additive
+// approximation bounds (Theorems 2 and 4).
+func (p *Placement) MaxPerReplicaPopularity() float64 {
+	max := 0.0
+	for _, b := range p.blocks {
+		if pr := b.perReplica(); pr > max {
+			max = pr
+		}
+	}
+	return max
+}
+
+// Feasible reports whether block id currently satisfies its node- and
+// rack-level fault-tolerance requirements.
+func (p *Placement) Feasible(id BlockID) bool {
+	b, ok := p.blocks[id]
+	if !ok {
+		return false
+	}
+	return len(b.replicas) >= b.spec.MinReplicas && len(b.rackCount) >= b.spec.MinRacks
+}
+
+// CheckFeasible returns ErrInfeasible (wrapped, naming the first
+// offending block) unless every block satisfies its requirements.
+func (p *Placement) CheckFeasible() error {
+	for _, id := range p.Blocks() {
+		if !p.Feasible(id) {
+			b := p.blocks[id]
+			return fmt.Errorf("%w: block %d has %d replicas (need %d) across %d racks (need %d)",
+				ErrInfeasible, id, len(b.replicas), b.spec.MinReplicas, len(b.rackCount), b.spec.MinRacks)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the placement. The clone shares the immutable
+// cluster.
+func (p *Placement) Clone() *Placement {
+	c := &Placement{
+		cluster:  p.cluster,
+		blocks:   make(map[BlockID]*blockState, len(p.blocks)),
+		machines: make([]machineState, len(p.machines)),
+		rackLoad: make([]float64, len(p.rackLoad)),
+		replicas: p.replicas,
+	}
+	copy(c.rackLoad, p.rackLoad)
+	for i := range p.machines {
+		c.machines[i].load = p.machines[i].load
+		c.machines[i].blocks = make(map[BlockID]struct{}, len(p.machines[i].blocks))
+		for id := range p.machines[i].blocks {
+			c.machines[i].blocks[id] = struct{}{}
+		}
+	}
+	for id, b := range p.blocks {
+		nb := &blockState{
+			spec:      b.spec,
+			replicas:  make(map[topology.MachineID]struct{}, len(b.replicas)),
+			rackCount: make(map[topology.RackID]int, len(b.rackCount)),
+		}
+		for m := range b.replicas {
+			nb.replicas[m] = struct{}{}
+		}
+		for r, n := range b.rackCount {
+			nb.rackCount[r] = n
+		}
+		c.blocks[id] = nb
+	}
+	return c
+}
+
+// Validate recomputes all derived state from scratch and compares it to
+// the incremental bookkeeping. Intended for tests and fuzzing; it is
+// O(blocks x replicas).
+func (p *Placement) Validate() error {
+	const eps = 1e-6
+	loads := make([]float64, len(p.machines))
+	rackLoads := make([]float64, len(p.rackLoad))
+	counts := make([]int, len(p.machines))
+	for id, b := range p.blocks {
+		perReplica := b.perReplica()
+		rackSeen := make(map[topology.RackID]int)
+		for m := range b.replicas {
+			mach, err := p.cluster.Machine(m)
+			if err != nil {
+				return fmt.Errorf("core: block %d on invalid machine %d: %w", id, m, err)
+			}
+			if _, ok := p.machines[m].blocks[id]; !ok {
+				return fmt.Errorf("core: block %d lists machine %d but machine does not list block", id, m)
+			}
+			loads[m] += perReplica
+			rackLoads[mach.Rack] += perReplica
+			counts[m]++
+			rackSeen[mach.Rack]++
+		}
+		if len(rackSeen) != len(b.rackCount) {
+			return fmt.Errorf("core: block %d rack spread is %d, bookkeeping says %d", id, len(rackSeen), len(b.rackCount))
+		}
+		for r, n := range rackSeen {
+			if b.rackCount[r] != n {
+				return fmt.Errorf("core: block %d rack %d count is %d, bookkeeping says %d", id, r, n, b.rackCount[r])
+			}
+		}
+	}
+	for i := range p.machines {
+		if len(p.machines[i].blocks) != counts[i] {
+			return fmt.Errorf("core: machine %d holds %d blocks, bookkeeping says %d", i, counts[i], len(p.machines[i].blocks))
+		}
+		if counts[i] > p.cluster.Capacity(topology.MachineID(i)) {
+			return fmt.Errorf("core: machine %d over capacity: %d > %d", i, counts[i], p.cluster.Capacity(topology.MachineID(i)))
+		}
+		if math.Abs(loads[i]-p.machines[i].load) > eps*(1+math.Abs(loads[i])) {
+			return fmt.Errorf("core: machine %d load drift: recomputed %v, bookkeeping %v", i, loads[i], p.machines[i].load)
+		}
+		for id := range p.machines[i].blocks {
+			b, ok := p.blocks[id]
+			if !ok {
+				return fmt.Errorf("core: machine %d lists unknown block %d", i, id)
+			}
+			if _, held := b.replicas[topology.MachineID(i)]; !held {
+				return fmt.Errorf("core: machine %d lists block %d but block does not list machine", i, id)
+			}
+		}
+	}
+	for r := range p.rackLoad {
+		if math.Abs(rackLoads[r]-p.rackLoad[r]) > eps*(1+math.Abs(rackLoads[r])) {
+			return fmt.Errorf("core: rack %d load drift: recomputed %v, bookkeeping %v", r, rackLoads[r], p.rackLoad[r])
+		}
+	}
+	total := 0
+	for _, b := range p.blocks {
+		total += len(b.replicas)
+	}
+	if total != p.replicas {
+		return fmt.Errorf("core: replica counter drift: recomputed %d, bookkeeping %d", total, p.replicas)
+	}
+	return nil
+}

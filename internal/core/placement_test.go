@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"aurora/internal/topology"
+)
+
+func mustCluster(t *testing.T, racks, perRack, capacity int) *topology.Cluster {
+	t.Helper()
+	c, err := topology.Uniform(racks, perRack, capacity, 2)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	return c
+}
+
+func mustPlacement(t *testing.T, c *topology.Cluster, specs []BlockSpec) *Placement {
+	t.Helper()
+	p, err := NewPlacement(c, specs)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	return p
+}
+
+func spec(id BlockID, pop float64, k, rho int) BlockSpec {
+	return BlockSpec{ID: id, Popularity: pop, MinReplicas: k, MinRacks: rho}
+}
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		s    BlockSpec
+		ok   bool
+	}{
+		{"valid", spec(1, 10, 3, 2), true},
+		{"negative popularity", spec(1, -1, 3, 2), false},
+		{"zero replicas", spec(1, 1, 0, 1), false},
+		{"zero racks", spec(1, 1, 3, 0), false},
+		{"racks exceed replicas", spec(1, 1, 2, 3), false},
+		{"zero popularity ok", spec(1, 0, 1, 1), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.s.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestAddBlockRejectsImpossibleRequirements(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10) // 2 racks, 4 machines
+	p := mustPlacement(t, c, nil)
+	if err := p.AddBlock(spec(1, 1, 3, 3)); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("3 racks on 2-rack cluster: err = %v, want ErrBadSpec", err)
+	}
+	if err := p.AddBlock(spec(2, 1, 5, 2)); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("5 replicas on 4-machine cluster: err = %v, want ErrBadSpec", err)
+	}
+	if err := p.AddBlock(spec(3, 1, 3, 2)); err != nil {
+		t.Errorf("valid block rejected: %v", err)
+	}
+	if err := p.AddBlock(spec(3, 1, 3, 2)); !errors.Is(err, ErrDuplicateBlock) {
+		t.Errorf("duplicate err = %v, want ErrDuplicateBlock", err)
+	}
+}
+
+func TestAddReplicaDividesLoad(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 12, 3, 2)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if got := p.Load(0); got != 12 {
+		t.Errorf("Load(0) after 1 replica = %v, want 12", got)
+	}
+	if err := p.AddReplica(1, 1); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if got := p.Load(0); got != 6 {
+		t.Errorf("Load(0) after 2 replicas = %v, want 6", got)
+	}
+	if err := p.AddReplica(1, 2); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	for m := topology.MachineID(0); m < 3; m++ {
+		if got := p.Load(m); math.Abs(got-4) > 1e-12 {
+			t.Errorf("Load(%d) after 3 replicas = %v, want 4", m, got)
+		}
+	}
+	if got := p.PerReplicaPopularity(1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("PerReplicaPopularity = %v, want 4", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddReplicaErrors(t *testing.T) {
+	c := mustCluster(t, 1, 2, 1) // capacity 1 per machine
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 5, 1, 1), spec(2, 5, 1, 1)})
+	if err := p.AddReplica(99, 0); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("unknown block err = %v", err)
+	}
+	if err := p.AddReplica(1, topology.MachineID(77)); !errors.Is(err, topology.ErrUnknownMachine) {
+		t.Errorf("unknown machine err = %v", err)
+	}
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(1, 0); !errors.Is(err, ErrAlreadyPlaced) {
+		t.Errorf("duplicate replica err = %v, want ErrAlreadyPlaced", err)
+	}
+	if err := p.AddReplica(2, 0); !errors.Is(err, ErrMachineFull) {
+		t.Errorf("full machine err = %v, want ErrMachineFull", err)
+	}
+}
+
+func TestRemoveReplicaRescalesLoad(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 12, 3, 2)})
+	for _, m := range []topology.MachineID{0, 1, 2} {
+		if err := p.AddReplica(1, m); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	if err := p.RemoveReplica(1, 1); err != nil {
+		t.Fatalf("RemoveReplica: %v", err)
+	}
+	if got := p.Load(0); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Load(0) = %v, want 6", got)
+	}
+	if got := p.Load(1); math.Abs(got) > 1e-12 {
+		t.Errorf("Load(1) = %v, want 0", got)
+	}
+	if err := p.RemoveReplica(1, 1); !errors.Is(err, ErrNotPlaced) {
+		t.Errorf("double remove err = %v, want ErrNotPlaced", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMoveReplicaPreservesCountAndLoadSum(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 9, 3, 2)})
+	for _, m := range []topology.MachineID{0, 1, 2} {
+		if err := p.AddReplica(1, m); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+	}
+	before := p.TotalReplicas()
+	if err := p.MoveReplica(1, 0, 3); err != nil {
+		t.Fatalf("MoveReplica: %v", err)
+	}
+	if got := p.TotalReplicas(); got != before {
+		t.Errorf("TotalReplicas = %d, want %d", got, before)
+	}
+	if p.HasReplica(1, 0) || !p.HasReplica(1, 3) {
+		t.Error("replica did not move from 0 to 3")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMoveReplicaRackConstraint(t *testing.T) {
+	// 2 racks {0,1} and {2,3}. Block spans both racks with replicas on
+	// 0 and 2; moving 2 -> 1 would collapse to one rack.
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 4, 2, 2)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(1, 2); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.MoveReplica(1, 2, 1); !errors.Is(err, ErrRackConstraint) {
+		t.Errorf("rack-collapsing move err = %v, want ErrRackConstraint", err)
+	}
+	if p.CanMove(1, 2, 1) {
+		t.Error("CanMove allowed a rack-collapsing move")
+	}
+	// Moving within the same rack is fine.
+	if err := p.MoveReplica(1, 2, 3); err != nil {
+		t.Errorf("same-rack move failed: %v", err)
+	}
+}
+
+func TestMoveAllowedWhenAlreadyInfeasible(t *testing.T) {
+	// If a block is under rack spread already (spread < MinRacks), moves
+	// that don't fix it are still allowed: the placement must not
+	// deadlock while the optimizer repairs it.
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 4, 2, 2)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(1, 1); err != nil { // both in rack 0: infeasible
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if p.Feasible(1) {
+		t.Fatal("block unexpectedly feasible")
+	}
+	if err := p.MoveReplica(1, 1, 0+2); err != nil { // to rack 1, improves spread
+		t.Errorf("repairing move failed: %v", err)
+	}
+	if !p.Feasible(1) {
+		t.Error("block still infeasible after repair")
+	}
+}
+
+func TestSwapReplicas(t *testing.T) {
+	c := mustCluster(t, 1, 2, 1) // two machines, capacity 1 each: only swaps possible
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 10, 1, 1), spec(2, 2, 1, 1)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(2, 1); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if !p.CanSwap(1, 0, 2, 1) {
+		t.Fatal("CanSwap = false, want true")
+	}
+	if err := p.SwapReplicas(1, 0, 2, 1); err != nil {
+		t.Fatalf("SwapReplicas: %v", err)
+	}
+	if !p.HasReplica(1, 1) || !p.HasReplica(2, 0) {
+		t.Error("swap did not exchange replicas")
+	}
+	if got := p.Load(0); got != 2 {
+		t.Errorf("Load(0) = %v, want 2", got)
+	}
+	if got := p.Load(1); got != 10 {
+		t.Errorf("Load(1) = %v, want 10", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	c := mustCluster(t, 1, 3, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 1, 1, 1), spec(2, 1, 1, 1)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(2, 1); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.SwapReplicas(1, 0, 1, 1); err == nil {
+		t.Error("self-swap accepted")
+	}
+	if err := p.SwapReplicas(1, 0, 2, 0); err == nil {
+		t.Error("same-machine swap accepted")
+	}
+	if err := p.SwapReplicas(1, 2, 2, 1); !errors.Is(err, ErrNotPlaced) {
+		t.Errorf("swap from non-holder err = %v, want ErrNotPlaced", err)
+	}
+	// i already on n
+	if err := p.AddReplica(1, 1); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.SwapReplicas(1, 0, 2, 1); !errors.Is(err, ErrAlreadyPlaced) {
+		t.Errorf("swap onto holder err = %v, want ErrAlreadyPlaced", err)
+	}
+	if p.CanSwap(1, 0, 2, 1) {
+		t.Error("CanSwap allowed swap onto existing holder")
+	}
+}
+
+func TestSetPopularityRescales(t *testing.T) {
+	c := mustCluster(t, 1, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 10, 1, 1)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(1, 1); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.SetPopularity(1, 30); err != nil {
+		t.Fatalf("SetPopularity: %v", err)
+	}
+	if got := p.Load(0); got != 15 {
+		t.Errorf("Load(0) = %v, want 15", got)
+	}
+	if err := p.SetPopularity(1, -1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("negative popularity err = %v, want ErrBadSpec", err)
+	}
+	if err := p.SetPopularity(99, 1); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("unknown block err = %v, want ErrUnknownBlock", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDeleteBlock(t *testing.T) {
+	c := mustCluster(t, 1, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 10, 1, 1), spec(2, 4, 1, 1)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(2, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.DeleteBlock(1); err != nil {
+		t.Fatalf("DeleteBlock: %v", err)
+	}
+	if got := p.Load(0); got != 4 {
+		t.Errorf("Load(0) = %v, want 4", got)
+	}
+	if got := p.NumBlocks(); got != 1 {
+		t.Errorf("NumBlocks = %d, want 1", got)
+	}
+	if err := p.DeleteBlock(1); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("double delete err = %v, want ErrUnknownBlock", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 4, 2, 2)})
+	if err := p.CheckFeasible(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("unplaced block feasible: %v", err)
+	}
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(1, 2); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.CheckFeasible(); err != nil {
+		t.Errorf("CheckFeasible = %v, want nil", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 8, 2, 2)})
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(1, 2); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	clone := p.Clone()
+	if err := clone.MoveReplica(1, 0, 1); err != nil {
+		t.Fatalf("MoveReplica on clone: %v", err)
+	}
+	if !p.HasReplica(1, 0) {
+		t.Error("mutating clone affected original")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("original Validate: %v", err)
+	}
+	if err := clone.Validate(); err != nil {
+		t.Errorf("clone Validate: %v", err)
+	}
+}
+
+func TestExtremeMachineSelectors(t *testing.T) {
+	c := mustCluster(t, 2, 2, 10)
+	p := mustPlacement(t, c, []BlockSpec{spec(1, 10, 1, 1), spec(2, 4, 1, 1)})
+	if err := p.AddReplica(1, 1); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if err := p.AddReplica(2, 2); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	if got := p.MaxLoadedMachine(); got != 1 {
+		t.Errorf("MaxLoadedMachine = %d, want 1", got)
+	}
+	if got := p.MinLoadedMachine(); got != 0 {
+		t.Errorf("MinLoadedMachine = %d, want 0 (ties break low)", got)
+	}
+	maxR0, err := p.MaxLoadedMachineInRack(0)
+	if err != nil || maxR0 != 1 {
+		t.Errorf("MaxLoadedMachineInRack(0) = %d, %v; want 1", maxR0, err)
+	}
+	minR1, err := p.MinLoadedMachineInRack(1)
+	if err != nil || minR1 != 3 {
+		t.Errorf("MinLoadedMachineInRack(1) = %d, %v; want 3", minR1, err)
+	}
+	if _, err := p.MaxLoadedMachineInRack(9); err == nil {
+		t.Error("MaxLoadedMachineInRack(9) succeeded, want error")
+	}
+}
+
+// Property test: any random sequence of add/remove/move/swap operations
+// keeps the incremental bookkeeping consistent with a from-scratch
+// recomputation, never exceeds capacity, and total load equals the sum of
+// placed blocks' popularities.
+func TestRandomOperationsKeepInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		cl, err := topology.Uniform(3, 3, 4, 1)
+		if err != nil {
+			return false
+		}
+		var specs []BlockSpec
+		for i := 0; i < 8; i++ {
+			specs = append(specs, BlockSpec{
+				ID:          BlockID(i),
+				Popularity:  float64(rng.IntN(20) + 1),
+				MinReplicas: 1,
+				MinRacks:    1,
+			})
+		}
+		p, err := NewPlacement(cl, specs)
+		if err != nil {
+			return false
+		}
+		machines := cl.Machines()
+		for step := 0; step < 200; step++ {
+			id := BlockID(rng.IntN(8))
+			m := machines[rng.IntN(len(machines))]
+			n := machines[rng.IntN(len(machines))]
+			switch rng.IntN(4) {
+			case 0:
+				_ = p.AddReplica(id, m) // errors fine (full/dup)
+			case 1:
+				_ = p.RemoveReplica(id, m)
+			case 2:
+				_ = p.MoveReplica(id, m, n)
+			case 3:
+				j := BlockID(rng.IntN(8))
+				_ = p.SwapReplicas(id, m, j, n)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		// Total machine load must equal the sum of placed popularities.
+		var wantTotal float64
+		for _, id := range p.Blocks() {
+			if p.ReplicaCount(id) > 0 {
+				s, err := p.Spec(id)
+				if err != nil {
+					return false
+				}
+				wantTotal += s.Popularity
+			}
+		}
+		var gotTotal float64
+		for _, l := range p.Loads() {
+			gotTotal += l
+		}
+		return math.Abs(gotTotal-wantTotal) < 1e-6*(1+wantTotal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRepFactorSpreadsBudgetByPopularity(t *testing.T) {
+	specs := []BlockSpec{
+		spec(1, 100, 1, 1),
+		spec(2, 10, 1, 1),
+		spec(3, 1, 1, 1),
+	}
+	res, err := ComputeReplicationFactors(specs, 13, 100, 0)
+	if err != nil {
+		t.Fatalf("ComputeReplicationFactors: %v", err)
+	}
+	if res.BudgetUsed != 13 {
+		t.Errorf("BudgetUsed = %d, want 13 (Lemma 7: budget saturated)", res.BudgetUsed)
+	}
+	// Optimal levelling of max(100/k1, 10/k2, 1/k3) with k1+k2+k3=13:
+	// k=(11,1,1) gives max=10; (10,2,1) gives max=10; (11,1,1) objective
+	// 100/11≈9.09 vs 10/1=10 → max 10. Best is k1=10,k2=2,k3=1: max(10,5,1)=10
+	// or k1=11,k2=1: max(9.09,10,1)=10. Either way objective 10... can we
+	// beat 10? k1=9,k2=3,k3=1: max(11.1,3.3,1)=11.1 worse. So OPT=10.
+	if math.Abs(res.Objective-10) > 1e-9 {
+		t.Errorf("Objective = %v, want 10", res.Objective)
+	}
+	if res.Factors[1] < res.Factors[2] || res.Factors[2] < res.Factors[3] {
+		t.Errorf("factors not ordered by popularity: %v", res.Factors)
+	}
+}
+
+func TestRepFactorRespectsMinimums(t *testing.T) {
+	specs := []BlockSpec{
+		spec(1, 100, 3, 2),
+		spec(2, 0, 3, 2),
+	}
+	res, err := ComputeReplicationFactors(specs, 10, 100, 0)
+	if err != nil {
+		t.Fatalf("ComputeReplicationFactors: %v", err)
+	}
+	if res.Factors[2] < 3 {
+		t.Errorf("block 2 factor %d dropped below its minimum 3", res.Factors[2])
+	}
+	if res.Factors[1] != 7 {
+		t.Errorf("block 1 factor = %d, want 7 (all spare budget)", res.Factors[1])
+	}
+}
+
+func TestRepFactorBudgetErrors(t *testing.T) {
+	specs := []BlockSpec{spec(1, 5, 3, 1)}
+	if _, err := ComputeReplicationFactors(specs, 2, 100, 0); !errors.Is(err, ErrBudgetTooSmall) {
+		t.Errorf("budget below minimums err = %v, want ErrBudgetTooSmall", err)
+	}
+	if _, err := ComputeReplicationFactors(specs, 0, 100, 0); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("zero budget err = %v, want ErrBadBudget", err)
+	}
+	if _, err := ComputeReplicationFactors(specs, 5, 0, 0); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("zero maxPerBlock err = %v, want ErrBadBudget", err)
+	}
+	if _, err := ComputeReplicationFactors(specs, 5, 2, 0); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("minReplicas above maxPerBlock err = %v, want ErrBadBudget", err)
+	}
+	dup := []BlockSpec{spec(1, 5, 1, 1), spec(1, 6, 1, 1)}
+	if _, err := ComputeReplicationFactors(dup, 10, 100, 0); !errors.Is(err, ErrDuplicateBlock) {
+		t.Errorf("duplicate err = %v, want ErrDuplicateBlock", err)
+	}
+}
+
+func TestRepFactorMaxPerBlockCap(t *testing.T) {
+	specs := []BlockSpec{spec(1, 1000, 1, 1), spec(2, 1, 1, 1)}
+	res, err := ComputeReplicationFactors(specs, 100, 4, 0)
+	if err != nil {
+		t.Fatalf("ComputeReplicationFactors: %v", err)
+	}
+	if res.Factors[1] != 4 {
+		t.Errorf("block 1 factor = %d, want cap 4", res.Factors[1])
+	}
+	if math.Abs(res.Objective-250) > 1e-9 {
+		t.Errorf("Objective = %v, want 250 (capped)", res.Objective)
+	}
+}
+
+func TestRepFactorIterationCap(t *testing.T) {
+	specs := []BlockSpec{spec(1, 1000, 1, 1), spec(2, 500, 1, 1)}
+	res, err := ComputeReplicationFactors(specs, 100, 100, 3)
+	if err != nil {
+		t.Fatalf("ComputeReplicationFactors: %v", err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("Iterations = %d, want <= 3", res.Iterations)
+	}
+	if res.BudgetUsed != 2+3 {
+		t.Errorf("BudgetUsed = %d, want 5 (2 minimums + 3 increments)", res.BudgetUsed)
+	}
+}
+
+func TestRepFactorEqualPopularityTerminates(t *testing.T) {
+	// Regression guard: with the paper's non-strict donor inequality,
+	// two equal blocks could trade a replica forever.
+	specs := []BlockSpec{spec(1, 50, 1, 1), spec(2, 50, 1, 1)}
+	res, err := ComputeReplicationFactors(specs, 5, 100, 0)
+	if err != nil {
+		t.Fatalf("ComputeReplicationFactors: %v", err)
+	}
+	// Budget 5 over two equal blocks: (3,2) or (2,3) → objective 25.
+	if math.Abs(res.Objective-25) > 1e-9 {
+		t.Errorf("Objective = %v, want 25", res.Objective)
+	}
+	if res.Factors[1]+res.Factors[2] != 5 {
+		t.Errorf("budget not saturated: %v", res.Factors)
+	}
+}
+
+// Theorem 8: Algorithm 3 solves Rep-Factor optimally. Verify against
+// exhaustive enumeration on random small instances.
+func TestRepFactorOptimality(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed*31+7))
+		n := rng.IntN(4) + 2
+		budgetExtra := rng.IntN(6)
+		maxPer := rng.IntN(4) + 2
+		specs := make([]BlockSpec, n)
+		minSum := 0
+		for i := range specs {
+			low := rng.IntN(2) + 1
+			specs[i] = BlockSpec{
+				ID:          BlockID(i + 1),
+				Popularity:  float64(rng.IntN(100) + 1),
+				MinReplicas: low,
+				MinRacks:    1,
+			}
+			minSum += low
+		}
+		budget := minSum + budgetExtra
+		got, err := ComputeReplicationFactors(specs, budget, maxPer, 0)
+		if err != nil {
+			if errors.Is(err, ErrBadBudget) {
+				continue // MinReplicas 2 with maxPer < 2 can't happen (maxPer>=2), but be safe
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := exhaustiveRepFactor(specs, budget, maxPer)
+		if math.Abs(got.Objective-want) > 1e-9 {
+			t.Errorf("seed %d: objective %v, optimal %v (factors %v)", seed, got.Objective, want, got.Factors)
+		}
+	}
+}
+
+// exhaustiveRepFactor brute-forces the Rep-Factor optimum.
+func exhaustiveRepFactor(specs []BlockSpec, budget, maxPer int) float64 {
+	best := math.Inf(1)
+	ks := make([]int, len(specs))
+	var rec func(i, used int)
+	rec = func(i, used int) {
+		if used > budget {
+			return
+		}
+		if i == len(specs) {
+			obj := 0.0
+			for j, s := range specs {
+				if v := s.Popularity / float64(ks[j]); v > obj {
+					obj = v
+				}
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for k := specs[i].MinReplicas; k <= maxPer; k++ {
+			ks[i] = k
+			rec(i+1, used+k)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestRepFactorZeroPopularityBlocksStayAtMinimum(t *testing.T) {
+	specs := []BlockSpec{spec(1, 0, 3, 1), spec(2, 0, 3, 1)}
+	res, err := ComputeReplicationFactors(specs, 100, 10, 0)
+	if err != nil {
+		t.Fatalf("ComputeReplicationFactors: %v", err)
+	}
+	if res.Objective != 0 {
+		t.Errorf("Objective = %v, want 0", res.Objective)
+	}
+	// With objective already 0, extra replication is pointless but
+	// harmless; factors must never drop below minimums.
+	for id, k := range res.Factors {
+		if k < 3 {
+			t.Errorf("block %d factor %d < minimum 3", id, k)
+		}
+	}
+}

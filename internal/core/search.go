@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aurora/internal/topology"
+)
+
+// OpKind enumerates the local-search operations from Sections III.A and
+// III.B of the paper.
+type OpKind int
+
+// The four local-search operations.
+const (
+	OpMove     OpKind = iota + 1 // Move(m, i, n): move block i from m to n (same rack)
+	OpSwap                       // Swap(m, i, n, j): exchange i on m with j on n (same rack)
+	OpRackMove                   // RackMove(r, m, i, t, n): move i across racks
+	OpRackSwap                   // RackSwap(r, m, i, t, n, j): swap across racks
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpMove:
+		return "Move"
+	case OpSwap:
+		return "Swap"
+	case OpRackMove:
+		return "RackMove"
+	case OpRackSwap:
+		return "RackSwap"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op describes one executed local-search operation, for accounting:
+// reconfiguration cost in the paper is measured in block movements, and
+// each Move/RackMove is one movement while each Swap/RackSwap is two.
+type Op struct {
+	Kind       OpKind
+	Block      BlockID
+	From, To   topology.MachineID
+	OtherBlock BlockID // the j block for swaps; 0 otherwise
+}
+
+// BlockMovements returns the number of physical block transfers the
+// operation causes.
+func (o Op) BlockMovements() int {
+	switch o.Kind {
+	case OpSwap, OpRackSwap:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// SearchOptions tune the local search.
+type SearchOptions struct {
+	// Epsilon in [0, 1) is the admissibility threshold from Section IV:
+	// only operations that substantially reduce cost are performed, so
+	// larger values trade balance quality for fewer block movements
+	// (Theorem 9); the paper sweeps Epsilon in {0.1 .. 0.9}.
+	//
+	// Concretely, operations on a machine pair (m, n) — m the loaded
+	// machine — are admissible only while the pair is imbalanced by more
+	// than an Epsilon fraction: L_m - L_n > Epsilon*L_m. Once a pair is
+	// within Epsilon of balanced it is left alone, so the search
+	// terminates with the extreme pair satisfying
+	// L_m <= (L_n + p_i)/(1-Epsilon), giving SOL <= (OPT+p_max)/(1-eps)
+	// — the (2+O(eps))/(4+O(eps)) guarantees of Theorem 9. Epsilon = 0
+	// recovers the plain Algorithm 1/2 bounds. (The paper's literal
+	// definition, "reduces solution cost by at least eps*SOL", performs
+	// no operations at all on realistic instances — no single block move
+	// cuts the global maximum load by 10% — so this relative-imbalance
+	// reading is used; it reproduces the monotone moves-versus-balance
+	// tradeoff of Figures 3-5.)
+	Epsilon float64
+	// MaxIterations bounds the number of operations performed; 0 means
+	// unbounded (the strict-improvement requirement still guarantees
+	// termination).
+	MaxIterations int
+	// DisableSwap restricts the search to Move operations only — an
+	// ablation knob: without Swap, Theorem 2's capacity argument fails
+	// and full machines block rebalancing.
+	DisableSwap bool
+	// OnOp, if non-nil, observes every executed operation.
+	OnOp func(Op)
+}
+
+// SearchResult summarizes one local-search run.
+type SearchResult struct {
+	Iterations  int     // operations performed
+	Movements   int     // physical block movements (swaps count twice)
+	InitialCost float64 // λ before the search
+	FinalCost   float64 // λ after the search
+}
+
+// minImprovement is the relative floor below which a float "improvement"
+// is considered noise; it prevents non-termination from rounding drift
+// when Epsilon = 0.
+const minImprovement = 1e-9
+
+// pairAdmissible reports whether the pair (high, low) is imbalanced
+// enough that operations on it are admissible at all. See
+// SearchOptions.Epsilon.
+func pairAdmissible(high, low, epsilon float64) bool {
+	return high-low > epsilon*high
+}
+
+// improves reports whether reducing the pair cost from `high` to
+// `newPairCost` is a strict improvement above float noise.
+func improves(high, newPairCost float64) bool {
+	return high-newPairCost > minImprovement*(1+high)
+}
+
+// candidate is an evaluated, feasible, admissible operation together with
+// the pair cost it would leave behind.
+type candidate struct {
+	op          Op
+	newPairCost float64
+}
+
+// bestPairOp evaluates Move and Swap operations from machine m (loaded)
+// to machine n (unloaded) and returns the admissible candidate with the
+// lowest resulting pair cost, or ok=false when none exists.
+//
+// Following the proof of Theorem 2, blocks held by both machines are
+// skipped (a machine stores at most one replica of a block, and moving a
+// shared block would change its replication factor); the scan considers
+// blocks on m in descending per-replica popularity.
+func bestPairOp(p *Placement, m, n topology.MachineID, epsilon float64) (candidate, bool) {
+	return bestPairOpSwap(p, m, n, epsilon, true)
+}
+
+// bestPairOpSwap is bestPairOp with swaps optionally disabled.
+func bestPairOpSwap(p *Placement, m, n topology.MachineID, epsilon float64, allowSwap bool) (candidate, bool) {
+	lm, ln := p.Load(m), p.Load(n)
+	if lm <= ln {
+		return candidate{}, false
+	}
+	// Pairs within epsilon of balanced are left alone (Section IV), and
+	// this check doubles as a cheap prefilter when callers probe many
+	// pairs.
+	if !pairAdmissible(lm, ln, epsilon) {
+		return candidate{}, false
+	}
+	exclusive := exclusiveBlocksByPopularity(p, m, n)
+	var swapCands []swapCand
+	if allowSwap {
+		swapCands = swapCandidates(p, m, n)
+	}
+	best := candidate{newPairCost: lm}
+	found := false
+	for _, i := range exclusive {
+		pi := p.PerReplicaPopularity(i)
+		// Any operation that relocates block i improves the pair cost by
+		// at most p_i, and the scan is in descending popularity, so once
+		// p_i falls below the noise floor nothing further can qualify.
+		if pi <= minImprovement*(1+lm) {
+			break
+		}
+		// Try the move first: it is one block transfer instead of two.
+		if p.CanMove(i, m, n) {
+			cost := pairCost(lm-pi, ln+pi)
+			if improves(lm, cost) && cost < best.newPairCost {
+				best = candidate{
+					op:          Op{Kind: moveKind(p, m, n), Block: i, From: m, To: n},
+					newPairCost: cost,
+				}
+				found = true
+			}
+		}
+		// Try swapping i against the best counterpart on n.
+		if !allowSwap {
+			continue
+		}
+		if j, cost, ok := bestSwapCounterpart(p, swapCands, i, pi, m, n, lm, ln); ok {
+			if improves(lm, cost) && cost < best.newPairCost {
+				best = candidate{
+					op:          Op{Kind: swapKind(p, m, n), Block: i, From: m, To: n, OtherBlock: j},
+					newPairCost: cost,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// swapCand is a precomputed swap counterpart on the low machine.
+type swapCand struct {
+	id  BlockID
+	pop float64
+}
+
+// swapCandidates lists blocks on n that m does not hold, sorted by
+// per-replica popularity ascending (ties by ID), the order
+// bestSwapCounterpart's search exploits.
+func swapCandidates(p *Placement, m, n topology.MachineID) []swapCand {
+	var out []swapCand
+	for _, j := range p.BlocksOn(n) {
+		if p.HasReplica(j, m) {
+			continue
+		}
+		out = append(out, swapCand{id: j, pop: p.PerReplicaPopularity(j)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].pop != out[b].pop {
+			return out[a].pop < out[b].pop
+		}
+		return out[a].id < out[b].id
+	})
+	return out
+}
+
+// bestSwapCounterpart finds the block j on n (not on m) that minimizes
+// the post-swap pair cost max(L_m - p_i + p_j, L_n + p_i - p_j). As a
+// function of p_j that cost is V-shaped with minimum at
+// p_j* = p_i - (L_m - L_n)/2, so the search starts at the candidate
+// nearest p_j* and expands outward, stopping a direction as soon as its
+// cost can no longer beat the best found.
+func bestSwapCounterpart(p *Placement, cands []swapCand, i BlockID, pi float64, m, n topology.MachineID, lm, ln float64) (BlockID, float64, bool) {
+	// Only counterparts with p_j < p_i strictly lower m's load.
+	hi := sort.Search(len(cands), func(k int) bool { return cands[k].pop >= pi })
+	if hi == 0 {
+		return 0, 0, false
+	}
+	target := pi - (lm-ln)/2
+	start := sort.Search(hi, func(k int) bool { return cands[k].pop >= target })
+
+	costAt := func(pj float64) float64 { return pairCost(lm-pi+pj, ln+pi-pj) }
+	bestJ := BlockID(-1)
+	bestCost := lm
+	found := false
+	consider := func(k int) bool {
+		c := cands[k]
+		cost := costAt(c.pop)
+		if cost >= bestCost {
+			return false // V-shape: farther candidates on this side are worse
+		}
+		if p.CanSwap(i, m, c.id, n) {
+			bestJ, bestCost, found = c.id, cost, true
+		}
+		return true
+	}
+	for k := start; k < hi; k++ { // rightward from the valley
+		if !consider(k) {
+			break
+		}
+	}
+	for k := start - 1; k >= 0; k-- { // leftward from the valley
+		if !consider(k) {
+			break
+		}
+	}
+	return bestJ, bestCost, found
+}
+
+// exclusiveBlocksByPopularity lists the blocks on m that are not on n,
+// sorted by per-replica popularity descending (ties by ID for
+// determinism).
+func exclusiveBlocksByPopularity(p *Placement, m, n topology.MachineID) []BlockID {
+	var out []BlockID
+	for _, id := range p.BlocksOn(m) {
+		if !p.HasReplica(id, n) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := p.PerReplicaPopularity(out[a]), p.PerReplicaPopularity(out[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+func pairCost(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func moveKind(p *Placement, m, n topology.MachineID) OpKind {
+	if p.Cluster().SameRack(m, n) {
+		return OpMove
+	}
+	return OpRackMove
+}
+
+func swapKind(p *Placement, m, n topology.MachineID) OpKind {
+	if p.Cluster().SameRack(m, n) {
+		return OpSwap
+	}
+	return OpRackSwap
+}
+
+// apply executes a chosen candidate and notifies the observer.
+func applyCandidate(p *Placement, c candidate, opts *SearchOptions, res *SearchResult) error {
+	var err error
+	switch c.op.Kind {
+	case OpMove, OpRackMove:
+		err = p.MoveReplica(c.op.Block, c.op.From, c.op.To)
+	case OpSwap, OpRackSwap:
+		err = p.SwapReplicas(c.op.Block, c.op.From, c.op.OtherBlock, c.op.To)
+	default:
+		err = fmt.Errorf("core: unknown op kind %v", c.op.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("core: applying %v: %w", c.op.Kind, err)
+	}
+	res.Iterations++
+	res.Movements += c.op.BlockMovements()
+	if opts.OnOp != nil {
+		opts.OnOp(c.op)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package client is the user-facing API of the mini distributed file
+// system: create/write/read/delete files, adjust replication factors,
+// and inspect the cluster — the operations the paper's testbed
+// experiment drives against its HDFS prototype.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand/v2"
+	"time"
+
+	"aurora/internal/dfs/proto"
+)
+
+// Errors returned by the client.
+var (
+	ErrNoReplica = errors.New("client: no replica reachable")
+	ErrEmptyFile = errors.New("client: empty write")
+	ErrChecksum  = errors.New("client: checksum mismatch on read")
+)
+
+// checksum matches the datanodes' CRC32C block checksum.
+func checksum(data []byte) uint32 {
+	return crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
+}
+
+// Client talks to one namenode. It is safe for concurrent use (it holds
+// no mutable state beyond the RNG used for replica choice, which is
+// guarded).
+type Client struct {
+	namenode  string
+	blockSize int
+	timeout   time.Duration
+	// LocalDataAddr, when set, identifies the colocated datanode so the
+	// first replica of written blocks lands locally (task-written
+	// blocks, Section V's Algorithm 4).
+	localDataAddr string
+	rng           *lockedRand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithBlockSize overrides the client-side split size in bytes.
+func WithBlockSize(n int) Option {
+	return func(c *Client) { c.blockSize = n }
+}
+
+// WithTimeout overrides the per-RPC timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithLocalDataNode marks this client as colocated with the datanode at
+// addr.
+func WithLocalDataNode(addr string) Option {
+	return func(c *Client) { c.localDataAddr = addr }
+}
+
+// WithSeed makes replica selection deterministic.
+func WithSeed(seed uint64) Option {
+	return func(c *Client) { c.rng = newLockedRand(seed) }
+}
+
+// New creates a client for the namenode at addr.
+func New(namenodeAddr string, opts ...Option) *Client {
+	c := &Client{
+		namenode:  namenodeAddr,
+		blockSize: 1 << 20,
+		timeout:   proto.DefaultTimeout,
+		rng:       newLockedRand(uint64(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Create writes data as a new file with the given replication factor
+// (0 = cluster default). The file is split into blocks of the client's
+// block size and each block is written through its replication pipeline.
+func (c *Client) Create(path string, data []byte, replication int) error {
+	if len(data) == 0 {
+		return ErrEmptyFile
+	}
+	req := &proto.Message{Type: proto.MsgCreateFile, Path: path, Replication: replication}
+	if _, _, err := proto.Call(c.namenode, req, nil, c.timeout); err != nil {
+		return fmt.Errorf("client: create %s: %w", path, err)
+	}
+	for off := 0; off < len(data); off += c.blockSize {
+		end := off + c.blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := c.writeBlock(path, data[off:end]); err != nil {
+			return fmt.Errorf("client: write %s block at %d: %w", path, off, err)
+		}
+	}
+	if _, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgCompleteFile, Path: path}, nil, c.timeout); err != nil {
+		return fmt.Errorf("client: complete %s: %w", path, err)
+	}
+	return nil
+}
+
+func (c *Client) writeBlock(path string, chunk []byte) error {
+	resp, _, err := proto.Call(c.namenode, &proto.Message{
+		Type:     proto.MsgAddBlock,
+		Path:     path,
+		Length:   len(chunk),
+		DataAddr: c.localDataAddr,
+	}, nil, c.timeout)
+	if err != nil {
+		return err
+	}
+	if len(resp.Pipeline) == 0 {
+		return fmt.Errorf("client: namenode returned empty pipeline for block %d", resp.Block)
+	}
+	write := &proto.Message{
+		Type:     proto.MsgWriteBlock,
+		Block:    resp.Block,
+		Pipeline: resp.Pipeline[1:],
+		Length:   len(chunk),
+		Checksum: checksum(chunk),
+	}
+	if _, _, err := proto.Call(resp.Pipeline[0], write, chunk, c.timeout); err != nil {
+		return fmt.Errorf("client: pipeline head %s: %w", resp.Pipeline[0], err)
+	}
+	return nil
+}
+
+// Read fetches the whole file, reading each block from a random replica
+// and failing over to the others.
+func (c *Client) Read(path string) ([]byte, error) {
+	locs, err := c.Locations(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, loc := range locs {
+		data, err := c.readBlock(loc)
+		if err != nil {
+			return nil, fmt.Errorf("client: read %s block %d: %w", path, loc.Block, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Locations asks the namenode where each block of the file lives. Every
+// call counts as one access in the namenode's usage monitor, exactly as
+// Aurora's BlockMap instrumentation counts accesses in the prototype.
+func (c *Client) Locations(path string) ([]proto.BlockLocation, error) {
+	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgGetLocations, Path: path}, nil, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: locations %s: %w", path, err)
+	}
+	return resp.Locations, nil
+}
+
+func (c *Client) readBlock(loc proto.BlockLocation) ([]byte, error) {
+	if len(loc.Addresses) == 0 {
+		return nil, ErrNoReplica
+	}
+	order := c.rng.perm(len(loc.Addresses))
+	var lastErr error
+	for _, i := range order {
+		addr := loc.Addresses[i]
+		resp, data, err := proto.Call(addr, &proto.Message{Type: proto.MsgReadBlock, Block: loc.Block}, nil, c.timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Checksum != 0 && checksum(data) != resp.Checksum {
+			// Transfer corrupted the bytes; another replica may be fine.
+			lastErr = fmt.Errorf("%w: block %d from %s", ErrChecksum, loc.Block, addr)
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
+}
+
+// SetReplication changes the file's replication factor at run time — the
+// HDFS API Aurora drives for dynamic replication.
+func (c *Client) SetReplication(path string, k int) error {
+	_, _, err := proto.Call(c.namenode, &proto.Message{
+		Type:        proto.MsgSetRepl,
+		Path:        path,
+		Replication: k,
+	}, nil, c.timeout)
+	if err != nil {
+		return fmt.Errorf("client: set replication %s: %w", path, err)
+	}
+	return nil
+}
+
+// Delete removes the file; replicas are reaped lazily by the namenode.
+func (c *Client) Delete(path string) error {
+	if _, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgDeleteFile, Path: path}, nil, c.timeout); err != nil {
+		return fmt.Errorf("client: delete %s: %w", path, err)
+	}
+	return nil
+}
+
+// List returns metadata for all files.
+func (c *Client) List() ([]proto.FileInfo, error) {
+	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgListFiles}, nil, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: list: %w", err)
+	}
+	return resp.Files, nil
+}
+
+// Stat returns metadata for one file.
+func (c *Client) Stat(path string) (proto.FileInfo, error) {
+	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgStatFile, Path: path}, nil, c.timeout)
+	if err != nil {
+		return proto.FileInfo{}, fmt.Errorf("client: stat %s: %w", path, err)
+	}
+	if len(resp.Files) != 1 {
+		return proto.FileInfo{}, fmt.Errorf("client: stat %s: malformed response", path)
+	}
+	return resp.Files[0], nil
+}
+
+// Fsck returns the namenode's health report: desired-versus-confirmed
+// replica accounting and the reconcile backlog.
+func (c *Client) Fsck() (proto.HealthReport, error) {
+	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgFsck}, nil, c.timeout)
+	if err != nil {
+		return proto.HealthReport{}, fmt.Errorf("client: fsck: %w", err)
+	}
+	if resp.Health == nil {
+		return proto.HealthReport{}, fmt.Errorf("client: fsck: empty report")
+	}
+	return *resp.Health, nil
+}
+
+// Decommission asks the namenode to gracefully drain a datanode; poll
+// ClusterInfo until it reports Decommissioned before stopping the
+// process.
+func (c *Client) Decommission(node proto.NodeID) error {
+	if _, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgDecommission, Node: node}, nil, c.timeout); err != nil {
+		return fmt.Errorf("client: decommission node %d: %w", node, err)
+	}
+	return nil
+}
+
+// ClusterInfo returns per-datanode state.
+func (c *Client) ClusterInfo() ([]proto.NodeInfo, error) {
+	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgClusterInfo}, nil, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: cluster info: %w", err)
+	}
+	return resp.Nodes, nil
+}
+
+// lockedRand is a tiny concurrency-safe wrapper over rand.Rand.
+type lockedRand struct {
+	ch chan *rand.Rand
+}
+
+func newLockedRand(seed uint64) *lockedRand {
+	ch := make(chan *rand.Rand, 1)
+	ch <- rand.New(rand.NewPCG(seed, seed^0xc11e57))
+	return &lockedRand{ch: ch}
+}
+
+func (l *lockedRand) perm(n int) []int {
+	r := <-l.ch
+	p := r.Perm(n)
+	l.ch <- r
+	return p
+}

@@ -1,0 +1,284 @@
+// Package datanode implements the storage node of the mini distributed
+// file system: it stores block replicas, serves block reads and pipeline
+// writes, sends heartbeats to the namenode, and executes the
+// replicate/delete commands the namenode piggybacks on heartbeat
+// responses — the same division of labour as an HDFS datanode
+// (Section II of the paper).
+package datanode
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"aurora/internal/dfs/proto"
+)
+
+// Config parameterizes a datanode.
+type Config struct {
+	// NameNodeAddr is the namenode's control address.
+	NameNodeAddr string
+	// Rack is the rack this node lives in.
+	Rack int
+	// CapacityBlocks bounds how many block replicas the node stores.
+	CapacityBlocks int
+	// HeartbeatInterval defaults to 200ms (fast, suited to tests and the
+	// loopback testbed).
+	HeartbeatInterval time.Duration
+	// Timeout bounds individual RPCs.
+	Timeout time.Duration
+	// ListenAddr defaults to 127.0.0.1:0.
+	ListenAddr string
+	// DataDir, when set, persists blocks as files under this directory
+	// (checksummed, crash-safe); empty keeps blocks in memory.
+	DataDir string
+	// CompressTransfers gzips replication transfers between datanodes —
+	// the compression optimization the paper cites for making block
+	// movement overhead acceptable. Client writes are never compressed.
+	CompressTransfers bool
+}
+
+// Errors returned by the datanode.
+var (
+	ErrBlockNotFound = errors.New("datanode: block not found")
+	ErrStoreFull     = errors.New("datanode: store at capacity")
+	ErrClosed        = errors.New("datanode: closed")
+)
+
+// DataNode is a running storage node.
+type DataNode struct {
+	cfg    Config
+	id     proto.NodeID
+	server *proto.Server
+	store  BlockStore
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches a datanode: it listens for data transfers, registers
+// with the namenode, and begins heartbeating.
+func Start(cfg Config) (*DataNode, error) {
+	if cfg.NameNodeAddr == "" {
+		return nil, errors.New("datanode: NameNodeAddr required")
+	}
+	if cfg.CapacityBlocks <= 0 {
+		return nil, errors.New("datanode: CapacityBlocks must be positive")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 200 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = proto.DefaultTimeout
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	var store BlockStore
+	if cfg.DataDir != "" {
+		ds, err := newDiskStore(cfg.DataDir, cfg.CapacityBlocks)
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	} else {
+		store = newMemStore(cfg.CapacityBlocks)
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("datanode: listen: %w", err)
+	}
+	dn := &DataNode{
+		cfg:   cfg,
+		store: store,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	dn.server = proto.Serve(ln, dn.handle, cfg.Timeout)
+
+	resp, _, err := proto.Call(cfg.NameNodeAddr, &proto.Message{
+		Type:     proto.MsgRegister,
+		DataAddr: dn.server.Addr(),
+		Rack:     cfg.Rack,
+		Capacity: cfg.CapacityBlocks,
+	}, nil, cfg.Timeout)
+	if err != nil {
+		dn.server.Close()
+		return nil, fmt.Errorf("datanode: register: %w", err)
+	}
+	dn.id = resp.Node
+
+	go dn.heartbeatLoop()
+	return dn, nil
+}
+
+// ID returns the namenode-assigned node ID.
+func (dn *DataNode) ID() proto.NodeID { return dn.id }
+
+// Addr returns the node's data-transfer address.
+func (dn *DataNode) Addr() string { return dn.server.Addr() }
+
+// NumBlocks reports how many replicas the node currently stores.
+func (dn *DataNode) NumBlocks() int { return dn.store.Len() }
+
+// HasBlock reports whether the node stores block id.
+func (dn *DataNode) HasBlock(id proto.BlockID) bool { return dn.store.Has(id) }
+
+// CorruptBlock overwrites a stored replica's bytes in place WITHOUT
+// updating its checksum — a fault-injection hook for tests; subsequent
+// reads fail with ErrCorrupt.
+func (dn *DataNode) CorruptBlock(id proto.BlockID) error {
+	data, err := dn.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("datanode: block %d empty", id)
+	}
+	data[0] ^= 0xFF
+	c, ok := dn.store.(interface {
+		corrupt(proto.BlockID, []byte) error
+	})
+	if !ok {
+		return fmt.Errorf("datanode: store does not support fault injection")
+	}
+	return c.corrupt(id, data)
+}
+
+// Close stops the heartbeat loop and the data server.
+func (dn *DataNode) Close() error {
+	select {
+	case <-dn.stop:
+		return ErrClosed
+	default:
+	}
+	close(dn.stop)
+	<-dn.done
+	return dn.server.Close()
+}
+
+// handle dispatches one data-plane request.
+func (dn *DataNode) handle(req *proto.Message, payload []byte) (*proto.Message, []byte) {
+	switch req.Type {
+	case proto.MsgWriteBlock:
+		return dn.handleWrite(req, payload)
+	case proto.MsgReadBlock:
+		return dn.handleRead(req)
+	default:
+		return proto.ErrorMessage(fmt.Errorf("datanode: unexpected message %q", req.Type)), nil
+	}
+}
+
+// handleWrite verifies, stores and forwards the block down the
+// remaining pipeline, HDFS-style: each node persists its copy before
+// forwarding, and reports the received block to the namenode. Compressed
+// transfers (inter-datanode replication) are decompressed and
+// checksum-verified before storage, so corruption never propagates.
+func (dn *DataNode) handleWrite(req *proto.Message, payload []byte) (*proto.Message, []byte) {
+	data, err := proto.Decompress(payload, req.Encoding)
+	if err != nil {
+		return proto.ErrorMessage(err), nil
+	}
+	if req.Checksum != 0 && Checksum(data) != req.Checksum {
+		return proto.ErrorMessage(fmt.Errorf("%w: block %d on write", ErrCorrupt, req.Block)), nil
+	}
+	if err := dn.store.Put(req.Block, data); err != nil {
+		return proto.ErrorMessage(err), nil
+	}
+	dn.reportReceived(req.Block)
+	if len(req.Pipeline) > 0 {
+		next := req.Pipeline[0]
+		fwd := &proto.Message{
+			Type:     proto.MsgWriteBlock,
+			Block:    req.Block,
+			Pipeline: req.Pipeline[1:],
+			Length:   len(data),
+			Checksum: req.Checksum,
+		}
+		if _, _, err := proto.Call(next, fwd, data, dn.cfg.Timeout); err != nil {
+			// The local copy is durable and reported; surface the
+			// pipeline failure so the writer can decide. The namenode's
+			// replication manager will repair the replica count.
+			return proto.ErrorMessage(fmt.Errorf("datanode: pipeline to %s: %w", next, err)), nil
+		}
+	}
+	return &proto.Message{Type: proto.MsgOK, Block: req.Block, Length: len(data), Checksum: Checksum(data)}, nil
+}
+
+func (dn *DataNode) handleRead(req *proto.Message) (*proto.Message, []byte) {
+	data, err := dn.store.Get(req.Block)
+	if err != nil {
+		return proto.ErrorMessage(err), nil
+	}
+	return &proto.Message{Type: proto.MsgOK, Block: req.Block, Length: len(data), Checksum: Checksum(data)}, data
+}
+
+// heartbeatLoop sends periodic heartbeats carrying a full block report
+// and executes any commands the namenode returns.
+func (dn *DataNode) heartbeatLoop() {
+	defer close(dn.done)
+	ticker := time.NewTicker(dn.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-dn.stop:
+			return
+		case <-ticker.C:
+			dn.heartbeatOnce()
+		}
+	}
+}
+
+func (dn *DataNode) heartbeatOnce() {
+	resp, _, err := proto.Call(dn.cfg.NameNodeAddr, &proto.Message{
+		Type:   proto.MsgHeartbeat,
+		Node:   dn.id,
+		Blocks: dn.store.List(),
+	}, nil, dn.cfg.Timeout)
+	if err != nil {
+		return // namenode briefly unreachable; try again next tick
+	}
+	for _, cmd := range resp.Commands {
+		dn.execute(cmd)
+	}
+}
+
+// execute runs one namenode command synchronously. Commands are issued
+// at heartbeat cadence, so at most one batch is in flight per node.
+func (dn *DataNode) execute(cmd proto.Command) {
+	switch cmd.Kind {
+	case proto.CmdReplicate:
+		data, err := dn.store.Get(cmd.Block)
+		if err != nil {
+			return // replica vanished; the namenode will reassign
+		}
+		msg := &proto.Message{Type: proto.MsgWriteBlock, Block: cmd.Block, Length: len(data), Checksum: Checksum(data)}
+		wire := data
+		if dn.cfg.CompressTransfers {
+			compressed, encoding, err := proto.Compress(data)
+			if err == nil {
+				wire, msg.Encoding = compressed, encoding
+			}
+		}
+		_, _, _ = proto.Call(cmd.Target, msg, wire, dn.cfg.Timeout)
+		// The receiving node reports MsgBlockReceived itself.
+	case proto.CmdDelete:
+		if dn.store.Delete(cmd.Block) {
+			_, _, _ = proto.Call(dn.cfg.NameNodeAddr, &proto.Message{
+				Type:  proto.MsgBlockDeleted,
+				Node:  dn.id,
+				Block: cmd.Block,
+			}, nil, dn.cfg.Timeout)
+		}
+	}
+}
+
+// reportReceived tells the namenode a block replica landed here.
+func (dn *DataNode) reportReceived(id proto.BlockID) {
+	_, _, _ = proto.Call(dn.cfg.NameNodeAddr, &proto.Message{
+		Type:  proto.MsgBlockReceived,
+		Node:  dn.id,
+		Block: id,
+	}, nil, dn.cfg.Timeout)
+}

@@ -1,0 +1,152 @@
+package namenode
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/dfs/proto"
+	"aurora/internal/topology"
+)
+
+// Decommission starts draining a datanode: replicas it holds are copied
+// to other machines first, then released, so availability and rack
+// spread never dip (unlike a crash, which loses a replica before
+// re-replication starts). Once the node stores nothing it is reported
+// decommissioned and can be stopped safely. The drain is driven by the
+// reconcile loop; poll ClusterInfo/fsck or WaitDecommissioned for
+// completion.
+func (nn *NameNode) Decommission(id proto.NodeID) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if !nn.ready {
+		return ErrNotReady
+	}
+	node, err := nn.nodeLocked(id)
+	if err != nil {
+		return err
+	}
+	if !node.alive {
+		return fmt.Errorf("%w: node %d is dead", ErrBadRequest, id)
+	}
+	// Refuse drains that cannot complete: every block on the node must
+	// be re-homeable on the remaining live, non-draining machines.
+	live := 0
+	for _, n := range nn.nodes {
+		if n.alive && !n.draining && n.id != id {
+			live++
+		}
+	}
+	m := topology.MachineID(id)
+	for _, b := range nn.placement.BlocksOn(m) {
+		spec, err := nn.placement.Spec(b)
+		if err != nil {
+			continue
+		}
+		if spec.MinReplicas > live {
+			return fmt.Errorf("%w: block %d needs %d replicas but only %d nodes would remain",
+				ErrBadRequest, b, spec.MinReplicas, live)
+		}
+	}
+	node.draining = true
+	return nil
+}
+
+// WaitDecommissioned polls until the node finished draining or the
+// timeout elapses.
+func (nn *NameNode) WaitDecommissioned(id proto.NodeID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		nn.mu.Lock()
+		node, err := nn.nodeLocked(id)
+		done := err == nil && node.decommissioned
+		nn.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("namenode: node %d not decommissioned after %v", id, timeout)
+}
+
+// drainLocked advances every draining node: desired replicas on the node
+// get replacements elsewhere, are released once the block is safe
+// without them, and the node flips to decommissioned when empty. Runs
+// from the reconcile loop.
+func (nn *NameNode) drainLocked() {
+	for _, node := range nn.nodes {
+		if !node.draining || node.decommissioned || !node.alive {
+			continue
+		}
+		m := topology.MachineID(node.id)
+		for _, id := range nn.placement.BlocksOn(m) {
+			nn.drainBlockLocked(id, node)
+		}
+		// Decommissioned once the node neither is desired to hold
+		// anything nor physically holds anything.
+		if nn.placement.Used(m) == 0 && !nn.nodeHoldsAnythingLocked(node.id) {
+			node.decommissioned = true
+		}
+	}
+}
+
+// drainBlockLocked moves one desired replica off a draining node: first
+// ensure enough healthy (live, non-draining, confirmed-eventually)
+// replicas exist elsewhere with the required rack spread, then drop the
+// draining one from the desired state so reconciliation deletes the
+// physical copy.
+func (nn *NameNode) drainBlockLocked(id core.BlockID, node *nodeState) {
+	m := topology.MachineID(node.id)
+	spec, err := nn.placement.Spec(id)
+	if err != nil {
+		return
+	}
+	healthy := 0
+	healthyConfirmed := 0
+	racks := make(map[topology.RackID]bool)
+	for _, h := range nn.placement.Replicas(id) {
+		if h == m {
+			continue
+		}
+		hn := nn.nodes[h]
+		if !hn.alive || hn.draining {
+			continue
+		}
+		healthy++
+		if nn.confirmed[proto.BlockID(id)][hn.id] {
+			healthyConfirmed++
+		}
+		if r, err := nn.cluster.RackOf(h); err == nil {
+			racks[r] = true
+		}
+	}
+	if healthy < spec.MinReplicas || len(racks) < spec.MinRacks {
+		// Not yet safe: add a replacement home (prefers new racks while
+		// spread is short). chooseAliveTargetLocked skips draining
+		// nodes, so replacements never land on a departing machine.
+		if t, ok := nn.chooseAliveTargetLocked(id); ok {
+			_ = nn.placement.AddReplica(id, t)
+		}
+		return
+	}
+	if healthyConfirmed < spec.MinReplicas {
+		return // replacements chosen but data not copied yet; wait
+	}
+	// Safe: release the draining replica from the desired state. The
+	// convergence pass deletes the physical copy.
+	_ = nn.placement.RemoveReplica(id, m)
+}
+
+// nodeHoldsAnythingLocked reports whether any confirmed replica still
+// lives on the node.
+func (nn *NameNode) nodeHoldsAnythingLocked(id proto.NodeID) bool {
+	for _, holders := range nn.confirmed {
+		if holders[id] {
+			return true
+		}
+	}
+	return false
+}

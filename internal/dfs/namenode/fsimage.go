@@ -1,0 +1,229 @@
+package namenode
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"aurora/internal/core"
+	"aurora/internal/dfs/proto"
+	"aurora/internal/topology"
+)
+
+// The fsimage is the namenode's persistent metadata checkpoint, the
+// equivalent of HDFS's fsimage: node registry, file table and the
+// desired placement. Confirmed replica locations are deliberately NOT
+// persisted — they rebuild from block reports within a heartbeat
+// interval of restart, exactly as in HDFS.
+
+// ErrBadFsImage reports a corrupt or incompatible checkpoint.
+var ErrBadFsImage = errors.New("namenode: bad fsimage")
+
+// fsImageVersion guards against loading checkpoints from incompatible
+// builds.
+const fsImageVersion = 1
+
+type fsImage struct {
+	Version   int            `json:"version"`
+	Racks     int            `json:"racks"`
+	NextBlock proto.BlockID  `json:"nextBlock"`
+	Nodes     []fsImageNode  `json:"nodes"`
+	Files     []fsImageFile  `json:"files"`
+	Blocks    []fsImageBlock `json:"blocks"`
+}
+
+type fsImageNode struct {
+	ID       proto.NodeID `json:"id"`
+	Addr     string       `json:"addr"`
+	Rack     int          `json:"rack"`
+	Capacity int          `json:"capacity"`
+	Draining bool         `json:"draining,omitempty"`
+}
+
+type fsImageFile struct {
+	Path        string          `json:"path"`
+	Blocks      []proto.BlockID `json:"blocks"`
+	Lengths     []int           `json:"lengths"`
+	Replication int             `json:"replication"`
+	MinRacks    int             `json:"minRacks"`
+	Complete    bool            `json:"complete"`
+}
+
+type fsImageBlock struct {
+	ID          proto.BlockID  `json:"id"`
+	Popularity  float64        `json:"popularity"`
+	MinReplicas int            `json:"minReplicas"`
+	MinRacks    int            `json:"minRacks"`
+	Desired     []proto.NodeID `json:"desired"`
+}
+
+// SaveFsImage writes the metadata checkpoint to path atomically
+// (write-then-rename).
+func (nn *NameNode) SaveFsImage(path string) error {
+	nn.mu.Lock()
+	img, err := nn.buildFsImageLocked()
+	nn.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(img, "", " ")
+	if err != nil {
+		return fmt.Errorf("namenode: marshal fsimage: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("namenode: write fsimage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("namenode: commit fsimage: %w", err)
+	}
+	return nil
+}
+
+func (nn *NameNode) buildFsImageLocked() (*fsImage, error) {
+	if !nn.ready {
+		return nil, ErrNotReady
+	}
+	img := &fsImage{
+		Version:   fsImageVersion,
+		Racks:     nn.cfg.Racks,
+		NextBlock: nn.nextBlock,
+	}
+	for _, n := range nn.nodes {
+		img.Nodes = append(img.Nodes, fsImageNode{
+			ID:       n.id,
+			Addr:     n.addr,
+			Rack:     n.rack,
+			Capacity: n.capacity,
+			Draining: n.draining && !n.decommissioned,
+		})
+	}
+	for _, path := range sortedFilePathsLocked(nn.files) {
+		f := nn.files[path]
+		ff := fsImageFile{
+			Path:        f.path,
+			Blocks:      append([]proto.BlockID(nil), f.blocks...),
+			Replication: f.replication,
+			MinRacks:    f.minRacks,
+			Complete:    f.complete,
+		}
+		for _, b := range f.blocks {
+			ff.Lengths = append(ff.Lengths, f.lengths[b])
+		}
+		img.Files = append(img.Files, ff)
+	}
+	for _, id := range nn.placement.Blocks() {
+		spec, err := nn.placement.Spec(id)
+		if err != nil {
+			return nil, err
+		}
+		fb := fsImageBlock{
+			ID:          proto.BlockID(id),
+			Popularity:  spec.Popularity,
+			MinReplicas: spec.MinReplicas,
+			MinRacks:    spec.MinRacks,
+		}
+		for _, m := range nn.placement.Replicas(id) {
+			fb.Desired = append(fb.Desired, proto.NodeID(m))
+		}
+		img.Blocks = append(img.Blocks, fb)
+	}
+	return img, nil
+}
+
+// loadFsImage restores a checkpoint into a freshly-started namenode:
+// the node registry and topology are rebuilt (nodes start dead and
+// revive on their next heartbeat), files and the desired placement are
+// restored, and the cluster is immediately ready. Confirmations rebuild
+// from block reports.
+func (nn *NameNode) loadFsImage(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("namenode: read fsimage: %w", err)
+	}
+	var img fsImage
+	if err := json.Unmarshal(raw, &img); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFsImage, err)
+	}
+	if img.Version != fsImageVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadFsImage, img.Version, fsImageVersion)
+	}
+	if len(img.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrBadFsImage)
+	}
+
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.cfg.Racks = img.Racks
+	nn.cfg.ExpectedNodes = len(img.Nodes)
+	for i, n := range img.Nodes {
+		if int(n.ID) != i {
+			return fmt.Errorf("%w: non-dense node ids", ErrBadFsImage)
+		}
+		nn.nodes = append(nn.nodes, &nodeState{
+			id:       n.ID,
+			addr:     n.Addr,
+			rack:     n.Rack,
+			capacity: n.Capacity,
+			lastSeen: nn.clock(),
+			// Nodes revive on their first heartbeat; starting alive
+			// gives them one DeadTimeout of grace.
+			alive:    true,
+			draining: n.Draining,
+		})
+	}
+	if err := nn.buildClusterLocked(); err != nil {
+		return err
+	}
+	for _, fb := range img.Blocks {
+		if err := nn.placement.AddBlock(core.BlockSpec{
+			ID:          core.BlockID(fb.ID),
+			Popularity:  fb.Popularity,
+			MinReplicas: fb.MinReplicas,
+			MinRacks:    fb.MinRacks,
+		}); err != nil {
+			return fmt.Errorf("%w: block %d: %v", ErrBadFsImage, fb.ID, err)
+		}
+		for _, n := range fb.Desired {
+			if err := nn.placement.AddReplica(core.BlockID(fb.ID), topology.MachineID(n)); err != nil {
+				return fmt.Errorf("%w: replica of %d on %d: %v", ErrBadFsImage, fb.ID, n, err)
+			}
+		}
+	}
+	for _, ff := range img.Files {
+		if len(ff.Lengths) != len(ff.Blocks) {
+			return fmt.Errorf("%w: file %s lengths mismatch", ErrBadFsImage, ff.Path)
+		}
+		f := &fileMeta{
+			path:        ff.Path,
+			blocks:      append([]proto.BlockID(nil), ff.Blocks...),
+			lengths:     make(map[proto.BlockID]int, len(ff.Blocks)),
+			replication: ff.Replication,
+			minRacks:    ff.MinRacks,
+			complete:    ff.Complete,
+		}
+		for i, b := range ff.Blocks {
+			f.lengths[b] = ff.Lengths[i]
+		}
+		nn.files[ff.Path] = f
+	}
+	nn.nextBlock = img.NextBlock
+	nn.ready = true
+	return nil
+}
+
+// sortedFilePathsLocked returns file paths in ascending order for
+// deterministic checkpoints.
+func sortedFilePathsLocked(files map[string]*fileMeta) []string {
+	out := make([]string, 0, len(files))
+	for p := range files {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; file tables are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package namenode
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aurora/internal/dfs/proto"
+)
+
+func TestFsImageRoundTripUnit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img.json")
+	nn := startNN(t, 2, 2)
+	a := registerFake(t, nn, 0, "a:1")
+	b := registerFake(t, nn, 1, "b:1")
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgCreateFile, Path: "/f", Replication: 2}, nil, time.Second); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgAddBlock, Path: "/f", Length: 9}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("add block: %v", err)
+	}
+	blk := resp.Block
+	a.received(blk)
+	b.received(blk)
+	if err := nn.SaveFsImage(path); err != nil {
+		t.Fatalf("SaveFsImage: %v", err)
+	}
+
+	// Restore into a fresh namenode.
+	nn2, err := Start(Config{
+		ExpectedNodes:     1, // overwritten by the checkpoint
+		Racks:             2,
+		ReconcileInterval: 10 * time.Millisecond,
+		FsImagePath:       path,
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	t.Cleanup(func() { _ = nn2.Close() })
+	if !nn2.Ready() {
+		t.Fatal("restored namenode not ready")
+	}
+	p, err := nn2.PlacementClone()
+	if err != nil {
+		t.Fatalf("PlacementClone: %v", err)
+	}
+	if p.NumBlocks() != 1 || p.ReplicaCount(1) != 2 {
+		t.Errorf("restored placement wrong: %d blocks, %d replicas", p.NumBlocks(), p.ReplicaCount(1))
+	}
+	// File metadata present.
+	r, _, err := proto.Call(nn2.Addr(), &proto.Message{Type: proto.MsgStatFile, Path: "/f"}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if r.Files[0].Blocks != 1 || r.Files[0].Length != 9 {
+		t.Errorf("restored file = %+v", r.Files[0])
+	}
+}
+
+func TestSaveFsImageNotReady(t *testing.T) {
+	nn := startNN(t, 2, 2) // never becomes ready
+	if err := nn.SaveFsImage(filepath.Join(t.TempDir(), "x.json")); !errors.Is(err, ErrNotReady) {
+		t.Errorf("err = %v, want ErrNotReady", err)
+	}
+}
+
+func TestLoadFsImageErrors(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Start(Config{ExpectedNodes: 1, FsImagePath: garbage}); !errors.Is(err, ErrBadFsImage) {
+		t.Errorf("garbage err = %v, want ErrBadFsImage", err)
+	}
+	wrongVersion := filepath.Join(dir, "v99.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"version":99,"nodes":[{"id":0,"addr":"a","rack":0,"capacity":1}]}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Start(Config{ExpectedNodes: 1, FsImagePath: wrongVersion}); !errors.Is(err, ErrBadFsImage) {
+		t.Errorf("version err = %v, want ErrBadFsImage", err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"version":1}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Start(Config{ExpectedNodes: 1, FsImagePath: empty}); !errors.Is(err, ErrBadFsImage) {
+		t.Errorf("no-nodes err = %v, want ErrBadFsImage", err)
+	}
+	// Missing file is fine: a fresh cluster forms and checkpoints there.
+	fresh := filepath.Join(dir, "fresh.json")
+	nn, err := Start(Config{ExpectedNodes: 1, Racks: 1, DefaultMinRacks: 1, FsImagePath: fresh})
+	if err != nil {
+		t.Fatalf("fresh start: %v", err)
+	}
+	_ = nn.Close()
+}

@@ -1,0 +1,826 @@
+// Package namenode implements the metadata service of the mini
+// distributed file system, mirroring the HDFS architecture the paper
+// builds on (Section II): a single namenode owns the directory tree and
+// the block map, datanodes register and heartbeat, and replica placement
+// is a pluggable policy — the hook Aurora patches in HDFS.
+//
+// The namenode keeps the *desired* placement as a core.Placement and the
+// *actual* replica locations as per-block confirmation sets fed by
+// datanode block reports. A reconcile loop converges reality toward
+// desire by piggybacking replicate/delete commands on heartbeat
+// responses; Aurora's optimizer simply mutates the desired placement
+// (via core.Optimize) and lets reconciliation carry the blocks.
+package namenode
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"aurora/internal/baseline"
+	"aurora/internal/core"
+	"aurora/internal/dfs/proto"
+	"aurora/internal/popularity"
+	"aurora/internal/topology"
+)
+
+// Errors returned by the namenode.
+var (
+	ErrNotReady     = errors.New("namenode: cluster not ready (datanodes still registering)")
+	ErrFileExists   = errors.New("namenode: file exists")
+	ErrFileNotFound = errors.New("namenode: file not found")
+	ErrFileComplete = errors.New("namenode: file is complete")
+	ErrBadRequest   = errors.New("namenode: bad request")
+	ErrClosed       = errors.New("namenode: closed")
+)
+
+// Placer chooses initial replica locations for a new block, recording
+// them in the desired placement.
+type Placer interface {
+	Place(p *core.Placement, id core.BlockID, k int, writer topology.MachineID) error
+}
+
+// HDFSPlacer is the default random policy (Section II).
+type HDFSPlacer struct {
+	policy *baseline.HDFSPolicy
+}
+
+// NewHDFSPlacer builds the random placer with a deterministic seed.
+func NewHDFSPlacer(seed uint64) (*HDFSPlacer, error) {
+	pol, err := baseline.NewHDFSPolicy(rand.New(rand.NewPCG(seed, seed^0xfeed)))
+	if err != nil {
+		return nil, err
+	}
+	return &HDFSPlacer{policy: pol}, nil
+}
+
+// Place implements Placer.
+func (h *HDFSPlacer) Place(p *core.Placement, id core.BlockID, k int, writer topology.MachineID) error {
+	return h.policy.Place(p, id, k, writer)
+}
+
+// AuroraPlacer is Algorithm 4: greedy load-aware initial placement.
+type AuroraPlacer struct{}
+
+// Place implements Placer.
+func (AuroraPlacer) Place(p *core.Placement, id core.BlockID, k int, writer topology.MachineID) error {
+	return core.InitialPlace(p, id, k, writer)
+}
+
+// Config parameterizes a namenode.
+type Config struct {
+	// ExpectedNodes is how many datanodes must register before the
+	// cluster serves writes.
+	ExpectedNodes int
+	// Racks is the number of racks datanodes may declare.
+	Racks int
+	// DefaultReplication and DefaultMinRacks apply to files created
+	// without explicit values (HDFS default: 3 replicas over 2 racks).
+	DefaultReplication int
+	DefaultMinRacks    int
+	// BlockSize is the maximum block size in bytes files are split into.
+	BlockSize int
+	// SlotsPerNode is recorded in the topology for schedulers built on
+	// top (the namenode itself does not run tasks).
+	SlotsPerNode int
+	// DeadTimeout declares a datanode dead after this long without a
+	// heartbeat.
+	DeadTimeout time.Duration
+	// ReconcileInterval is the period of the reconcile loop.
+	ReconcileInterval time.Duration
+	// WindowBucket and WindowBuckets define the usage monitor's sliding
+	// window W = WindowBucket * WindowBuckets.
+	WindowBucket  time.Duration
+	WindowBuckets int
+	// Placer chooses initial block locations; nil means HDFS random.
+	Placer Placer
+	// Seed feeds the default placer.
+	Seed uint64
+	// Timeout bounds RPC handling.
+	Timeout time.Duration
+	// ListenAddr defaults to 127.0.0.1:0.
+	ListenAddr string
+	// FsImagePath, when set, persists the metadata checkpoint there: an
+	// existing checkpoint is loaded at startup (datanodes resume via
+	// their regular heartbeats) and the namenode re-saves it on every
+	// CheckpointInterval and on Close.
+	FsImagePath string
+	// CheckpointInterval defaults to 30s.
+	CheckpointInterval time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.ExpectedNodes <= 0 {
+		return c, fmt.Errorf("%w: ExpectedNodes must be positive", ErrBadRequest)
+	}
+	if c.Racks <= 0 {
+		c.Racks = 1
+	}
+	if c.DefaultReplication <= 0 {
+		c.DefaultReplication = 3
+	}
+	if c.DefaultMinRacks <= 0 {
+		c.DefaultMinRacks = 2
+	}
+	if c.DefaultMinRacks > c.Racks {
+		c.DefaultMinRacks = c.Racks
+	}
+	if c.DefaultMinRacks > c.DefaultReplication {
+		return c, fmt.Errorf("%w: DefaultMinRacks %d > DefaultReplication %d",
+			ErrBadRequest, c.DefaultMinRacks, c.DefaultReplication)
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1 << 20
+	}
+	if c.SlotsPerNode <= 0 {
+		c.SlotsPerNode = 4
+	}
+	if c.DeadTimeout <= 0 {
+		c.DeadTimeout = 2 * time.Second
+	}
+	if c.ReconcileInterval <= 0 {
+		c.ReconcileInterval = 100 * time.Millisecond
+	}
+	if c.WindowBucket <= 0 {
+		c.WindowBucket = time.Minute
+	}
+	if c.WindowBuckets <= 0 {
+		c.WindowBuckets = 2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = proto.DefaultTimeout
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	return c, nil
+}
+
+type nodeState struct {
+	id       proto.NodeID
+	addr     string
+	rack     int
+	capacity int
+	lastSeen time.Time
+	alive    bool
+	// draining marks a node being decommissioned: its replicas migrate
+	// elsewhere and it receives no new data.
+	draining bool
+	// decommissioned means draining completed and the node is empty.
+	decommissioned bool
+}
+
+type fileMeta struct {
+	path        string
+	blocks      []proto.BlockID
+	lengths     map[proto.BlockID]int
+	replication int
+	minRacks    int
+	complete    bool
+}
+
+// inflightKey tracks an outstanding replicate command.
+type inflightKey struct {
+	block proto.BlockID
+	node  proto.NodeID
+}
+
+// NameNode is a running metadata service.
+type NameNode struct {
+	cfg    Config
+	server *proto.Server
+
+	mu        sync.Mutex
+	nodes     []*nodeState
+	ready     bool
+	cluster   *topology.Cluster
+	placement *core.Placement
+	files     map[string]*fileMeta
+	nextBlock proto.BlockID
+	// confirmed[b] is the set of nodes that actually hold block b
+	// according to block reports.
+	confirmed map[proto.BlockID]map[proto.NodeID]bool
+	// tombstones are deleted blocks whose replicas still need reaping.
+	tombstones map[proto.BlockID]bool
+	// pending commands per node, delivered on its next heartbeat.
+	pendingCmds map[proto.NodeID][]proto.Command
+	// inflight replication commands with issue time, to avoid
+	// re-issuing every reconcile tick.
+	inflight map[inflightKey]time.Time
+	// moveDurations records issue-to-confirmation latency of completed
+	// replica transfers (Figure 6c of the paper measures exactly this).
+	moveDurations []time.Duration
+	// commandsIssued counts replicate/delete commands by kind.
+	commandsIssued map[proto.CommandKind]int64
+
+	monitor *popularity.Monitor[core.BlockID]
+	clock   func() time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the namenode.
+func Start(cfg Config) (*NameNode, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	mon, err := popularity.NewMonitor[core.BlockID](int64(cfg.WindowBucket), cfg.WindowBuckets)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Placer == nil {
+		placer, err := NewHDFSPlacer(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Placer = placer
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("namenode: listen: %w", err)
+	}
+	nn := &NameNode{
+		cfg:            cfg,
+		files:          make(map[string]*fileMeta),
+		nextBlock:      1,
+		confirmed:      make(map[proto.BlockID]map[proto.NodeID]bool),
+		tombstones:     make(map[proto.BlockID]bool),
+		pendingCmds:    make(map[proto.NodeID][]proto.Command),
+		inflight:       make(map[inflightKey]time.Time),
+		commandsIssued: make(map[proto.CommandKind]int64),
+		monitor:        mon,
+		clock:          time.Now,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	if cfg.FsImagePath != "" {
+		if _, statErr := os.Stat(cfg.FsImagePath); statErr == nil {
+			if err := nn.loadFsImage(cfg.FsImagePath); err != nil {
+				ln.Close()
+				return nil, err
+			}
+		} else if !errors.Is(statErr, os.ErrNotExist) {
+			ln.Close()
+			return nil, fmt.Errorf("namenode: stat fsimage: %w", statErr)
+		}
+	}
+	nn.server = proto.Serve(ln, nn.handle, cfg.Timeout)
+	go nn.reconcileLoop()
+	return nn, nil
+}
+
+// Addr returns the namenode's control address.
+func (nn *NameNode) Addr() string { return nn.server.Addr() }
+
+// Close stops the reconcile loop and the server.
+func (nn *NameNode) Close() error {
+	select {
+	case <-nn.stop:
+		return ErrClosed
+	default:
+	}
+	close(nn.stop)
+	<-nn.done
+	err := nn.server.Close()
+	if nn.cfg.FsImagePath != "" && nn.Ready() {
+		if saveErr := nn.SaveFsImage(nn.cfg.FsImagePath); saveErr != nil && err == nil {
+			err = saveErr
+		}
+	}
+	return err
+}
+
+// Ready reports whether all expected datanodes have registered.
+func (nn *NameNode) Ready() bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.ready
+}
+
+// WaitReady blocks until the cluster is ready or the timeout elapses.
+func (nn *NameNode) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if nn.Ready() {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("namenode: %w after %v", ErrNotReady, timeout)
+}
+
+// handle dispatches one control request.
+func (nn *NameNode) handle(req *proto.Message, _ []byte) (*proto.Message, []byte) {
+	var (
+		resp *proto.Message
+		err  error
+	)
+	switch req.Type {
+	case proto.MsgRegister:
+		resp, err = nn.handleRegister(req)
+	case proto.MsgHeartbeat:
+		resp, err = nn.handleHeartbeat(req)
+	case proto.MsgBlockReceived:
+		resp, err = nn.handleBlockReceived(req)
+	case proto.MsgBlockDeleted:
+		resp, err = nn.handleBlockDeleted(req)
+	case proto.MsgCreateFile:
+		resp, err = nn.handleCreate(req)
+	case proto.MsgAddBlock:
+		resp, err = nn.handleAddBlock(req)
+	case proto.MsgCompleteFile:
+		resp, err = nn.handleComplete(req)
+	case proto.MsgGetLocations:
+		resp, err = nn.handleGetLocations(req)
+	case proto.MsgSetRepl:
+		resp, err = nn.handleSetReplication(req)
+	case proto.MsgDeleteFile:
+		resp, err = nn.handleDelete(req)
+	case proto.MsgListFiles:
+		resp, err = nn.handleList()
+	case proto.MsgStatFile:
+		resp, err = nn.handleStat(req)
+	case proto.MsgClusterInfo:
+		resp, err = nn.handleClusterInfo()
+	case proto.MsgFsck:
+		h := nn.Health()
+		resp = &proto.Message{Type: proto.MsgOK, Health: &h}
+	case proto.MsgDecommission:
+		err = nn.Decommission(req.Node)
+	default:
+		err = fmt.Errorf("%w: unexpected message %q", ErrBadRequest, req.Type)
+	}
+	if err != nil {
+		return proto.ErrorMessage(err), nil
+	}
+	if resp == nil {
+		resp = &proto.Message{Type: proto.MsgOK}
+	}
+	return resp, nil
+}
+
+func (nn *NameNode) handleRegister(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if nn.ready {
+		// A restarted datanode rejoins under its old identity when it
+		// comes back on the same data address: it resumes heartbeating
+		// and its block report re-confirms whatever survived on disk,
+		// sparing the cluster a re-replication storm.
+		for _, node := range nn.nodes {
+			if node.addr == req.DataAddr {
+				node.alive = true
+				node.lastSeen = nn.clock()
+				node.decommissioned = false
+				return &proto.Message{Type: proto.MsgOK, Node: node.id}, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: cluster already formed", ErrBadRequest)
+	}
+	if req.Rack < 0 || req.Rack >= nn.cfg.Racks {
+		return nil, fmt.Errorf("%w: rack %d outside [0,%d)", ErrBadRequest, req.Rack, nn.cfg.Racks)
+	}
+	if req.Capacity <= 0 {
+		return nil, fmt.Errorf("%w: capacity %d", ErrBadRequest, req.Capacity)
+	}
+	id := proto.NodeID(len(nn.nodes))
+	nn.nodes = append(nn.nodes, &nodeState{
+		id:       id,
+		addr:     req.DataAddr,
+		rack:     req.Rack,
+		capacity: req.Capacity,
+		lastSeen: nn.clock(),
+		alive:    true,
+	})
+	if len(nn.nodes) == nn.cfg.ExpectedNodes {
+		if err := nn.buildClusterLocked(); err != nil {
+			nn.nodes = nn.nodes[:len(nn.nodes)-1]
+			return nil, err
+		}
+		nn.ready = true
+	}
+	return &proto.Message{Type: proto.MsgOK, Node: id}, nil
+}
+
+// buildClusterLocked freezes the topology once all nodes registered.
+// Machine IDs equal NodeIDs; the topology builder requires rack-grouped
+// insertion order, so nodes are added rack by rack — but MachineID must
+// match NodeID, so instead every rack is created first and machines are
+// appended in NodeID order.
+func (nn *NameNode) buildClusterLocked() error {
+	var b topology.Builder
+	rackIDs := make([]topology.RackID, nn.cfg.Racks)
+	for r := 0; r < nn.cfg.Racks; r++ {
+		rackIDs[r] = b.AddRack()
+	}
+	for _, node := range nn.nodes {
+		mid, err := b.AddMachine(rackIDs[node.rack], node.capacity, nn.cfg.SlotsPerNode)
+		if err != nil {
+			return fmt.Errorf("namenode: build topology: %w", err)
+		}
+		if int(mid) != int(node.id) {
+			return fmt.Errorf("namenode: machine/node id mismatch: %d vs %d", mid, node.id)
+		}
+	}
+	cluster, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("namenode: build topology: %w", err)
+	}
+	placement, err := core.NewPlacement(cluster, nil)
+	if err != nil {
+		return fmt.Errorf("namenode: placement: %w", err)
+	}
+	nn.cluster = cluster
+	nn.placement = placement
+	return nil
+}
+
+func (nn *NameNode) handleHeartbeat(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.nodeLocked(req.Node)
+	if err != nil {
+		return nil, err
+	}
+	node.lastSeen = nn.clock()
+	node.alive = true
+	// Reconcile the block report against confirmations.
+	reported := make(map[proto.BlockID]bool, len(req.Blocks))
+	for _, b := range req.Blocks {
+		reported[b] = true
+		nn.confirmLocked(b, node.id)
+	}
+	for b, holders := range nn.confirmed {
+		if holders[node.id] && !reported[b] {
+			delete(holders, node.id)
+		}
+	}
+	cmds := nn.pendingCmds[node.id]
+	delete(nn.pendingCmds, node.id)
+	return &proto.Message{Type: proto.MsgOK, Commands: cmds}, nil
+}
+
+func (nn *NameNode) handleBlockReceived(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, err := nn.nodeLocked(req.Node); err != nil {
+		return nil, err
+	}
+	nn.confirmLocked(req.Block, req.Node)
+	key := inflightKey{block: req.Block, node: req.Node}
+	if issued, ok := nn.inflight[key]; ok {
+		nn.moveDurations = append(nn.moveDurations, nn.clock().Sub(issued))
+		delete(nn.inflight, key)
+	}
+	return nil, nil
+}
+
+func (nn *NameNode) handleBlockDeleted(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if holders, ok := nn.confirmed[req.Block]; ok {
+		delete(holders, req.Node)
+		if len(holders) == 0 && nn.tombstones[req.Block] {
+			delete(nn.confirmed, req.Block)
+			delete(nn.tombstones, req.Block)
+		}
+	}
+	return nil, nil
+}
+
+func (nn *NameNode) confirmLocked(b proto.BlockID, n proto.NodeID) {
+	holders, ok := nn.confirmed[b]
+	if !ok {
+		holders = make(map[proto.NodeID]bool)
+		nn.confirmed[b] = holders
+	}
+	holders[n] = true
+}
+
+func (nn *NameNode) nodeLocked(id proto.NodeID) (*nodeState, error) {
+	if int(id) < 0 || int(id) >= len(nn.nodes) {
+		return nil, fmt.Errorf("%w: unknown node %d", ErrBadRequest, id)
+	}
+	return nn.nodes[id], nil
+}
+
+func (nn *NameNode) handleCreate(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if !nn.ready {
+		return nil, ErrNotReady
+	}
+	if req.Path == "" {
+		return nil, fmt.Errorf("%w: empty path", ErrBadRequest)
+	}
+	if _, exists := nn.files[req.Path]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrFileExists, req.Path)
+	}
+	repl := req.Replication
+	if repl <= 0 {
+		repl = nn.cfg.DefaultReplication
+	}
+	minRacks := req.MinRacks
+	if minRacks <= 0 {
+		minRacks = nn.cfg.DefaultMinRacks
+	}
+	if minRacks > repl {
+		return nil, fmt.Errorf("%w: minRacks %d > replication %d", ErrBadRequest, minRacks, repl)
+	}
+	if minRacks > nn.cfg.Racks {
+		minRacks = nn.cfg.Racks
+	}
+	nn.files[req.Path] = &fileMeta{
+		path:        req.Path,
+		lengths:     make(map[proto.BlockID]int),
+		replication: repl,
+		minRacks:    minRacks,
+	}
+	return nil, nil
+}
+
+func (nn *NameNode) handleAddBlock(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if !nn.ready {
+		return nil, ErrNotReady
+	}
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	if f.complete {
+		return nil, fmt.Errorf("%w: %s", ErrFileComplete, req.Path)
+	}
+	id := core.BlockID(nn.nextBlock)
+	spec := core.BlockSpec{
+		ID:          id,
+		MinReplicas: f.replication,
+		MinRacks:    f.minRacks,
+	}
+	if err := nn.placement.AddBlock(spec); err != nil {
+		return nil, err
+	}
+	// A client colocated with a datanode (a task writing output) names
+	// that datanode's data address; the first replica then lands locally
+	// per Algorithm 4 and the HDFS default alike.
+	writer := topology.NoMachine
+	if req.DataAddr != "" {
+		for _, n := range nn.nodes {
+			if n.addr == req.DataAddr {
+				writer = topology.MachineID(n.id)
+				break
+			}
+		}
+	}
+	if err := nn.cfg.Placer.Place(nn.placement, id, f.replication, writer); err != nil {
+		_ = nn.placement.DeleteBlock(id)
+		return nil, fmt.Errorf("namenode: place block: %w", err)
+	}
+	// The placer is topology-only: strip any replicas it put on dead or
+	// draining machines and re-home them on healthy ones.
+	for _, m := range nn.placement.Replicas(id) {
+		if node := nn.nodes[m]; !node.alive || node.draining {
+			_ = nn.placement.RemoveReplica(id, m)
+		}
+	}
+	nn.ensureAliveDesiredLocked(id, f.replication)
+	if nn.placement.ReplicaCount(id) == 0 {
+		_ = nn.placement.DeleteBlock(id)
+		return nil, fmt.Errorf("namenode: no healthy machine can host a new block")
+	}
+	nn.nextBlock++
+	f.blocks = append(f.blocks, proto.BlockID(id))
+	f.lengths[proto.BlockID(id)] = req.Length
+	pipeline := nn.addrsLocked(nn.placement.Replicas(id))
+	return &proto.Message{Type: proto.MsgOK, Block: proto.BlockID(id), Pipeline: pipeline}, nil
+}
+
+func (nn *NameNode) handleComplete(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	f.complete = true
+	return nil, nil
+}
+
+func (nn *NameNode) handleGetLocations(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	now := nn.clock().UnixNano()
+	locs := make([]proto.BlockLocation, 0, len(f.blocks))
+	for _, b := range f.blocks {
+		nn.monitor.Record(core.BlockID(b), now)
+		locs = append(locs, proto.BlockLocation{
+			Block:     b,
+			Length:    f.lengths[b],
+			Addresses: nn.readAddrsLocked(b),
+		})
+	}
+	return &proto.Message{Type: proto.MsgOK, Locations: locs}, nil
+}
+
+// readAddrsLocked lists the addresses a client should read block b from:
+// replicas that are both desired and confirmed, falling back to any
+// confirmed replica (mid-migration), then to the desired set
+// (optimistic, right after a write).
+func (nn *NameNode) readAddrsLocked(b proto.BlockID) []string {
+	desired := nn.placement.Replicas(core.BlockID(b))
+	holders := nn.confirmed[b]
+	var both, confirmedOnly []string
+	for _, m := range desired {
+		node := nn.nodes[m]
+		if !node.alive {
+			continue
+		}
+		if holders[proto.NodeID(m)] {
+			both = append(both, node.addr)
+		}
+	}
+	for n := range holders {
+		if node := nn.nodes[n]; node.alive {
+			confirmedOnly = append(confirmedOnly, node.addr)
+		}
+	}
+	sort.Strings(confirmedOnly)
+	if len(both) > 0 {
+		return both
+	}
+	if len(confirmedOnly) > 0 {
+		return confirmedOnly
+	}
+	return nn.addrsLocked(desired)
+}
+
+func (nn *NameNode) addrsLocked(ms []topology.MachineID) []string {
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, nn.nodes[m].addr)
+	}
+	return out
+}
+
+func (nn *NameNode) handleSetReplication(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	k := req.Replication
+	if k < f.minRacks || k < 1 {
+		return nil, fmt.Errorf("%w: replication %d below minimum", ErrBadRequest, k)
+	}
+	f.replication = k
+	for _, b := range f.blocks {
+		id := core.BlockID(b)
+		cur := nn.placement.ReplicaCount(id)
+		switch {
+		case cur < k:
+			if err := core.InitialPlace(nn.placement, id, k, topology.NoMachine); err != nil {
+				return nil, fmt.Errorf("namenode: widen replication: %w", err)
+			}
+		case cur > k:
+			nn.shrinkLocked(id, k, f.minRacks)
+		}
+	}
+	return nil, nil
+}
+
+// shrinkLocked removes desired replicas of block id down to k, dropping
+// the most loaded holders first while preserving rack spread.
+func (nn *NameNode) shrinkLocked(id core.BlockID, k, minRacks int) {
+	for nn.placement.ReplicaCount(id) > k {
+		holders := nn.placement.Replicas(id)
+		sort.Slice(holders, func(a, b int) bool {
+			la, lb := nn.placement.Load(holders[a]), nn.placement.Load(holders[b])
+			if la != lb {
+				return la > lb
+			}
+			return holders[a] < holders[b]
+		})
+		removed := false
+		for _, m := range holders {
+			if err := nn.tryRemoveKeepingSpread(id, m, minRacks); err == nil {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+func (nn *NameNode) tryRemoveKeepingSpread(id core.BlockID, m topology.MachineID, minRacks int) error {
+	rack, err := nn.cluster.RackOf(m)
+	if err != nil {
+		return err
+	}
+	inRack := 0
+	for _, h := range nn.placement.Replicas(id) {
+		if r, err := nn.cluster.RackOf(h); err == nil && r == rack {
+			inRack++
+		}
+	}
+	spread := nn.placement.RackSpread(id)
+	if inRack == 1 {
+		spread--
+	}
+	if spread < minRacks {
+		return fmt.Errorf("namenode: removal would break rack spread")
+	}
+	return nn.placement.RemoveReplica(id, m)
+}
+
+func (nn *NameNode) handleDelete(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	for _, b := range f.blocks {
+		_ = nn.placement.DeleteBlock(core.BlockID(b))
+		nn.tombstones[b] = true
+		nn.monitor.Forget(core.BlockID(b))
+	}
+	delete(nn.files, req.Path)
+	return nil, nil
+}
+
+func (nn *NameNode) handleList() (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	files := make([]proto.FileInfo, 0, len(nn.files))
+	for _, f := range nn.files {
+		files = append(files, nn.fileInfoLocked(f))
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	return &proto.Message{Type: proto.MsgOK, Files: files}, nil
+}
+
+func (nn *NameNode) handleStat(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	info := nn.fileInfoLocked(f)
+	return &proto.Message{Type: proto.MsgOK, Files: []proto.FileInfo{info}}, nil
+}
+
+func (nn *NameNode) fileInfoLocked(f *fileMeta) proto.FileInfo {
+	var length int64
+	for _, b := range f.blocks {
+		length += int64(f.lengths[b])
+	}
+	return proto.FileInfo{
+		Path:        f.path,
+		Blocks:      len(f.blocks),
+		Length:      length,
+		Replication: f.replication,
+		Complete:    f.complete,
+	}
+}
+
+func (nn *NameNode) handleClusterInfo() (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nodes := make([]proto.NodeInfo, 0, len(nn.nodes))
+	for _, n := range nn.nodes {
+		blocks := 0
+		if nn.placement != nil {
+			blocks = nn.placement.Used(topology.MachineID(n.id))
+		}
+		nodes = append(nodes, proto.NodeInfo{
+			ID:             n.id,
+			Rack:           n.rack,
+			Addr:           n.addr,
+			Blocks:         blocks,
+			Capacity:       n.capacity,
+			Alive:          n.alive,
+			Draining:       n.draining,
+			Decommissioned: n.decommissioned,
+		})
+	}
+	return &proto.Message{Type: proto.MsgOK, Nodes: nodes}, nil
+}

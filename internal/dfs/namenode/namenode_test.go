@@ -1,0 +1,303 @@
+package namenode
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/dfs/proto"
+)
+
+// startNN launches a namenode with fast timers for unit testing.
+func startNN(t *testing.T, nodes, racks int) *NameNode {
+	t.Helper()
+	nn, err := Start(Config{
+		ExpectedNodes:      nodes,
+		Racks:              racks,
+		DefaultReplication: 2,
+		DefaultMinRacks:    2,
+		DeadTimeout:        500 * time.Millisecond,
+		ReconcileInterval:  10 * time.Millisecond,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = nn.Close() })
+	return nn
+}
+
+// fakeDN registers a datanode identity without running a real process,
+// so tests control heartbeats and block reports precisely.
+type fakeDN struct {
+	t    *testing.T
+	nn   string
+	id   proto.NodeID
+	addr string
+}
+
+func registerFake(t *testing.T, nn *NameNode, rack int, addr string) *fakeDN {
+	t.Helper()
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{
+		Type:     proto.MsgRegister,
+		DataAddr: addr,
+		Rack:     rack,
+		Capacity: 100,
+	}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("register fake dn: %v", err)
+	}
+	return &fakeDN{t: t, nn: nn.Addr(), id: resp.Node, addr: addr}
+}
+
+// heartbeat reports the given blocks and returns any commands.
+func (f *fakeDN) heartbeat(blocks ...proto.BlockID) []proto.Command {
+	f.t.Helper()
+	resp, _, err := proto.Call(f.nn, &proto.Message{
+		Type:   proto.MsgHeartbeat,
+		Node:   f.id,
+		Blocks: blocks,
+	}, nil, time.Second)
+	if err != nil {
+		f.t.Fatalf("heartbeat: %v", err)
+	}
+	return resp.Commands
+}
+
+func (f *fakeDN) received(b proto.BlockID) {
+	f.t.Helper()
+	if _, _, err := proto.Call(f.nn, &proto.Message{
+		Type:  proto.MsgBlockReceived,
+		Node:  f.id,
+		Block: b,
+	}, nil, time.Second); err != nil {
+		f.t.Fatalf("block received: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Start(Config{}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("zero ExpectedNodes err = %v, want ErrBadRequest", err)
+	}
+	if _, err := Start(Config{ExpectedNodes: 2, DefaultMinRacks: 3, DefaultReplication: 2, Racks: 4}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("minRacks > replication err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	nn := startNN(t, 2, 2)
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{
+		Type: proto.MsgRegister, DataAddr: "x", Rack: 9, Capacity: 10,
+	}, nil, time.Second); err == nil {
+		t.Error("out-of-range rack accepted")
+	}
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{
+		Type: proto.MsgRegister, DataAddr: "x", Rack: 0, Capacity: 0,
+	}, nil, time.Second); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	registerFake(t, nn, 0, "a:1")
+	registerFake(t, nn, 1, "b:1")
+	if !nn.Ready() {
+		t.Fatal("cluster not ready after expected registrations")
+	}
+	// Late registrations are rejected once the topology is frozen.
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{
+		Type: proto.MsgRegister, DataAddr: "c:1", Rack: 0, Capacity: 10,
+	}, nil, time.Second); err == nil {
+		t.Error("registration after ready accepted")
+	}
+}
+
+func TestNotReadyErrors(t *testing.T) {
+	nn := startNN(t, 2, 2)
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{
+		Type: proto.MsgCreateFile, Path: "/x",
+	}, nil, time.Second); err == nil {
+		t.Error("create before ready accepted")
+	}
+	if _, err := nn.OptimizeNow(core.OptimizerOptions{}); !errors.Is(err, ErrNotReady) {
+		t.Errorf("OptimizeNow err = %v, want ErrNotReady", err)
+	}
+	if _, err := nn.PlacementClone(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("PlacementClone err = %v, want ErrNotReady", err)
+	}
+	if err := nn.WithPlacement(false, func(*core.Placement) error { return nil }); !errors.Is(err, ErrNotReady) {
+		t.Errorf("WithPlacement err = %v, want ErrNotReady", err)
+	}
+	if err := nn.WaitReady(30 * time.Millisecond); err == nil {
+		t.Error("WaitReady succeeded with missing datanodes")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	nn := startNN(t, 2, 2)
+	registerFake(t, nn, 0, "a:1")
+	registerFake(t, nn, 1, "b:1")
+	call := func(m *proto.Message) error {
+		_, _, err := proto.Call(nn.Addr(), m, nil, time.Second)
+		return err
+	}
+	if err := call(&proto.Message{Type: proto.MsgCreateFile}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := call(&proto.Message{Type: proto.MsgCreateFile, Path: "/f", Replication: 2, MinRacks: 3}); err == nil {
+		t.Error("minRacks > replication accepted")
+	}
+	if err := call(&proto.Message{Type: proto.MsgCreateFile, Path: "/f"}); err != nil {
+		t.Errorf("valid create failed: %v", err)
+	}
+	if err := call(&proto.Message{Type: proto.MsgCreateFile, Path: "/f"}); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if err := call(&proto.Message{Type: proto.MsgAddBlock, Path: "/nope"}); err == nil {
+		t.Error("add block to missing file accepted")
+	}
+}
+
+func TestAddBlockAndReconcileIssuesReplication(t *testing.T) {
+	nn := startNN(t, 2, 2)
+	a := registerFake(t, nn, 0, "a:1")
+	b := registerFake(t, nn, 1, "b:1")
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgCreateFile, Path: "/f", Replication: 2}, nil, time.Second); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgAddBlock, Path: "/f", Length: 42}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("add block: %v", err)
+	}
+	if len(resp.Pipeline) != 2 {
+		t.Fatalf("pipeline = %v, want both machines", resp.Pipeline)
+	}
+	blk := resp.Block
+
+	// Only node a stores the block (pipeline to b "failed").
+	a.received(blk)
+	a.heartbeat(blk)
+	b.heartbeat() // b reports empty
+
+	nn.ReconcileOnce()
+	// b should be commanded to receive the block from a (a is the only
+	// confirmed holder, so a gets the replicate command).
+	cmds := a.heartbeat(blk)
+	foundReplicate := false
+	for _, c := range cmds {
+		if c.Kind == proto.CmdReplicate && c.Block == blk && c.Target == "b:1" {
+			foundReplicate = true
+		}
+	}
+	if !foundReplicate {
+		t.Errorf("no replicate command issued to repair under-replication; got %v", cmds)
+	}
+
+	// Once b confirms, no further commands flow and the system
+	// converges.
+	b.received(blk)
+	b.heartbeat(blk)
+	nn.ReconcileOnce()
+	if cmds := a.heartbeat(blk); len(cmds) != 0 {
+		t.Errorf("unexpected commands after convergence: %v", cmds)
+	}
+	if err := nn.WaitConverged(2 * time.Second); err != nil {
+		t.Errorf("WaitConverged: %v", err)
+	}
+}
+
+func TestDeadNodeDetection(t *testing.T) {
+	nn := startNN(t, 2, 2)
+	a := registerFake(t, nn, 0, "a:1")
+	b := registerFake(t, nn, 1, "b:1")
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgCreateFile, Path: "/f", Replication: 2}, nil, time.Second); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgAddBlock, Path: "/f", Length: 1}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("add block: %v", err)
+	}
+	blk := resp.Block
+	a.received(blk)
+	b.received(blk)
+
+	// Only a keeps heartbeating; b goes silent past DeadTimeout.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		a.heartbeat(blk)
+		nn.ReconcileOnce()
+		nodes := clusterNodes(t, nn)
+		if !nodes[1].Alive {
+			return // dead node detected
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("silent datanode never marked dead")
+}
+
+func clusterNodes(t *testing.T, nn *NameNode) []proto.NodeInfo {
+	t.Helper()
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgClusterInfo}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("cluster info: %v", err)
+	}
+	return resp.Nodes
+}
+
+func TestHeartbeatUnknownNode(t *testing.T) {
+	nn := startNN(t, 1, 1)
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{
+		Type: proto.MsgHeartbeat, Node: 42,
+	}, nil, time.Second); err == nil {
+		t.Error("heartbeat from unknown node accepted")
+	}
+}
+
+func TestUnknownMessageType(t *testing.T) {
+	nn := startNN(t, 1, 1)
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: "bogus"}, nil, time.Second); err == nil {
+		t.Error("bogus message type accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	nn, err := Start(Config{ExpectedNodes: 1, Racks: 1, DefaultMinRacks: 1})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := nn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := nn.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("second Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMovementStatsTracksDurations(t *testing.T) {
+	nn := startNN(t, 2, 2)
+	a := registerFake(t, nn, 0, "a:1")
+	b := registerFake(t, nn, 1, "b:1")
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgCreateFile, Path: "/f", Replication: 2}, nil, time.Second); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgAddBlock, Path: "/f", Length: 1}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("add block: %v", err)
+	}
+	blk := resp.Block
+	a.received(blk)
+	a.heartbeat(blk)
+	b.heartbeat()
+	nn.ReconcileOnce()
+	a.heartbeat(blk) // collects the replicate command
+	time.Sleep(20 * time.Millisecond)
+	b.received(blk) // completes the transfer
+	durations, replicates, _ := nn.MovementStats()
+	if replicates == 0 {
+		t.Error("no replicate commands counted")
+	}
+	if len(durations) == 0 {
+		t.Fatal("no movement durations recorded")
+	}
+	if durations[0] <= 0 {
+		t.Errorf("movement duration %v not positive", durations[0])
+	}
+}

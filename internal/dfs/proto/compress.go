@@ -1,0 +1,57 @@
+package proto
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// EncodingGzip marks a frame payload as gzip-compressed. The paper notes
+// that compressing block movements cuts their network traffic by ~27x,
+// turning rebalancing overhead "acceptable"; the mini-DFS applies it to
+// replication transfers.
+const EncodingGzip = "gzip"
+
+// Compress gzips data. It returns the original slice untouched when
+// compression would not shrink it (already-compressed or random data),
+// along with the encoding actually used ("" or EncodingGzip).
+func Compress(data []byte) ([]byte, string, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, "", fmt.Errorf("proto: gzip: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, "", fmt.Errorf("proto: gzip close: %w", err)
+	}
+	if buf.Len() >= len(data) {
+		return data, "", nil
+	}
+	return buf.Bytes(), EncodingGzip, nil
+}
+
+// Decompress reverses Compress given the encoding recorded in the frame
+// header. Unknown encodings are rejected.
+func Decompress(data []byte, encoding string) ([]byte, error) {
+	switch encoding {
+	case "":
+		return data, nil
+	case EncodingGzip:
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("proto: gunzip: %w", err)
+		}
+		defer zr.Close()
+		out, err := io.ReadAll(io.LimitReader(zr, MaxPayloadBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("proto: gunzip read: %w", err)
+		}
+		if len(out) > MaxPayloadBytes {
+			return nil, fmt.Errorf("%w: decompressed payload", ErrFrameTooLarge)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding %q", ErrBadFrame, encoding)
+	}
+}

@@ -1,0 +1,90 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("aurora block data "), 1000)
+	wire, encoding, err := Compress(data)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	if encoding != EncodingGzip {
+		t.Fatalf("encoding = %q, want gzip for compressible data", encoding)
+	}
+	if len(wire) >= len(data) {
+		t.Fatalf("compressed %d >= original %d", len(wire), len(data))
+	}
+	got, err := Decompress(wire, encoding)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCompressSkipsIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.UintN(256))
+	}
+	wire, encoding, err := Compress(data)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	if encoding != "" {
+		t.Errorf("encoding = %q, want raw for random data", encoding)
+	}
+	if !bytes.Equal(wire, data) {
+		t.Error("raw passthrough altered data")
+	}
+}
+
+func TestDecompressRaw(t *testing.T) {
+	data := []byte("plain")
+	got, err := Decompress(data, "")
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("raw decompress altered data")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte("garbage"), EncodingGzip); err == nil {
+		t.Error("garbage gzip accepted")
+	}
+	if _, err := Decompress([]byte("x"), "zstd"); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unknown encoding err = %v, want ErrBadFrame", err)
+	}
+}
+
+// Property: Compress/Decompress round-trips arbitrary bytes under the
+// encoding it reports.
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		wire, encoding, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(wire, encoding)
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package proto defines the wire protocol of the mini distributed file
+// system: length-prefixed JSON control frames with an optional raw binary
+// payload for block data.
+//
+// Frame layout:
+//
+//	+----------------+----------------+----------------+-----------+
+//	| header len u32 | payload len u32| header (JSON)  | payload   |
+//	+----------------+----------------+----------------+-----------+
+//
+// Both lengths are big-endian. The header is a Message; the payload
+// carries block bytes for Write/Read block operations and is empty
+// otherwise. Every connection carries one request frame and one response
+// frame (HTTP/1.0-style); this keeps connection state trivial at the
+// cost of a dial per request, which is irrelevant on the loopback
+// testbed the paper's Section VI.B experiment needs.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Limits protecting against malformed frames.
+const (
+	MaxHeaderBytes  = 1 << 20   // 1 MiB of JSON header
+	MaxPayloadBytes = 256 << 20 // 256 MiB block payload
+)
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
+	ErrBadFrame      = errors.New("proto: malformed frame")
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Control-plane message types (client or datanode to namenode).
+const (
+	// Client -> NameNode.
+	MsgCreateFile   MsgType = "create_file"
+	MsgAddBlock     MsgType = "add_block"
+	MsgCompleteFile MsgType = "complete_file"
+	MsgGetLocations MsgType = "get_locations"
+	MsgSetRepl      MsgType = "set_replication"
+	MsgDeleteFile   MsgType = "delete_file"
+	MsgListFiles    MsgType = "list_files"
+	MsgStatFile     MsgType = "stat_file"
+	MsgClusterInfo  MsgType = "cluster_info"
+	MsgFsck         MsgType = "fsck"
+	MsgDecommission MsgType = "decommission"
+
+	// DataNode -> NameNode.
+	MsgRegister      MsgType = "register"
+	MsgHeartbeat     MsgType = "heartbeat"
+	MsgBlockReceived MsgType = "block_received"
+	MsgBlockDeleted  MsgType = "block_deleted"
+
+	// Client/DataNode -> DataNode.
+	MsgWriteBlock MsgType = "write_block"
+	MsgReadBlock  MsgType = "read_block"
+
+	// Generic response.
+	MsgOK    MsgType = "ok"
+	MsgError MsgType = "error"
+)
+
+// BlockID identifies a stored block cluster-wide.
+type BlockID int64
+
+// NodeID identifies a registered datanode.
+type NodeID int32
+
+// CommandKind enumerates namenode-to-datanode commands piggybacked on
+// heartbeat responses, mirroring HDFS's DatanodeCommand mechanism.
+type CommandKind string
+
+// Datanode commands.
+const (
+	CmdReplicate CommandKind = "replicate" // copy a local block to Target
+	CmdDelete    CommandKind = "delete"    // drop a local block replica
+)
+
+// Command is one instruction for a datanode.
+type Command struct {
+	Kind   CommandKind `json:"kind"`
+	Block  BlockID     `json:"block"`
+	Target string      `json:"target,omitempty"` // data address of the destination
+}
+
+// BlockLocation describes where one block of a file lives.
+type BlockLocation struct {
+	Block     BlockID  `json:"block"`
+	Length    int      `json:"length"`
+	Addresses []string `json:"addresses"` // datanode data addresses
+}
+
+// FileInfo summarizes a file for List/Stat.
+type FileInfo struct {
+	Path        string `json:"path"`
+	Blocks      int    `json:"blocks"`
+	Length      int64  `json:"length"`
+	Replication int    `json:"replication"`
+	Complete    bool   `json:"complete"`
+}
+
+// HealthReport is the fsck summary: desired-versus-actual replica
+// accounting and the reconcile loop's backlog.
+type HealthReport struct {
+	Files                 int  `json:"files"`
+	Blocks                int  `json:"blocks"`
+	DesiredReplicas       int  `json:"desiredReplicas"`
+	ConfirmedReplicas     int  `json:"confirmedReplicas"`
+	UnderReplicatedBlocks int  `json:"underReplicatedBlocks"`
+	UnderSpreadBlocks     int  `json:"underSpreadBlocks"`
+	PendingCommands       int  `json:"pendingCommands"`
+	InflightTransfers     int  `json:"inflightTransfers"`
+	DeadNodes             int  `json:"deadNodes"`
+	TombstonedBlocks      int  `json:"tombstonedBlocks"`
+	DrainingNodes         int  `json:"drainingNodes"`
+	Healthy               bool `json:"healthy"`
+}
+
+// NodeInfo summarizes a datanode for ClusterInfo.
+type NodeInfo struct {
+	ID       NodeID `json:"id"`
+	Rack     int    `json:"rack"`
+	Addr     string `json:"addr"`
+	Blocks   int    `json:"blocks"`
+	Capacity int    `json:"capacity"`
+	Alive    bool   `json:"alive"`
+	// Draining means the node is being decommissioned: its replicas are
+	// migrating elsewhere and no new data lands on it.
+	Draining bool `json:"draining,omitempty"`
+	// Decommissioned means draining finished: the node holds nothing and
+	// can be stopped safely.
+	Decommissioned bool `json:"decommissioned,omitempty"`
+}
+
+// Message is the wire header. A single struct with optional fields keeps
+// the codec trivial; the Type field says which fields are meaningful.
+type Message struct {
+	Type MsgType `json:"type"`
+
+	// Common.
+	Path  string  `json:"path,omitempty"`
+	Block BlockID `json:"block,omitempty"`
+	Error string  `json:"error,omitempty"`
+
+	// Create/SetReplication.
+	Replication int `json:"replication,omitempty"`
+	MinRacks    int `json:"minRacks,omitempty"`
+
+	// AddBlock / WriteBlock: the replication pipeline (data addresses to
+	// forward to, in order).
+	Pipeline []string `json:"pipeline,omitempty"`
+
+	// GetLocations response.
+	Locations []BlockLocation `json:"locations,omitempty"`
+
+	// Register / Heartbeat.
+	Node     NodeID    `json:"node,omitempty"`
+	Rack     int       `json:"rack,omitempty"`
+	DataAddr string    `json:"dataAddr,omitempty"`
+	Capacity int       `json:"capacity,omitempty"`
+	Blocks   []BlockID `json:"blocks,omitempty"`
+	Commands []Command `json:"commands,omitempty"`
+
+	// ListFiles / StatFile / ClusterInfo responses.
+	Files []FileInfo `json:"files,omitempty"`
+	Nodes []NodeInfo `json:"nodes,omitempty"`
+
+	// Fsck response.
+	Health *HealthReport `json:"health,omitempty"`
+
+	// WriteBlock bookkeeping.
+	Length int `json:"length,omitempty"`
+	// Checksum is the CRC32C of the (uncompressed) block payload; zero
+	// means "not supplied". Writers stamp it, every pipeline stage and
+	// every reader verifies it.
+	Checksum uint32 `json:"checksum,omitempty"`
+	// Encoding names the payload compression ("" or EncodingGzip).
+	Encoding string `json:"encoding,omitempty"`
+}
+
+// WriteFrame writes one frame: the message header and an optional binary
+// payload.
+func WriteFrame(w io.Writer, msg *Message, payload []byte) error {
+	header, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("proto: marshal header: %w", err)
+	}
+	if len(header) > MaxHeaderBytes {
+		return fmt.Errorf("%w: header %d bytes", ErrFrameTooLarge, len(header))
+	}
+	if len(payload) > MaxPayloadBytes {
+		return fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var lens [8]byte
+	binary.BigEndian.PutUint32(lens[0:4], uint32(len(header)))
+	binary.BigEndian.PutUint32(lens[4:8], uint32(len(payload)))
+	if _, err := w.Write(lens[:]); err != nil {
+		return fmt.Errorf("proto: write frame lengths: %w", err)
+	}
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("proto: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (*Message, []byte, error) {
+	var lens [8]byte
+	if _, err := io.ReadFull(r, lens[:]); err != nil {
+		return nil, nil, fmt.Errorf("proto: read frame lengths: %w", err)
+	}
+	headerLen := binary.BigEndian.Uint32(lens[0:4])
+	payloadLen := binary.BigEndian.Uint32(lens[4:8])
+	if headerLen > MaxHeaderBytes {
+		return nil, nil, fmt.Errorf("%w: header %d bytes", ErrFrameTooLarge, headerLen)
+	}
+	if payloadLen > MaxPayloadBytes {
+		return nil, nil, fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, payloadLen)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, nil, fmt.Errorf("proto: read header: %w", err)
+	}
+	var msg Message
+	if err := json.Unmarshal(header, &msg); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	var payload []byte
+	if payloadLen > 0 {
+		payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, nil, fmt.Errorf("proto: read payload: %w", err)
+		}
+	}
+	return &msg, payload, nil
+}
+
+// ErrorMessage builds an error response.
+func ErrorMessage(err error) *Message {
+	return &Message{Type: MsgError, Error: err.Error()}
+}
+
+// RemoteError is an error reported by the peer.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// AsError converts an error response message into a Go error, or nil for
+// non-error messages.
+func (m *Message) AsError() error {
+	if m.Type != MsgError {
+		return nil
+	}
+	return &RemoteError{Msg: m.Error}
+}

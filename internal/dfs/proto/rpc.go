@@ -1,0 +1,100 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// DefaultTimeout bounds a whole request/response exchange.
+const DefaultTimeout = 10 * time.Second
+
+// Call dials addr, sends one request frame and reads one response frame.
+// A non-nil error is returned for transport failures and for MsgError
+// responses (as *RemoteError).
+func Call(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, nil, fmt.Errorf("proto: set deadline: %w", err)
+	}
+	if err := WriteFrame(conn, req, payload); err != nil {
+		return nil, nil, err
+	}
+	resp, respPayload, err := ReadFrame(conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, nil, err
+	}
+	return resp, respPayload, nil
+}
+
+// Handler processes one request and returns the response.
+type Handler func(req *Message, payload []byte) (*Message, []byte)
+
+// Server accepts one-shot request/response connections and dispatches
+// them to a Handler.
+type Server struct {
+	ln      net.Listener
+	done    chan struct{}
+	timeout time.Duration
+}
+
+// Serve starts accepting on ln. It owns the listener; Close stops it.
+// Handler panics are not recovered: a handler bug should crash loudly in
+// tests rather than silently drop connections.
+func Serve(ln net.Listener, h Handler, timeout time.Duration) *Server {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	s := &Server{ln: ln, done: make(chan struct{}), timeout: timeout}
+	go s.acceptLoop(h)
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the accept loop to exit.
+// In-flight connection goroutines finish on their own deadlines.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) acceptLoop(h Handler) {
+	defer close(s.done)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.serveConn(conn, h)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
+		return
+	}
+	req, payload, err := ReadFrame(conn)
+	if err != nil {
+		return // peer vanished or sent garbage; nothing to answer
+	}
+	resp, respPayload := h(req, payload)
+	if resp == nil {
+		resp = &Message{Type: MsgOK}
+	}
+	_ = WriteFrame(conn, resp, respPayload) // best effort; peer may be gone
+}

@@ -1,0 +1,284 @@
+// Package metrics provides the small statistics toolkit used by the
+// simulator, the experiments harness and the benchmarks: empirical CDFs,
+// fixed-width histograms, load-imbalance measures and summary statistics.
+//
+// Everything here is deterministic and allocation-conscious; the
+// experiment harness calls these on every epoch of multi-day simulated
+// workloads.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty data.
+var ErrEmpty = errors.New("metrics: empty sample")
+
+// Summary holds the usual moments and order statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample. xs is not modified.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 { // numerical noise
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Stddev: math.Sqrt(variance),
+		P50:    quantileSorted(sorted, 0.50),
+		P90:    quantileSorted(sorted, 0.90),
+		P99:    quantileSorted(sorted, 0.99),
+	}, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("metrics: quantile %v out of [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. xs is copied, not retained.
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	// index of first element > x
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Inverse returns the smallest sample value v with P(X <= v) >= p.
+func (c *CDF) Inverse(p float64) float64 {
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// N reports the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Points returns (x, P(X<=x)) pairs at each distinct sample value, the
+// series a plot of the CDF needs. The slices are fresh.
+func (c *CDF) Points() (xs, ps []float64) {
+	for i := 0; i < len(c.sorted); i++ {
+		// skip to the last occurrence of a run of equal values
+		if i+1 < len(c.sorted) && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(i+1)/float64(len(c.sorted)))
+	}
+	return xs, ps
+}
+
+// Histogram is a fixed-width bucket histogram over [min, max). Values
+// outside the range are clamped into the first/last bucket so totals are
+// preserved.
+type Histogram struct {
+	min, max float64
+	width    float64
+	counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with the given bucket count over
+// [min, max).
+func NewHistogram(min, max float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("metrics: bucket count %d must be positive", buckets)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("metrics: invalid histogram range [%v, %v)", min, max)
+	}
+	return &Histogram{
+		min:    min,
+		max:    max,
+		width:  (max - min) / float64(buckets),
+		counts: make([]int, buckets),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.min) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Total reports the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Counts returns a copy of the per-bucket counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.min + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Imbalance measures of a machine-load vector. The paper reports machine
+// load CDFs and the max load (the optimization objective λ); downstream
+// code also wants compact scalars.
+
+// MaxLoad returns max(xs), the λ objective.
+func MaxLoad(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// ImbalanceRatio returns max/mean of the load vector, 1.0 meaning perfect
+// balance. A zero mean yields 0 (an empty cluster is trivially balanced).
+func ImbalanceRatio(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum, max float64
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0, nil
+	}
+	return max / mean, nil
+}
+
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) of the load
+// vector: 1.0 is perfectly balanced, 1/n is maximally skewed. An all-zero
+// vector is defined as perfectly fair (1.0).
+func JainFairness(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1.0, nil
+	}
+	return sum * sum / (float64(len(xs)) * sumSq), nil
+}
+
+// CoefficientOfVariation returns stddev/mean of the load vector; 0 means
+// perfect balance. A zero mean yields 0.
+func CoefficientOfVariation(xs []float64) (float64, error) {
+	s, err := Summarize(xs)
+	if err != nil {
+		return 0, err
+	}
+	if s.Mean == 0 {
+		return 0, nil
+	}
+	return s.Stddev / s.Mean, nil
+}
+
+// RenderCDF renders an ASCII sketch of a CDF at the given quantiles,
+// used by the CLI tools to show paper-figure panels in the terminal.
+func RenderCDF(name string, c *CDF, quantiles []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", name, c.N())
+	for _, q := range quantiles {
+		fmt.Fprintf(&b, "  p%-5.3g %12.3f\n", q*100, c.Inverse(q))
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+// Package popularity implements Aurora's usage monitor: per-block access
+// counting over a sliding time window W, plus simple popularity
+// predictors.
+//
+// Following Section V of the paper, block popularity is "the number of
+// accesses of a block within a sliding time window W". The monitor tracks
+// this with per-key circular bucket arrays: the window is divided into a
+// fixed number of buckets; recording an access increments the bucket of
+// the current time; querying sums the buckets inside the window. With
+// hourly reconfiguration epochs and W = 2h, two one-hour buckets give the
+// exact semantics from the paper at O(1) memory per key.
+//
+// Time is an opaque int64 tick so the monitor works for both the
+// discrete-event simulator (logical ticks) and the real mini-DFS
+// (nanoseconds).
+package popularity
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by monitor construction.
+var (
+	ErrBadBucketLen = errors.New("popularity: bucket length must be positive")
+	ErrBadBuckets   = errors.New("popularity: bucket count must be positive")
+)
+
+// Monitor counts accesses per key over a sliding window of
+// numBuckets*bucketLen ticks. It is safe for concurrent use.
+type Monitor[K comparable] struct {
+	bucketLen  int64
+	numBuckets int
+
+	mu    sync.Mutex
+	cells map[K]*cell
+}
+
+// cell is the per-key circular bucket array.
+type cell struct {
+	counts []int64
+	// last is the absolute bucket index that counts[last % len] refers
+	// to. Buckets between observations are implicitly zeroed on advance.
+	last int64
+}
+
+// NewMonitor creates a monitor whose sliding window spans
+// numBuckets*bucketLen ticks.
+func NewMonitor[K comparable](bucketLen int64, numBuckets int) (*Monitor[K], error) {
+	if bucketLen <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadBucketLen, bucketLen)
+	}
+	if numBuckets <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadBuckets, numBuckets)
+	}
+	return &Monitor[K]{
+		bucketLen:  bucketLen,
+		numBuckets: numBuckets,
+		cells:      make(map[K]*cell),
+	}, nil
+}
+
+// Window reports the total window length in ticks.
+func (m *Monitor[K]) Window() int64 { return m.bucketLen * int64(m.numBuckets) }
+
+// Record registers one access of key at time now (in ticks). Accesses
+// recorded out of order within the current window are attributed to their
+// own bucket; accesses older than the whole window are dropped.
+func (m *Monitor[K]) Record(key K, now int64) {
+	m.RecordN(key, now, 1)
+}
+
+// RecordN registers n accesses of key at time now.
+func (m *Monitor[K]) RecordN(key K, now int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	bucket := m.bucketIndex(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cells[key]
+	if !ok {
+		c = &cell{counts: make([]int64, m.numBuckets), last: bucket}
+		m.cells[key] = c
+	}
+	c.advance(bucket, m.numBuckets)
+	if bucket <= c.last-int64(m.numBuckets) {
+		return // too old, outside the window entirely
+	}
+	idx := bucket % int64(m.numBuckets)
+	if idx < 0 {
+		idx += int64(m.numBuckets)
+	}
+	c.counts[idx] += n
+}
+
+// Popularity returns the number of accesses of key within the window
+// ending at now.
+func (m *Monitor[K]) Popularity(key K, now int64) int64 {
+	bucket := m.bucketIndex(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cells[key]
+	if !ok {
+		return 0
+	}
+	c.advance(bucket, m.numBuckets)
+	var total int64
+	for _, v := range c.counts {
+		total += v
+	}
+	return total
+}
+
+// Snapshot returns the popularity of every key with a nonzero count in
+// the window ending at now. Keys whose counts have fully expired are
+// pruned from the monitor as a side effect, bounding memory to the
+// working set.
+func (m *Monitor[K]) Snapshot(now int64) map[K]int64 {
+	bucket := m.bucketIndex(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[K]int64, len(m.cells))
+	for key, c := range m.cells {
+		c.advance(bucket, m.numBuckets)
+		var total int64
+		for _, v := range c.counts {
+			total += v
+		}
+		if total == 0 {
+			delete(m.cells, key)
+			continue
+		}
+		out[key] = total
+	}
+	return out
+}
+
+// Forget removes all state for key (e.g. when the block is deleted).
+func (m *Monitor[K]) Forget(key K) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cells, key)
+}
+
+// Len reports the number of keys currently tracked (including keys whose
+// counts may have expired but have not been pruned by a Snapshot yet).
+func (m *Monitor[K]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cells)
+}
+
+func (m *Monitor[K]) bucketIndex(now int64) int64 {
+	b := now / m.bucketLen
+	if now < 0 && now%m.bucketLen != 0 {
+		b-- // floor division for negative ticks
+	}
+	return b
+}
+
+// advance rolls the cell forward to absolute bucket index `to`, zeroing
+// any buckets that scrolled out of the window. Moving backwards is a
+// no-op (late records land in their historical bucket if still in range).
+func (c *cell) advance(to int64, numBuckets int) {
+	if to <= c.last {
+		return
+	}
+	steps := to - c.last
+	if steps >= int64(numBuckets) {
+		for i := range c.counts {
+			c.counts[i] = 0
+		}
+	} else {
+		for b := c.last + 1; b <= to; b++ {
+			idx := b % int64(numBuckets)
+			if idx < 0 {
+				idx += int64(numBuckets)
+			}
+			c.counts[idx] = 0
+		}
+	}
+	c.last = to
+}
+
+// Predictor forecasts next-period popularity from observed snapshots. The
+// paper found historical values sufficient ("we found using the
+// historical value is sufficient"), so Historical is the default; EWMA is
+// provided for smoother workloads.
+type Predictor[K comparable] interface {
+	// Observe feeds the popularity snapshot for the period that just
+	// ended.
+	Observe(snapshot map[K]int64)
+	// Predict returns the forecast popularity for every known key.
+	Predict() map[K]float64
+}
+
+// Historical predicts next-period popularity as exactly the last observed
+// value.
+type Historical[K comparable] struct {
+	last map[K]int64
+}
+
+// NewHistorical creates a Historical predictor.
+func NewHistorical[K comparable]() *Historical[K] {
+	return &Historical[K]{last: make(map[K]int64)}
+}
+
+// Observe implements Predictor.
+func (h *Historical[K]) Observe(snapshot map[K]int64) {
+	h.last = make(map[K]int64, len(snapshot))
+	for k, v := range snapshot {
+		h.last[k] = v
+	}
+}
+
+// Predict implements Predictor.
+func (h *Historical[K]) Predict() map[K]float64 {
+	out := make(map[K]float64, len(h.last))
+	for k, v := range h.last {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+// EWMA predicts popularity with an exponentially weighted moving average:
+// p <- alpha*observed + (1-alpha)*p. Keys absent from a snapshot decay
+// toward zero and are dropped below a small threshold.
+type EWMA[K comparable] struct {
+	alpha float64
+	est   map[K]float64
+}
+
+// NewEWMA creates an EWMA predictor; alpha must be in (0, 1].
+func NewEWMA[K comparable](alpha float64) (*EWMA[K], error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("popularity: alpha %v out of (0,1]", alpha)
+	}
+	return &EWMA[K]{alpha: alpha, est: make(map[K]float64)}, nil
+}
+
+// Observe implements Predictor.
+func (e *EWMA[K]) Observe(snapshot map[K]int64) {
+	const epsilon = 1e-6
+	for k, est := range e.est {
+		obs := float64(snapshot[k]) // zero if absent
+		next := e.alpha*obs + (1-e.alpha)*est
+		if next < epsilon {
+			delete(e.est, k)
+			continue
+		}
+		e.est[k] = next
+	}
+	for k, v := range snapshot {
+		if _, ok := e.est[k]; !ok {
+			e.est[k] = e.alpha * float64(v)
+		}
+	}
+}
+
+// Predict implements Predictor.
+func (e *EWMA[K]) Predict() map[K]float64 {
+	out := make(map[K]float64, len(e.est))
+	for k, v := range e.est {
+		out[k] = v
+	}
+	return out
+}
+
+var (
+	_ Predictor[int] = (*Historical[int])(nil)
+	_ Predictor[int] = (*EWMA[int])(nil)
+)

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+func TestFifoBasics(t *testing.T) {
+	var q fifo
+	if _, ok := q.peek(); ok {
+		t.Error("empty fifo peeked a value")
+	}
+	q.push(1)
+	q.push(2)
+	q.push(3)
+	if idx, ok := q.peek(); !ok || idx != 1 {
+		t.Errorf("peek = %d/%v, want 1/true", idx, ok)
+	}
+	q.pop()
+	if idx, ok := q.peek(); !ok || idx != 2 {
+		t.Errorf("peek after pop = %d/%v, want 2/true", idx, ok)
+	}
+	q.pop()
+	q.pop()
+	if _, ok := q.peek(); ok {
+		t.Error("drained fifo peeked a value")
+	}
+}
+
+func TestFifoCompaction(t *testing.T) {
+	var q fifo
+	const n = 20000
+	for i := 0; i < n; i++ {
+		q.push(i)
+	}
+	for i := 0; i < n; i++ {
+		idx, ok := q.peek()
+		if !ok || idx != i {
+			t.Fatalf("peek %d = %d/%v", i, idx, ok)
+		}
+		q.pop()
+	}
+	// Compaction must have shrunk the retained prefix.
+	if len(q.items) > n/2 {
+		t.Errorf("fifo never compacted: %d items retained", len(q.items))
+	}
+}
+
+func TestFifoPendingLive(t *testing.T) {
+	arena := []task{{done: true}, {done: true}, {done: false}}
+	var q fifo
+	q.push(0)
+	q.push(1)
+	q.push(2)
+	if !q.pendingLive(arena) {
+		t.Fatal("live task not found past tombstones")
+	}
+	if idx, _ := q.peek(); idx != 2 {
+		t.Errorf("peek after pendingLive = %d, want 2 (tombstones skipped)", idx)
+	}
+	arena[2].done = true
+	if q.pendingLive(arena) {
+		t.Error("all-done queue reported live tasks")
+	}
+}

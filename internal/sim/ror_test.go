@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/topology"
+	"aurora/internal/trace"
+)
+
+func TestNewDAREPolicyValidation(t *testing.T) {
+	if _, err := NewDAREPolicy(1, -0.1, 0); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewDAREPolicy(1, 1.5, 0); err == nil {
+		t.Error("probability above 1 accepted")
+	}
+	if _, err := NewAuroraRoRPolicy(1, 2, core.OptimizerOptions{}); err == nil {
+		t.Error("RoR probability above 1 accepted")
+	}
+}
+
+func TestDAREReplicatesOnRemoteRead(t *testing.T) {
+	cl := smallCluster(t)
+	tr := smallTrace(t, 41, 40, 6, 150)
+	budget := tr.NumBlocks()*3 + tr.NumBlocks()
+
+	dare, err := NewDAREPolicy(41, 1.0, budget)
+	if err != nil {
+		t.Fatalf("NewDAREPolicy: %v", err)
+	}
+	res, err := Run(Config{Cluster: cl, Trace: tr, Policy: dare})
+	if err != nil {
+		t.Fatalf("Run dare: %v", err)
+	}
+	if res.Replications == 0 {
+		t.Error("DARE with p=1 performed no replication-on-read")
+	}
+	if res.Migrations != 0 {
+		t.Errorf("DARE migrated %d blocks; it must only replicate", res.Migrations)
+	}
+
+	// With probability 0 it degenerates to plain HDFS.
+	noop, err := NewDAREPolicy(41, 0, budget)
+	if err != nil {
+		t.Fatalf("NewDAREPolicy: %v", err)
+	}
+	res0, err := Run(Config{Cluster: cl, Trace: tr, Policy: noop})
+	if err != nil {
+		t.Fatalf("Run dare p=0: %v", err)
+	}
+	if res0.Replications != 0 {
+		t.Errorf("DARE with p=0 replicated %d blocks", res0.Replications)
+	}
+}
+
+func TestDARERespectsBudgetAndFeasibility(t *testing.T) {
+	cl := smallCluster(t)
+	tr := smallTrace(t, 42, 40, 6, 150)
+	minTotal := tr.NumBlocks() * 3
+	budget := minTotal + 20 // tight: forces LRU eviction
+
+	dare, err := NewDAREPolicy(42, 1.0, budget)
+	if err != nil {
+		t.Fatalf("NewDAREPolicy: %v", err)
+	}
+	// Run validates placement feasibility (MinReplicas/MinRacks) at the
+	// end, so LRU eviction breaking fault tolerance would fail here.
+	res, err := Run(Config{Cluster: cl, Trace: tr, Policy: dare})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Replications == 0 {
+		t.Error("tight-budget DARE never replicated")
+	}
+}
+
+func TestAuroraRoRImprovesOnTightBudget(t *testing.T) {
+	cl := smallCluster(t)
+	tr := smallTrace(t, 43, 40, 6, 200)
+	budget := tr.NumBlocks()*3 + tr.NumBlocks()/2
+
+	base := &AuroraPolicy{Opts: core.OptimizerOptions{
+		Epsilon: 0.1, RackAware: true,
+		ReplicationBudget: budget, MaxReplicationMoves: 20000,
+	}}
+	plain, err := Run(Config{Cluster: cl, Trace: tr, Policy: base})
+	if err != nil {
+		t.Fatalf("Run aurora: %v", err)
+	}
+	ror, err := NewAuroraRoRPolicy(43, 0.5, core.OptimizerOptions{
+		Epsilon: 0.1, RackAware: true,
+		ReplicationBudget: budget, MaxReplicationMoves: 20000,
+	})
+	if err != nil {
+		t.Fatalf("NewAuroraRoRPolicy: %v", err)
+	}
+	withRoR, err := Run(Config{Cluster: cl, Trace: tr, Policy: ror})
+	if err != nil {
+		t.Fatalf("Run aurora+ror: %v", err)
+	}
+	// RoR replication reacts within the epoch, so it should replicate at
+	// least as much and never do dramatically worse on locality.
+	if withRoR.Replications <= plain.Replications {
+		t.Errorf("aurora+ror replicated %d <= plain %d", withRoR.Replications, plain.Replications)
+	}
+	if withRoR.NonLocalTasks() > plain.NonLocalTasks()*2 {
+		t.Errorf("aurora+ror remote %d far above plain %d", withRoR.NonLocalTasks(), plain.NonLocalTasks())
+	}
+}
+
+func TestDAREOnTaskDirect(t *testing.T) {
+	cl, err := topology.Uniform(2, 2, 4, 2)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	p, err := core.NewPlacement(cl, []core.BlockSpec{
+		{ID: 1, Popularity: 10, MinReplicas: 2, MinRacks: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	if err := p.AddReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddReplica(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	dare, err := NewDAREPolicy(5, 1.0, 0)
+	if err != nil {
+		t.Fatalf("NewDAREPolicy: %v", err)
+	}
+	// Remote task on machine 1 replicates there.
+	if n := dare.OnTask(p, 1, 1, false, 100); n != 1 {
+		t.Errorf("OnTask remote = %d, want 1", n)
+	}
+	if !p.HasReplica(1, 1) {
+		t.Error("replica not created on reading machine")
+	}
+	// Local task only refreshes recency.
+	if n := dare.OnTask(p, 1, 1, true, 200); n != 0 {
+		t.Errorf("OnTask local = %d, want 0", n)
+	}
+	// A machine already holding the block never re-replicates.
+	if n := dare.OnTask(p, 1, 0, false, 300); n != 0 {
+		t.Errorf("OnTask holder = %d, want 0", n)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDAREInSweepTrace(t *testing.T) {
+	// End-to-end smoke at a different trace shape (SWIM-like).
+	cl := smallCluster(t)
+	cfg := trace.SWIMLike(44, 30, 4, 100)
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dare, err := NewDAREPolicy(44, 0.3, tr.NumBlocks()*4)
+	if err != nil {
+		t.Fatalf("NewDAREPolicy: %v", err)
+	}
+	if _, err := Run(Config{Cluster: cl, Trace: tr, Policy: dare}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package topology models the physical layout of a storage cluster:
+// machines grouped into racks, each machine with a bounded block capacity.
+//
+// The model matches the one in Section III of the Aurora paper (ICDCS'15):
+// M identical machines grouped into R racks, where the capacity C_m of a
+// machine is expressed as the maximum number of blocks it can store. Since
+// almost all blocks in an HDFS-style file system have the maximum block
+// size, a block-count capacity upper-bounds the byte capacity.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MachineID identifies a machine within a cluster. IDs are dense integers
+// in [0, NumMachines), assigned in rack order so that conversions between
+// slices and machines are allocation-free.
+type MachineID int
+
+// RackID identifies a rack within a cluster. IDs are dense integers in
+// [0, NumRacks).
+type RackID int
+
+// NoMachine and NoRack are sentinels for "no such machine/rack".
+const (
+	NoMachine MachineID = -1
+	NoRack    RackID    = -1
+)
+
+// Machine describes a single machine: its identity, the rack that houses
+// it, and its capacity in blocks.
+type Machine struct {
+	ID       MachineID
+	Rack     RackID
+	Capacity int // maximum number of block replicas this machine may hold
+	Slots    int // concurrent task slots (used by the scheduler/simulator)
+}
+
+// Rack describes a single rack and the machines it contains.
+type Rack struct {
+	ID       RackID
+	Machines []MachineID
+}
+
+// Cluster is an immutable description of the cluster layout. Build one
+// with a Builder or with Uniform. A Cluster carries no load state; load
+// bookkeeping lives in the placement packages.
+type Cluster struct {
+	machines []Machine
+	racks    []Rack
+}
+
+// Errors returned by cluster construction and lookup.
+var (
+	ErrNoMachines      = errors.New("topology: cluster has no machines")
+	ErrBadCapacity     = errors.New("topology: machine capacity must be positive")
+	ErrBadSlots        = errors.New("topology: machine slots must be non-negative")
+	ErrUnknownMachine  = errors.New("topology: unknown machine")
+	ErrUnknownRack     = errors.New("topology: unknown rack")
+	ErrEmptyRack       = errors.New("topology: rack has no machines")
+	ErrBadRackCount    = errors.New("topology: rack count must be positive")
+	ErrBadMachineCount = errors.New("topology: machines per rack must be positive")
+)
+
+// Builder assembles a Cluster incrementally. The zero value is ready to
+// use.
+type Builder struct {
+	machines []Machine
+	racks    []Rack
+}
+
+// AddRack appends a new empty rack and returns its ID.
+func (b *Builder) AddRack() RackID {
+	id := RackID(len(b.racks))
+	b.racks = append(b.racks, Rack{ID: id})
+	return id
+}
+
+// AddMachine appends a machine to rack r with the given block capacity and
+// task slots, returning the machine's ID. It returns an error if the rack
+// does not exist or the capacity is invalid.
+func (b *Builder) AddMachine(r RackID, capacity, slots int) (MachineID, error) {
+	if int(r) < 0 || int(r) >= len(b.racks) {
+		return NoMachine, fmt.Errorf("%w: rack %d", ErrUnknownRack, r)
+	}
+	if capacity <= 0 {
+		return NoMachine, fmt.Errorf("%w: got %d", ErrBadCapacity, capacity)
+	}
+	if slots < 0 {
+		return NoMachine, fmt.Errorf("%w: got %d", ErrBadSlots, slots)
+	}
+	id := MachineID(len(b.machines))
+	b.machines = append(b.machines, Machine{ID: id, Rack: r, Capacity: capacity, Slots: slots})
+	b.racks[r].Machines = append(b.racks[r].Machines, id)
+	return id, nil
+}
+
+// Build finalizes the cluster. Racks that ended up empty are rejected so
+// that downstream code may assume every rack has at least one machine.
+func (b *Builder) Build() (*Cluster, error) {
+	if len(b.machines) == 0 {
+		return nil, ErrNoMachines
+	}
+	for _, r := range b.racks {
+		if len(r.Machines) == 0 {
+			return nil, fmt.Errorf("%w: rack %d", ErrEmptyRack, r.ID)
+		}
+	}
+	c := &Cluster{
+		machines: make([]Machine, len(b.machines)),
+		racks:    make([]Rack, len(b.racks)),
+	}
+	copy(c.machines, b.machines)
+	for i, r := range b.racks {
+		ms := make([]MachineID, len(r.Machines))
+		copy(ms, r.Machines)
+		c.racks[i] = Rack{ID: r.ID, Machines: ms}
+	}
+	return c, nil
+}
+
+// Uniform builds the common homogeneous layout: racks racks, each with
+// machinesPerRack machines of the given capacity and slot count. This is
+// the layout used throughout the paper's evaluation (13 racks x 65
+// machines).
+func Uniform(racks, machinesPerRack, capacity, slots int) (*Cluster, error) {
+	if racks <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadRackCount, racks)
+	}
+	if machinesPerRack <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadMachineCount, machinesPerRack)
+	}
+	var b Builder
+	for r := 0; r < racks; r++ {
+		rid := b.AddRack()
+		for m := 0; m < machinesPerRack; m++ {
+			if _, err := b.AddMachine(rid, capacity, slots); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NumMachines reports the number of machines in the cluster.
+func (c *Cluster) NumMachines() int { return len(c.machines) }
+
+// NumRacks reports the number of racks in the cluster.
+func (c *Cluster) NumRacks() int { return len(c.racks) }
+
+// Machine returns the machine with the given ID.
+func (c *Cluster) Machine(id MachineID) (Machine, error) {
+	if int(id) < 0 || int(id) >= len(c.machines) {
+		return Machine{}, fmt.Errorf("%w: machine %d", ErrUnknownMachine, id)
+	}
+	return c.machines[id], nil
+}
+
+// MustMachine is Machine for callers that have already validated the ID
+// (e.g. iteration over Machines()). It panics on an unknown ID.
+func (c *Cluster) MustMachine(id MachineID) Machine {
+	m, err := c.Machine(id)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rack returns the rack with the given ID.
+func (c *Cluster) Rack(id RackID) (Rack, error) {
+	if int(id) < 0 || int(id) >= len(c.racks) {
+		return Rack{}, fmt.Errorf("%w: rack %d", ErrUnknownRack, id)
+	}
+	r := c.racks[id]
+	ms := make([]MachineID, len(r.Machines))
+	copy(ms, r.Machines)
+	return Rack{ID: r.ID, Machines: ms}, nil
+}
+
+// RackOf returns the rack that houses machine id.
+func (c *Cluster) RackOf(id MachineID) (RackID, error) {
+	m, err := c.Machine(id)
+	if err != nil {
+		return NoRack, err
+	}
+	return m.Rack, nil
+}
+
+// Machines returns all machine IDs in ascending order. The returned slice
+// is fresh and may be mutated by the caller.
+func (c *Cluster) Machines() []MachineID {
+	ids := make([]MachineID, len(c.machines))
+	for i := range c.machines {
+		ids[i] = MachineID(i)
+	}
+	return ids
+}
+
+// Racks returns all rack IDs in ascending order. The returned slice is
+// fresh and may be mutated by the caller.
+func (c *Cluster) Racks() []RackID {
+	ids := make([]RackID, len(c.racks))
+	for i := range c.racks {
+		ids[i] = RackID(i)
+	}
+	return ids
+}
+
+// MachinesInRack returns the machine IDs housed in rack id, in ascending
+// order. The returned slice is fresh.
+func (c *Cluster) MachinesInRack(id RackID) ([]MachineID, error) {
+	r, err := c.Rack(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Machines, nil
+}
+
+// Capacity returns the block capacity of machine id, or 0 for an unknown
+// machine.
+func (c *Cluster) Capacity(id MachineID) int {
+	if int(id) < 0 || int(id) >= len(c.machines) {
+		return 0
+	}
+	return c.machines[id].Capacity
+}
+
+// TotalCapacity returns the sum of all machine capacities.
+func (c *Cluster) TotalCapacity() int {
+	total := 0
+	for _, m := range c.machines {
+		total += m.Capacity
+	}
+	return total
+}
+
+// SameRack reports whether machines a and b are in the same rack. Unknown
+// machines are never in the same rack.
+func (c *Cluster) SameRack(a, b MachineID) bool {
+	ra, errA := c.RackOf(a)
+	rb, errB := c.RackOf(b)
+	return errA == nil && errB == nil && ra == rb
+}
+
+// String summarizes the layout, e.g. "cluster{13 racks, 845 machines}".
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{%d racks, %d machines}", len(c.racks), len(c.machines))
+}
+
+// Validate re-checks internal invariants. It is primarily a test helper
+// and a guard for clusters reconstructed from snapshots: every machine
+// belongs to the rack that lists it, and rack member lists are sorted and
+// duplicate-free.
+func (c *Cluster) Validate() error {
+	if len(c.machines) == 0 {
+		return ErrNoMachines
+	}
+	seen := make(map[MachineID]RackID, len(c.machines))
+	for _, r := range c.racks {
+		if len(r.Machines) == 0 {
+			return fmt.Errorf("%w: rack %d", ErrEmptyRack, r.ID)
+		}
+		if !sort.SliceIsSorted(r.Machines, func(i, j int) bool { return r.Machines[i] < r.Machines[j] }) {
+			return fmt.Errorf("topology: rack %d machine list not sorted", r.ID)
+		}
+		for _, m := range r.Machines {
+			if _, dup := seen[m]; dup {
+				return fmt.Errorf("topology: machine %d listed in multiple racks", m)
+			}
+			seen[m] = r.ID
+		}
+	}
+	for _, m := range c.machines {
+		if m.Capacity <= 0 {
+			return fmt.Errorf("%w: machine %d", ErrBadCapacity, m.ID)
+		}
+		rack, ok := seen[m.ID]
+		if !ok {
+			return fmt.Errorf("topology: machine %d not listed in any rack", m.ID)
+		}
+		if rack != m.Rack {
+			return fmt.Errorf("topology: machine %d claims rack %d but is listed in rack %d", m.ID, m.Rack, rack)
+		}
+	}
+	return nil
+}

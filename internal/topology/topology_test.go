@@ -1,0 +1,214 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformLayout(t *testing.T) {
+	c, err := Uniform(13, 65, 1000, 14)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if got, want := c.NumMachines(), 845; got != want {
+		t.Errorf("NumMachines = %d, want %d", got, want)
+	}
+	if got, want := c.NumRacks(), 13; got != want {
+		t.Errorf("NumRacks = %d, want %d", got, want)
+	}
+	if got, want := c.TotalCapacity(), 845*1000; got != want {
+		t.Errorf("TotalCapacity = %d, want %d", got, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestUniformRejectsBadArgs(t *testing.T) {
+	tests := []struct {
+		name                   string
+		racks, perRack, cap, s int
+		wantErr                error
+	}{
+		{"zero racks", 0, 5, 10, 1, ErrBadRackCount},
+		{"negative racks", -1, 5, 10, 1, ErrBadRackCount},
+		{"zero machines", 3, 0, 10, 1, ErrBadMachineCount},
+		{"zero capacity", 3, 5, 0, 1, ErrBadCapacity},
+		{"negative capacity", 3, 5, -2, 1, ErrBadCapacity},
+		{"negative slots", 3, 5, 10, -1, ErrBadSlots},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Uniform(tt.racks, tt.perRack, tt.cap, tt.s); !errors.Is(err, tt.wantErr) {
+				t.Errorf("Uniform(%d,%d,%d,%d) err = %v, want %v", tt.racks, tt.perRack, tt.cap, tt.s, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuilderHeterogeneous(t *testing.T) {
+	var b Builder
+	r0 := b.AddRack()
+	r1 := b.AddRack()
+	m0, err := b.AddMachine(r0, 10, 4)
+	if err != nil {
+		t.Fatalf("AddMachine: %v", err)
+	}
+	m1, err := b.AddMachine(r1, 20, 8)
+	if err != nil {
+		t.Fatalf("AddMachine: %v", err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := c.Capacity(m0); got != 10 {
+		t.Errorf("Capacity(m0) = %d, want 10", got)
+	}
+	if got := c.Capacity(m1); got != 20 {
+		t.Errorf("Capacity(m1) = %d, want 20", got)
+	}
+	if rack, _ := c.RackOf(m1); rack != r1 {
+		t.Errorf("RackOf(m1) = %d, want %d", rack, r1)
+	}
+	if c.SameRack(m0, m1) {
+		t.Error("SameRack(m0, m1) = true, want false")
+	}
+	if !c.SameRack(m0, m0) {
+		t.Error("SameRack(m0, m0) = false, want true")
+	}
+}
+
+func TestBuilderRejectsEmptyRack(t *testing.T) {
+	var b Builder
+	r0 := b.AddRack()
+	b.AddRack() // stays empty
+	if _, err := b.AddMachine(r0, 10, 1); err != nil {
+		t.Fatalf("AddMachine: %v", err)
+	}
+	if _, err := b.Build(); !errors.Is(err, ErrEmptyRack) {
+		t.Errorf("Build err = %v, want ErrEmptyRack", err)
+	}
+}
+
+func TestBuilderRejectsUnknownRack(t *testing.T) {
+	var b Builder
+	if _, err := b.AddMachine(RackID(3), 10, 1); !errors.Is(err, ErrUnknownRack) {
+		t.Errorf("AddMachine err = %v, want ErrUnknownRack", err)
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	var b Builder
+	if _, err := b.Build(); !errors.Is(err, ErrNoMachines) {
+		t.Errorf("Build err = %v, want ErrNoMachines", err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	c, err := Uniform(2, 2, 5, 1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if _, err := c.Machine(MachineID(99)); !errors.Is(err, ErrUnknownMachine) {
+		t.Errorf("Machine(99) err = %v, want ErrUnknownMachine", err)
+	}
+	if _, err := c.Machine(NoMachine); !errors.Is(err, ErrUnknownMachine) {
+		t.Errorf("Machine(-1) err = %v, want ErrUnknownMachine", err)
+	}
+	if _, err := c.Rack(RackID(7)); !errors.Is(err, ErrUnknownRack) {
+		t.Errorf("Rack(7) err = %v, want ErrUnknownRack", err)
+	}
+	if _, err := c.RackOf(MachineID(99)); !errors.Is(err, ErrUnknownMachine) {
+		t.Errorf("RackOf(99) err = %v, want ErrUnknownMachine", err)
+	}
+	if _, err := c.MachinesInRack(RackID(-2)); !errors.Is(err, ErrUnknownRack) {
+		t.Errorf("MachinesInRack(-2) err = %v, want ErrUnknownRack", err)
+	}
+	if got := c.Capacity(MachineID(99)); got != 0 {
+		t.Errorf("Capacity(99) = %d, want 0", got)
+	}
+}
+
+func TestMachinesAndRacksAreCopies(t *testing.T) {
+	c, err := Uniform(2, 3, 5, 1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	ms := c.Machines()
+	ms[0] = MachineID(42)
+	if c.Machines()[0] != 0 {
+		t.Error("mutating Machines() result leaked into cluster state")
+	}
+	rk, err := c.Rack(0)
+	if err != nil {
+		t.Fatalf("Rack: %v", err)
+	}
+	rk.Machines[0] = MachineID(42)
+	rk2, _ := c.Rack(0)
+	if rk2.Machines[0] != 0 {
+		t.Error("mutating Rack() result leaked into cluster state")
+	}
+}
+
+func TestMustMachinePanicsOnUnknown(t *testing.T) {
+	c, err := Uniform(1, 1, 5, 1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMachine(99) did not panic")
+		}
+	}()
+	c.MustMachine(MachineID(99))
+}
+
+// Property: for any valid uniform layout, every machine is found exactly
+// once across all racks, and RackOf agrees with the rack member lists.
+func TestRackPartitionProperty(t *testing.T) {
+	f := func(racksRaw, perRackRaw uint8) bool {
+		racks := int(racksRaw%8) + 1
+		perRack := int(perRackRaw%16) + 1
+		c, err := Uniform(racks, perRack, 10, 2)
+		if err != nil {
+			return false
+		}
+		seen := make(map[MachineID]int)
+		for _, r := range c.Racks() {
+			ms, err := c.MachinesInRack(r)
+			if err != nil {
+				return false
+			}
+			for _, m := range ms {
+				seen[m]++
+				if got, err := c.RackOf(m); err != nil || got != r {
+					return false
+				}
+			}
+		}
+		if len(seen) != c.NumMachines() {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c, err := Uniform(2, 3, 5, 1)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if got, want := c.String(), "cluster{2 racks, 6 machines}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

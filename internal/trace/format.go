@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"aurora/internal/core"
+)
+
+// The on-disk trace format is JSON Lines: a header record, one record per
+// file, then one record per job, each tagged with a "type" field. The
+// format is self-describing and diffable, and streams without loading the
+// whole trace (jobs are sorted by arrival).
+
+// Errors returned by the codec.
+var (
+	ErrBadFormat = errors.New("trace: malformed trace file")
+)
+
+type record struct {
+	Type string `json:"type"`
+	// header
+	Config *Config `json:"config,omitempty"`
+	// file
+	File   FileID         `json:"file,omitempty"`
+	Blocks []core.BlockID `json:"blocks,omitempty"`
+	// job
+	Job          int64  `json:"job,omitempty"`
+	Arrival      int64  `json:"arrival,omitempty"`
+	JobFile      FileID `json:"jobFile,omitempty"`
+	TaskDuration int64  `json:"taskDuration,omitempty"`
+}
+
+// Write serializes the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	cfg := t.Config
+	if err := enc.Encode(record{Type: "header", Config: &cfg}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, f := range t.Files {
+		if err := enc.Encode(record{Type: "file", File: f.ID, Blocks: f.Blocks}); err != nil {
+			return fmt.Errorf("trace: write file %d: %w", f.ID, err)
+		}
+	}
+	for _, j := range t.Jobs {
+		if err := enc.Encode(record{
+			Type:         "job",
+			Job:          j.ID,
+			Arrival:      j.Arrival,
+			JobFile:      j.File,
+			TaskDuration: j.TaskDuration,
+		}); err != nil {
+			return fmt.Errorf("trace: write job %d: %w", j.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var t Trace
+	files := make(map[FileID][]core.BlockID)
+	sawHeader := false
+	for {
+		var rec record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		switch rec.Type {
+		case "header":
+			if sawHeader {
+				return nil, fmt.Errorf("%w: duplicate header", ErrBadFormat)
+			}
+			if rec.Config == nil {
+				return nil, fmt.Errorf("%w: header without config", ErrBadFormat)
+			}
+			t.Config = *rec.Config
+			sawHeader = true
+		case "file":
+			if _, dup := files[rec.File]; dup {
+				return nil, fmt.Errorf("%w: duplicate file %d", ErrBadFormat, rec.File)
+			}
+			files[rec.File] = rec.Blocks
+			t.Files = append(t.Files, File{ID: rec.File, Blocks: rec.Blocks})
+		case "job":
+			blocks, ok := files[rec.JobFile]
+			if !ok {
+				return nil, fmt.Errorf("%w: job %d references unknown file %d", ErrBadFormat, rec.Job, rec.JobFile)
+			}
+			t.Jobs = append(t.Jobs, Job{
+				ID:           rec.Job,
+				Arrival:      rec.Arrival,
+				File:         rec.JobFile,
+				Blocks:       blocks,
+				TaskDuration: rec.TaskDuration,
+			})
+		default:
+			return nil, fmt.Errorf("%w: unknown record type %q", ErrBadFormat, rec.Type)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("%w: missing header", ErrBadFormat)
+	}
+	return &t, nil
+}
