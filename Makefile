@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet lint race ci
+
+all: build test
+
+# Both tag variants must compile: the default build and the debug build
+# with runtime invariant assertions (internal/invariant.Enabled).
+build:
+	$(GO) build ./...
+	$(GO) build -tags invariantdebug ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The project-specific analyzer: guarded-by, mutex copies, determinism,
+# float comparison discipline, discarded errors. See DESIGN.md §8.
+lint: vet
+	$(GO) run ./cmd/aurora-lint ./...
+
+# Race detector with invariant assertions compiled in, so every
+# optimizer period in the stress tests also checks the paper invariants.
+race:
+	$(GO) test -race -tags invariantdebug ./...
+
+ci: build lint test race

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The determinism rule (//lint:deterministic): the paper's algorithms
+// and the simulator must be replayable from a seed, so packages that opt
+// in may not draw from the global math/rand generators or read the wall
+// clock. Randomness is threaded as a *rand.Rand and time as an explicit
+// clock/tick value.
+
+// randConstructors are the math/rand and math/rand/v2 names that build
+// or type seeded generators — the only sanctioned uses.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true, "Rand": true, "Source": true, "Source64": true,
+	"PCG": true, "ChaCha8": true, "Zipf": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// checkDeterminism flags global-generator and wall-clock uses in
+// packages that declared //lint:deterministic.
+func (r *Runner) checkDeterminism(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					r.report(sel.Pos(), RuleDeterminism,
+						"global rand.%s in a deterministic package; thread a seeded *rand.Rand instead",
+						sel.Sel.Name)
+				}
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					r.report(sel.Pos(), RuleDeterminism,
+						"time.%s reads the wall clock in a deterministic package; thread an explicit clock",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// The error-hygiene rule: a call whose results include an error may not
+// be used as a bare statement — the error silently vanishes. Explicitly
+// assigning to blank (`_ = f()`) is allowed: it is visible intent, and
+// the form reviewers grep for. Deferred calls (`defer f.Close()`) are
+// exempt: their errors arrive after the interesting return value is
+// already decided, and Close-on-cleanup is the repo's convention.
+// Test files are not analyzed at all.
+
+// resultHasError reports whether t (a single type or a tuple) contains
+// the error type.
+func resultHasError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// exempt reports calls whose error is noise by convention: the fmt
+// print family (diagnostic output is best-effort; Fprint errors surface
+// via the writer's own Close/Flush), and in-memory writers that are
+// documented never to fail.
+func exempt(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pkg.Info.Uses[ident].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		}
+	}
+	if t := pkg.Info.TypeOf(sel.X); t != nil {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		switch t.String() {
+		case "bytes.Buffer", "strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrCheck flags expression statements that discard an error.
+func (r *Runner) checkErrCheck(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !resultHasError(pkg.Info.TypeOf(call)) {
+				return true
+			}
+			if exempt(pkg, call) {
+				return true
+			}
+			var buf bytes.Buffer
+			if err := printer.Fprint(&buf, r.fset, call.Fun); err != nil {
+				buf.Reset()
+				buf.WriteString("call")
+			}
+			r.report(call.Pos(), RuleErrCheck,
+				"error returned by %s is discarded; handle it or assign to _ explicitly", buf.String())
+			return true
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The strict-float rule (//lint:strictfloat): load and popularity values
+// in the placement algorithms are accumulated incrementally, so two
+// mathematically equal loads can differ by rounding drift. Packages that
+// opt in may not compare floats with == or != directly; they use an
+// epsilon helper (core.floatEq) or suppress a deliberate exact check
+// with //lint:ignore floatcmp <why>.
+
+// isFloat reports whether t is (or is an alias/named form of) a
+// floating-point type, including untyped float constants.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// checkFloatCmp flags exact float equality comparisons in strict-float
+// packages.
+func (r *Runner) checkFloatCmp(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pkg.Info.TypeOf(be.X)) && isFloat(pkg.Info.TypeOf(be.Y)) {
+				r.report(be.OpPos, RuleFloatCmp,
+					"exact float comparison (%s) in a strict-float package; use the epsilon helper (floatEq) or //lint:ignore floatcmp <why>",
+					be.Op)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The guarded-by convention (documented in DESIGN.md): inside a struct,
+// a sync.Mutex/sync.RWMutex field guards every field that follows it in
+// the same contiguous field group — the run of fields unbroken by a
+// blank line. A blank line (or another mutex field) ends the group, so
+// unguarded fields (channels closed once, construction-time immutables,
+// self-synchronized members) are declared in their own groups.
+//
+// The rule is a conservative intra-procedural check of the exported API:
+// an exported method that reads or writes a guarded field must first
+// call Lock/RLock on the guarding mutex (lexically before the access).
+// Unexported helpers follow the *Locked naming convention and are the
+// caller's responsibility.
+
+// mutexGroup is one mutex field and the fields it guards.
+type mutexGroup struct {
+	mutexField string // "" for an embedded sync.Mutex
+	rw         bool
+	fields     map[string]bool
+}
+
+// guardedStruct is a struct type with at least one mutex field.
+type guardedStruct struct {
+	name   string
+	groups []*mutexGroup
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (rw tells
+// which).
+func isMutexType(t types.Type) (rw bool, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// collectGuardedStructs finds every mutex-bearing struct declared in the
+// package and computes its guarded field groups from the declaration
+// layout.
+func (r *Runner) collectGuardedStructs(pkg *Package) map[string]*guardedStruct {
+	out := make(map[string]*guardedStruct)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				gs := r.groupStructFields(pkg, st)
+				if gs != nil {
+					gs.name = ts.Name.Name
+					out[gs.name] = gs
+				}
+			}
+		}
+	}
+	return out
+}
+
+// groupStructFields walks the struct's fields in declaration order,
+// starting a guarded group at each mutex field and closing it at the
+// first blank line. Returns nil when the struct has no mutex field.
+func (r *Runner) groupStructFields(pkg *Package, st *ast.StructType) *guardedStruct {
+	gs := &guardedStruct{}
+	var cur *mutexGroup
+	var prevEnd int
+	for i, field := range st.Fields.List {
+		start := r.fset.Position(field.Pos()).Line
+		if field.Doc != nil {
+			start = r.fset.Position(field.Doc.Pos()).Line
+		}
+		if i > 0 && start > prevEnd+1 {
+			cur = nil // blank line: the guarded group ends here
+		}
+		prevEnd = r.fset.Position(field.End()).Line
+		if field.Comment != nil {
+			prevEnd = r.fset.Position(field.Comment.End()).Line
+		}
+		ft := pkg.Info.TypeOf(field.Type)
+		if ft != nil {
+			if rw, ok := isMutexType(ft); ok {
+				cur = &mutexGroup{rw: rw, fields: make(map[string]bool)}
+				if len(field.Names) > 0 {
+					cur.mutexField = field.Names[0].Name
+				}
+				gs.groups = append(gs.groups, cur)
+				continue
+			}
+		}
+		if cur == nil {
+			continue
+		}
+		for _, name := range field.Names {
+			cur.fields[name.Name] = true
+		}
+	}
+	if len(gs.groups) == 0 {
+		return nil
+	}
+	return gs
+}
+
+// receiverInfo resolves a method's receiver: the *types.Var of the
+// receiver identifier and the name of its (pointer-stripped) base type.
+func receiverInfo(pkg *Package, fd *ast.FuncDecl) (*types.Var, string) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil, ""
+	}
+	ident := fd.Recv.List[0].Names[0]
+	if ident.Name == "_" {
+		return nil, ""
+	}
+	obj, ok := pkg.Info.Defs[ident].(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return obj, named.Obj().Name()
+}
+
+// checkGuardedBy enforces the guarded-by convention on every exported
+// method of every mutex-bearing struct.
+func (r *Runner) checkGuardedBy(pkg *Package) {
+	structs := r.collectGuardedStructs(pkg)
+	if len(structs) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedFuncName(fd) {
+				continue
+			}
+			recv, typeName := receiverInfo(pkg, fd)
+			if recv == nil {
+				continue
+			}
+			gs, ok := structs[typeName]
+			if !ok {
+				continue
+			}
+			r.checkMethodLocks(pkg, fd, recv, gs)
+		}
+	}
+}
+
+// checkMethodLocks scans one method body in source order: guarded field
+// accesses are only legal after a Lock/RLock call on the guarding mutex.
+func (r *Runner) checkMethodLocks(pkg *Package, fd *ast.FuncDecl, recv *types.Var, gs *guardedStruct) {
+	// lockedAt[g] is the position of the first Lock/RLock on group g's
+	// mutex; math.MaxInt-ish sentinel when never locked.
+	lockedAt := make(map[*mutexGroup]token.Pos)
+	reported := make(map[string]bool)
+
+	isRecv := func(e ast.Expr) bool {
+		ident, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return pkg.Info.Uses[ident] == recv
+	}
+
+	// Pass 1: find the earliest lock call per mutex group.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		var g *mutexGroup
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr: // recv.mu.Lock()
+			if !isRecv(x.X) {
+				return true
+			}
+			for _, cand := range gs.groups {
+				if cand.mutexField == x.Sel.Name {
+					g = cand
+					break
+				}
+			}
+		case *ast.Ident: // recv.Lock() via an embedded mutex
+			if !isRecv(x) {
+				return true
+			}
+			for _, cand := range gs.groups {
+				if cand.mutexField == "" {
+					g = cand
+					break
+				}
+			}
+		}
+		if g == nil {
+			return true
+		}
+		if at, ok := lockedAt[g]; !ok || call.Pos() < at {
+			lockedAt[g] = call.Pos()
+		}
+		return true
+	})
+
+	// Pass 2: every guarded access must come after its mutex was locked.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isRecv(sel.X) {
+			return true
+		}
+		for _, g := range gs.groups {
+			if !g.fields[sel.Sel.Name] {
+				continue
+			}
+			at, locked := lockedAt[g]
+			if locked && at < sel.Pos() {
+				continue
+			}
+			if reported[sel.Sel.Name] {
+				continue
+			}
+			reported[sel.Sel.Name] = true
+			mu := g.mutexField
+			if mu == "" {
+				mu = "the embedded mutex"
+			}
+			if locked {
+				r.report(sel.Pos(), RuleGuardedBy,
+					"%s.%s accesses %q (guarded by %s) before acquiring the lock",
+					gs.name, fd.Name.Name, sel.Sel.Name, mu)
+			} else {
+				r.report(sel.Pos(), RuleGuardedBy,
+					"%s.%s accesses %q without holding %s (guarded fields follow their mutex in the struct; see DESIGN.md)",
+					gs.name, fd.Name.Name, sel.Sel.Name, mu)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The rules aurora-lint enforces. Each diagnostic names the rule that
+// produced it so //lint:ignore directives can target it precisely.
+const (
+	RuleGuardedBy   = "guardedby"   // guarded field accessed without its mutex
+	RuleMutexCopy   = "mutexcopy"   // mutex-bearing struct copied by value
+	RuleDeterminism = "determinism" // global rand / wall clock in deterministic package
+	RuleFloatCmp    = "floatcmp"    // exact ==/!= on floats in strict-float package
+	RuleErrCheck    = "errcheck"    // error result silently discarded
+	RuleDirective   = "directive"   // malformed //lint: directive
+)
+
+var knownRules = map[string]bool{
+	RuleGuardedBy:   true,
+	RuleMutexCopy:   true,
+	RuleDeterminism: true,
+	RuleFloatCmp:    true,
+	RuleErrCheck:    true,
+	RuleDirective:   true,
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// suppressKey identifies one (file, line, rule) suppression installed by
+// a //lint:ignore directive.
+type suppressKey struct {
+	file string
+	line int
+	rule string
+}
+
+// pkgDirectives is what the //lint: comments of one package declare.
+type pkgDirectives struct {
+	deterministic bool // //lint:deterministic — no global rand / wall clock
+	strictfloat   bool // //lint:strictfloat — no exact float ==/!=
+}
+
+// Runner executes every rule over a set of packages and collects
+// diagnostics.
+type Runner struct {
+	fset       *token.FileSet
+	diags      []Diagnostic
+	suppressed map[suppressKey]bool
+}
+
+// NewRunner prepares a runner over the given file set.
+func NewRunner(fset *token.FileSet) *Runner {
+	return &Runner{fset: fset, suppressed: make(map[suppressKey]bool)}
+}
+
+// Check runs every rule on the package.
+func (r *Runner) Check(pkg *Package) {
+	dir := r.scanDirectives(pkg)
+	r.checkGuardedBy(pkg)
+	r.checkMutexCopy(pkg)
+	if dir.deterministic {
+		r.checkDeterminism(pkg)
+	}
+	if dir.strictfloat {
+		r.checkFloatCmp(pkg)
+	}
+	r.checkErrCheck(pkg)
+}
+
+// Diagnostics returns the surviving findings sorted by position.
+func (r *Runner) Diagnostics() []Diagnostic {
+	out := make([]Diagnostic, 0, len(r.diags))
+	for _, d := range r.diags {
+		if r.suppressed[suppressKey{file: d.Pos.Filename, line: d.Pos.Line, rule: d.Rule}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+func (r *Runner) report(pos token.Pos, rule, format string, args ...any) {
+	r.diags = append(r.diags, Diagnostic{
+		Pos:     r.fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// scanDirectives interprets //lint: comments: package-mode directives
+// (deterministic, strictfloat), suppressions (ignore <rule> <reason>),
+// and flags anything malformed.
+func (r *Runner) scanDirectives(pkg *Package) pkgDirectives {
+	var dir pkgDirectives
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					r.report(c.Pos(), RuleDirective, "empty //lint: directive")
+					continue
+				}
+				switch fields[0] {
+				case "deterministic":
+					dir.deterministic = true
+				case "strictfloat":
+					dir.strictfloat = true
+				case "ignore":
+					if len(fields) < 3 {
+						r.report(c.Pos(), RuleDirective,
+							"//lint:ignore needs a rule and a reason: //lint:ignore <rule> <why>")
+						continue
+					}
+					pos := r.fset.Position(c.Pos())
+					for _, rule := range strings.Split(fields[1], ",") {
+						if !knownRules[rule] {
+							r.report(c.Pos(), RuleDirective, "unknown rule %q in //lint:ignore", rule)
+							continue
+						}
+						// The directive silences its own line (trailing
+						// comment) and the line below (standalone comment).
+						r.suppressed[suppressKey{file: pos.Filename, line: pos.Line, rule: rule}] = true
+						r.suppressed[suppressKey{file: pos.Filename, line: pos.Line + 1, rule: rule}] = true
+					}
+				default:
+					r.report(c.Pos(), RuleDirective, "unknown //lint: directive %q", fields[0])
+				}
+			}
+		}
+	}
+	return dir
+}
+
+// exportedFuncName reports whether a method name is exported; the
+// guarded-by rule only audits the exported API surface.
+func exportedFuncName(fd *ast.FuncDecl) bool {
+	return fd.Name != nil && ast.IsExported(fd.Name.Name)
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the analyzed module.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the unit aurora-lint analyzes: every package under a module
+// root, parsed and type-checked with a self-contained importer (module
+// packages are resolved from source inside the module; everything else
+// must be standard library, since the module is dependency-free).
+type Module struct {
+	Root string // absolute path of the directory holding go.mod
+	Path string // module path declared in go.mod
+	Fset *token.FileSet
+
+	pkgs    map[string]*Package // by import path, fully loaded
+	loading map[string]bool     // import-cycle guard
+	std     types.ImporterFrom  // stdlib importer (compiles from GOROOT source)
+}
+
+// LoadModule reads go.mod under root and prepares the loader. No
+// packages are loaded yet; call Load or LoadAll.
+func LoadModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("aurora-lint: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("aurora-lint: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	m := &Module{
+		Root:    abs,
+		Path:    modPath,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	m.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return m, nil
+}
+
+// PackageDirs lists every directory under the module root that contains
+// at least one non-test Go file, skipping testdata, hidden and vendor
+// directories. Paths are returned relative to the root, sorted.
+func (m *Module) PackageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != m.Root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(m.Root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadAll loads every package in the module, returning them sorted by
+// import path.
+func (m *Module) LoadAll() ([]*Package, error) {
+	dirs, err := m.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, rel := range dirs {
+		pkg, err := m.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps a root-relative directory to its import path.
+func (m *Module) importPathFor(rel string) string {
+	if rel == "." || rel == "" {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// Load parses and type-checks the package in the given root-relative
+// directory (memoized).
+func (m *Module) Load(rel string) (*Package, error) {
+	return m.load(m.importPathFor(rel))
+}
+
+func (m *Module) load(importPath string) (*Package, error) {
+	if pkg, ok := m.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if m.loading[importPath] {
+		return nil, fmt.Errorf("aurora-lint: import cycle through %q", importPath)
+	}
+	m.loading[importPath] = true
+	defer delete(m.loading, importPath)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, m.Path), "/")
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	files, err := m.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("aurora-lint: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(importPath, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("aurora-lint: type-check %s: %w", importPath, err)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	m.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory, honoring
+// //go:build constraints (only release tags are satisfied, so debug-only
+// files like invariant assertions are linted in their default shape).
+func (m *Module) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if !buildable(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildable evaluates a file's //go:build constraint under the default
+// build configuration: only go1.N release tags are considered true.
+func buildable(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed; let the compiler complain
+			}
+			return expr.Eval(func(tag string) bool {
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
+}
+
+// Import implements types.Importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal packages are
+// loaded from source in the module tree; everything else is delegated to
+// the standard-library importer.
+func (m *Module) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}

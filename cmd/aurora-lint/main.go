@@ -1,0 +1,180 @@
+// Command aurora-lint is the project's static analyzer: a dependency-free
+// correctness gate built on go/parser and go/types that enforces the
+// conventions the Aurora codebase relies on but the compiler cannot
+// check:
+//
+//   - guardedby:   fields declared after a sync.Mutex/RWMutex in the same
+//     field group must not be touched by exported methods without the
+//     lock held; see DESIGN.md "Correctness tooling".
+//   - mutexcopy:   mutex-bearing structs must never be copied by value.
+//   - determinism: packages marked //lint:deterministic (internal/core,
+//     internal/sim) may not use global math/rand or read the wall clock.
+//   - floatcmp:    packages marked //lint:strictfloat (internal/core) may
+//     not compare floats with ==/!=.
+//   - errcheck:    error results may not be silently discarded.
+//
+// Intentional exceptions are annotated in place:
+//
+//	//lint:ignore <rule>[,<rule>] <reason>
+//
+// Usage:
+//
+//	aurora-lint [./...]           # lint the whole module (default)
+//	aurora-lint ./internal/core   # lint specific package directories
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("aurora-lint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	root := flags.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if *root == "" {
+		r, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		*root = r
+	}
+	mod, err := LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	rels, err := resolvePatterns(mod, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	runner := NewRunner(mod.Fset)
+	for _, rel := range rels {
+		pkg, err := mod.Load(rel)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		runner.Check(pkg)
+	}
+	diags := runner.Diagnostics()
+	for _, d := range diags {
+		rel, err := filepath.Rel(mod.Root, d.Pos.Filename)
+		if err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "aurora-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("aurora-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns expands the command-line package patterns into
+// root-relative package directories. Supported forms: "./...",
+// "dir/...", and plain directories.
+func resolvePatterns(mod *Module, patterns []string) ([]string, error) {
+	all, err := mod.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "./..." || pat == "..." {
+			for _, rel := range all {
+				add(rel)
+			}
+			continue
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		rel, err := toModuleRel(mod, pat)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, cand := range all {
+			if cand == rel || (recursive && strings.HasPrefix(cand, rel+string(filepath.Separator))) {
+				add(cand)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("aurora-lint: no packages match %q", pat)
+		}
+	}
+	return out, nil
+}
+
+// toModuleRel normalizes one pattern operand to a module-root-relative
+// path. Relative operands are tried against the working directory
+// first (so `aurora-lint ./internal/core` works from the repo root),
+// then against the module root (so `aurora-lint -root DIR pkg` works
+// from anywhere).
+func toModuleRel(mod *Module, pat string) (string, error) {
+	p := pat
+	if !filepath.IsAbs(p) {
+		cwd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		p = filepath.Join(cwd, p)
+		if rel, err := filepath.Rel(mod.Root, p); err != nil || strings.HasPrefix(rel, "..") {
+			p = filepath.Join(mod.Root, pat)
+		}
+	}
+	rel, err := filepath.Rel(mod.Root, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("aurora-lint: %q is outside module root %s", pat, mod.Root)
+	}
+	return rel, nil
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// finding is one expected diagnostic: file is root-relative with
+// forward slashes, msg is the exact message text.
+type finding struct {
+	file string
+	line int
+	rule string
+	msg  string
+}
+
+// fixtureModule loads the fixture module under testdata/src once per
+// test that needs it.
+func fixtureModule(t *testing.T) (*Module, string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	return mod, root
+}
+
+func TestRulesOnFixtures(t *testing.T) {
+	mod, root := fixtureModule(t)
+
+	tests := []struct {
+		pkg  string
+		want []finding
+	}{
+		{
+			pkg: "guarded",
+			want: []finding{
+				{"guarded/guarded.go", 25, RuleGuardedBy,
+					`Counter.Bad accesses "n" without holding mu (guarded fields follow their mutex in the struct; see DESIGN.md)`},
+				{"guarded/guarded.go", 30, RuleGuardedBy,
+					`Counter.Early accesses "n" (guarded by mu) before acquiring the lock`},
+			},
+		},
+		{
+			pkg: "copies",
+			want: []finding{
+				{"copies/copies.go", 13, RuleMutexCopy,
+					"method receiver of ByValue passes fixture/copies.Store by value, copying its mutex; use a pointer"},
+				{"copies/copies.go", 14, RuleGuardedBy,
+					`Store.ByValue accesses "m" without holding mu (guarded fields follow their mutex in the struct; see DESIGN.md)`},
+				{"copies/copies.go", 18, RuleMutexCopy,
+					"Snapshot passes fixture/copies.Store by value, copying its mutex; use a pointer"},
+				{"copies/copies.go", 19, RuleMutexCopy,
+					"dereference copies fixture/copies.Store including its mutex; keep the pointer"},
+			},
+		},
+		{
+			pkg: "determ",
+			want: []finding{
+				{"determ/determ.go", 13, RuleDeterminism,
+					"global rand.Intn in a deterministic package; thread a seeded *rand.Rand instead"},
+				{"determ/determ.go", 13, RuleDeterminism,
+					"time.Now reads the wall clock in a deterministic package; thread an explicit clock"},
+			},
+		},
+		{
+			pkg: "floats",
+			want: []finding{
+				{"floats/floats.go", 8, RuleFloatCmp,
+					"exact float comparison (==) in a strict-float package; use the epsilon helper (floatEq) or //lint:ignore floatcmp <why>"},
+				// line 14's != is suppressed by the //lint:ignore above it.
+			},
+		},
+		{
+			pkg: "errs",
+			want: []finding{
+				{"errs/errs.go", 12, RuleErrCheck,
+					"error returned by os.Remove is discarded; handle it or assign to _ explicitly"},
+			},
+		},
+		{
+			pkg: "directives",
+			want: []finding{
+				{"directives/directives.go", 4, RuleDirective,
+					`unknown //lint: directive "nonsense"`},
+				{"directives/directives.go", 6, RuleDirective,
+					"//lint:ignore needs a rule and a reason: //lint:ignore <rule> <why>"},
+				{"directives/directives.go", 8, RuleDirective,
+					`unknown rule "badrule" in //lint:ignore`},
+			},
+		},
+		{
+			pkg:  "clean",
+			want: nil,
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.pkg, func(t *testing.T) {
+			pkg, err := mod.Load(tc.pkg)
+			if err != nil {
+				t.Fatalf("Load(%q): %v", tc.pkg, err)
+			}
+			r := NewRunner(mod.Fset)
+			r.Check(pkg)
+			var got []finding
+			for _, d := range r.Diagnostics() {
+				rel, err := filepath.Rel(root, d.Pos.Filename)
+				if err != nil {
+					rel = d.Pos.Filename
+				}
+				got = append(got, finding{filepath.ToSlash(rel), d.Pos.Line, d.Rule, d.Message})
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d diagnostics, want %d:\ngot:  %+v\nwant: %+v", len(got), len(tc.want), got, tc.want)
+			}
+			for i, w := range tc.want {
+				if got[i] != w {
+					t.Errorf("diagnostic %d:\ngot:  %+v\nwant: %+v", i, got[i], w)
+				}
+			}
+		})
+	}
+}
+
+// TestRunEndToEnd drives the CLI entry point against the fixture
+// module: findings mean exit 1, a clean package exits 0, and a bad
+// root exits 2.
+func TestRunEndToEnd(t *testing.T) {
+	_, root := fixtureModule(t)
+
+	capture := func(t *testing.T, args []string) (int, string, string) {
+		t.Helper()
+		outF, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatalf("temp: %v", err)
+		}
+		errF, err := os.CreateTemp(t.TempDir(), "err")
+		if err != nil {
+			t.Fatalf("temp: %v", err)
+		}
+		code := run(args, outF, errF)
+		outB, err := os.ReadFile(outF.Name())
+		if err != nil {
+			t.Fatalf("read stdout: %v", err)
+		}
+		errB, err := os.ReadFile(errF.Name())
+		if err != nil {
+			t.Fatalf("read stderr: %v", err)
+		}
+		return code, string(outB), string(errB)
+	}
+
+	t.Run("findings exit 1", func(t *testing.T) {
+		code, out, errOut := capture(t, []string{"-root", root, "./..."})
+		if code != 1 {
+			t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+		for _, want := range []string{
+			"guarded/guarded.go:25:",
+			"errs/errs.go:12:",
+			"determ/determ.go:13:",
+			"floats/floats.go:8:",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("stdout missing %q:\n%s", want, out)
+			}
+		}
+		if !strings.Contains(errOut, "finding(s)") {
+			t.Errorf("stderr missing summary: %q", errOut)
+		}
+	})
+
+	t.Run("clean package exits 0", func(t *testing.T) {
+		code, out, errOut := capture(t, []string{"-root", root, "clean"})
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+		if strings.TrimSpace(out) != "" {
+			t.Errorf("stdout not empty: %q", out)
+		}
+	})
+
+	t.Run("bad root exits 2", func(t *testing.T) {
+		code, _, _ := capture(t, []string{"-root", filepath.Join(root, "does-not-exist"), "./..."})
+		if code != 2 {
+			t.Fatalf("exit code = %d, want 2", code)
+		}
+	})
+}
+
+// TestSelfLint keeps the repository itself clean: aurora-lint run on
+// the aurora module must report nothing. This is the same gate CI
+// runs, expressed as a plain test so `go test ./...` catches
+// regressions without the Makefile.
+func TestSelfLint(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatalf("findModuleRoot: %v", err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	pkgs, err := mod.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	r := NewRunner(mod.Fset)
+	for _, pkg := range pkgs {
+		r.Check(pkg)
+	}
+	for _, d := range r.Diagnostics() {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,36 @@
+// Package clean is a known-good fixture: every rule enabled, zero
+// findings expected.
+package clean
+
+//lint:deterministic
+//lint:strictfloat
+
+import (
+	"math"
+	"sync"
+)
+
+// Gauge guards v with mu and only touches it under the lock.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v under the lock.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+// Get loads v under the lock.
+func (g *Gauge) Get() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Near compares with a tolerance instead of ==.
+func Near(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}

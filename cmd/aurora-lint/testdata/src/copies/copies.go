@@ -1,0 +1,27 @@
+// Package copies exercises the mutexcopy rule.
+package copies
+
+import "sync"
+
+// Store carries a mutex, so it must never travel by value.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// ByValue has a value receiver: every call copies mu.
+func (s Store) ByValue() int {
+	return len(s.m)
+}
+
+// Snapshot returns the struct by value and dereferences the pointer.
+func Snapshot(s *Store) Store {
+	return *s
+}
+
+// ByPointer is the correct shape.
+func (s *Store) ByPointer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

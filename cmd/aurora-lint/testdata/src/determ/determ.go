@@ -1,0 +1,24 @@
+// Package determ exercises the determinism rule.
+package determ
+
+//lint:deterministic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Roll uses the global source and the wall clock.
+func Roll() int {
+	return rand.Intn(6) + int(time.Now().Unix()%2)
+}
+
+// Seeded threads its own source — allowed.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Elapsed uses an explicit duration, not the wall clock.
+func Elapsed(d time.Duration) float64 {
+	return d.Seconds()
+}

@@ -1,0 +1,11 @@
+// Package directives exercises //lint: directive validation.
+package directives
+
+//lint:nonsense
+
+//lint:ignore floatcmp
+
+//lint:ignore badrule the rule name does not exist
+
+// Nothing anchors the package.
+func Nothing() {}

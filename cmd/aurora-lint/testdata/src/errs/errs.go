@@ -1,0 +1,27 @@
+// Package errs exercises the errcheck rule.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drop silently discards the error from os.Remove.
+func Drop(path string) {
+	os.Remove(path)
+}
+
+// Explicit acknowledges the error with a blank assignment.
+func Explicit(path string) {
+	_ = os.Remove(path)
+}
+
+// Print uses the exempt fmt family and in-memory builders.
+func Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	b.WriteString("y")
+	fmt.Println("z")
+	return b.String()
+}

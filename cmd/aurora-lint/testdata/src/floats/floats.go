@@ -1,0 +1,20 @@
+// Package floats exercises the floatcmp rule.
+package floats
+
+//lint:strictfloat
+
+// Equal compares exactly — flagged.
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+// Different is suppressed with a justification.
+func Different(a, b float64) bool {
+	//lint:ignore floatcmp sentinel value is written verbatim, never computed
+	return a != b
+}
+
+// SameInt compares integers; the rule only cares about floats.
+func SameInt(a, b int) bool {
+	return a == b
+}

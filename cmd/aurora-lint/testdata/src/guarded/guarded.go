@@ -1,0 +1,44 @@
+// Package guarded exercises the guardedby rule: fields following a
+// sync.Mutex in a struct (up to a blank line) are guarded by it.
+package guarded
+
+import "sync"
+
+// Counter's mu guards n; name sits in a separate group above the
+// blank line and is lock-free.
+type Counter struct {
+	name string
+
+	mu sync.Mutex
+	n  int
+}
+
+// Good locks before touching n.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad reads n without ever taking the lock.
+func (c *Counter) Bad() int {
+	return c.n
+}
+
+// Early reads n before acquiring the lock.
+func (c *Counter) Early() int {
+	v := c.n
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v
+}
+
+// Name touches only the unguarded group — no lock needed.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// internal is unexported: outside the audit.
+func (c *Counter) internal() int {
+	return c.n
+}

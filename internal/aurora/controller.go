@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"aurora/internal/core"
+	"aurora/internal/invariant"
 	"aurora/internal/popularity"
 )
 
@@ -146,10 +147,13 @@ func (c *Controller) record(res core.OptimizeResult, err error) {
 // caller records block accesses and the controller periodically refreshes
 // popularities and optimizes.
 type StandaloneTarget struct {
+	// monitor is internally synchronized and clock is immutable after
+	// construction, so neither sits in the mutex-guarded group.
+	monitor *popularity.Monitor[core.BlockID]
+	clock   func() int64
+
 	mu        sync.Mutex
 	placement *core.Placement
-	monitor   *popularity.Monitor[core.BlockID]
-	clock     func() int64
 }
 
 // NewStandaloneTarget wraps placement with a usage monitor whose sliding
@@ -184,7 +188,14 @@ func (t *StandaloneTarget) OptimizeNow(opts core.OptimizerOptions) (core.Optimiz
 			return core.OptimizeResult{}, err
 		}
 	}
-	return core.Optimize(t.placement, opts)
+	assertAfter := invariant.Enabled && t.placement.CheckFeasible() == nil
+	res, err := core.Optimize(t.placement, opts)
+	if err == nil && assertAfter {
+		if verr := invariant.CheckPlacement(t.placement); verr != nil {
+			return res, fmt.Errorf("aurora: post-optimize %w", verr)
+		}
+	}
+	return res, err
 }
 
 // WithPlacement runs fn on the wrapped placement under the target's

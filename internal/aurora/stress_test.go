@@ -1,0 +1,158 @@
+package aurora
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/topology"
+)
+
+// stressPlacement builds a small fully-placed instance for the
+// concurrency tests.
+func stressPlacement(t *testing.T) *core.Placement {
+	t.Helper()
+	cl, err := topology.Uniform(3, 3, 32, 2)
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	specs := make([]core.BlockSpec, 24)
+	for i := range specs {
+		k := i%3 + 1
+		rho := 1
+		if k >= 2 {
+			rho = 2
+		}
+		specs[i] = core.BlockSpec{
+			ID:          core.BlockID(i + 1),
+			Popularity:  float64(i * 3),
+			MinReplicas: k,
+			MinRacks:    rho,
+		}
+	}
+	p, err := core.NewPlacement(cl, specs)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	for _, s := range specs {
+		if err := core.InitialPlace(p, s.ID, s.MinReplicas, topology.NoMachine); err != nil {
+			t.Fatalf("InitialPlace(%d): %v", s.ID, err)
+		}
+	}
+	return p
+}
+
+// TestStandaloneTargetConcurrentStress races popularity recording,
+// placement reads, manual RunOnce calls, and the controller's own
+// periodic optimizations against each other. Run under -race this is
+// the satellite stress test for the Controller/StandaloneTarget pair;
+// the correctness assertions are Validate() under the lock and a sane
+// final state.
+func TestStandaloneTargetConcurrentStress(t *testing.T) {
+	p := stressPlacement(t)
+	budget := p.TotalReplicas() + 8
+
+	var tick atomic.Int64
+	clock := func() int64 { return tick.Add(1) }
+	target, err := NewStandaloneTarget(p, 1000, 4, clock)
+	if err != nil {
+		t.Fatalf("NewStandaloneTarget: %v", err)
+	}
+	ctrl, err := NewController(target, Config{
+		Period: 2 * time.Millisecond,
+		Options: core.OptimizerOptions{
+			Epsilon:           0.1,
+			ReplicationBudget: budget,
+			RackAware:         true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Four writers hammer RecordAccess across the block space.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target.RecordAccess(core.BlockID(i%24 + 1))
+			}
+		}(w)
+	}
+
+	// A reader validates the placement under the target's lock while
+	// the optimizer mutates it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := target.WithPlacement(func(p *core.Placement) error {
+				_ = p.Cost()
+				return p.Validate()
+			})
+			if err != nil {
+				t.Errorf("WithPlacement validate: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Manual periods race the ticker-driven ones.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ctrl.RunOnce(); err != nil {
+				t.Errorf("RunOnce: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := ctrl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st := ctrl.Stats()
+	if st.Periods == 0 {
+		t.Error("controller never ran a period")
+	}
+	if st.Errors != 0 {
+		t.Errorf("controller recorded %d errors", st.Errors)
+	}
+	err = target.WithPlacement(func(p *core.Placement) error {
+		if got := p.TotalReplicas(); got > budget {
+			t.Errorf("TotalReplicas = %d, exceeds budget %d", got, budget)
+		}
+		return p.Validate()
+	})
+	if err != nil {
+		t.Errorf("final validate: %v", err)
+	}
+}

@@ -12,6 +12,14 @@
 // optimization objective is to minimize the maximum machine load λ.
 package core
 
+// The placement algorithms must be replayable from a seed (experiments
+// compare runs) and robust to float rounding drift in incrementally
+// maintained loads. aurora-lint enforces both package-wide; see
+// DESIGN.md "Correctness tooling".
+//
+//lint:deterministic
+//lint:strictfloat
+
 import (
 	"errors"
 	"fmt"

@@ -83,7 +83,7 @@ func rackMinTargets(p *Placement, racks []topology.RackID) []minTarget {
 		targets = append(targets, minTarget{machine: m, load: p.Load(m)})
 	}
 	sort.Slice(targets, func(a, b int) bool {
-		if targets[a].load != targets[b].load {
+		if !floatEq(targets[a].load, targets[b].load) {
 			return targets[a].load < targets[b].load
 		}
 		return targets[a].machine < targets[b].machine

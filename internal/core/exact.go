@@ -47,7 +47,7 @@ func ExactOptimal(cluster *topology.Cluster, specs []BlockSpec, factors map[Bloc
 	sort.Slice(items, func(a, b int) bool {
 		pa := items[a].spec.Popularity / float64(items[a].k)
 		pb := items[b].spec.Popularity / float64(items[b].k)
-		if pa != pb {
+		if !floatEq(pa, pb) {
 			return pa > pb
 		}
 		return items[a].spec.ID < items[b].spec.ID

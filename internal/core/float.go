@@ -1,0 +1,19 @@
+package core
+
+import "math"
+
+// floatEps is the relative tolerance for comparing load and popularity
+// values. Loads are maintained incrementally (AddReplica/RemoveReplica
+// apply per-replica deltas), so two mathematically equal loads can
+// drift apart by a few ulps; this tolerance is far above that drift and
+// far below any meaningful popularity difference (popularities are
+// access counts, so distinct values differ by at least 1/k_i ratios).
+const floatEps = 1e-9
+
+// floatEq reports whether two load/popularity values are equal within
+// floatEps, relative to their magnitude. It is the epsilon helper the
+// strict-float lint rule (//lint:strictfloat) requires in place of
+// ==/!= on floats.
+func floatEq(a, b float64) bool {
+	return math.Abs(a-b) <= floatEps*(1+math.Max(math.Abs(a), math.Abs(b)))
+}

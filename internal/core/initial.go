@@ -132,7 +132,7 @@ func racksByLoad(p *Placement) []topology.RackID {
 	}
 	sort.Slice(racks, func(a, b int) bool {
 		la, lb := p.RackLoadOf(racks[a]), p.RackLoadOf(racks[b])
-		if la != lb {
+		if !floatEq(la, lb) {
 			return la < lb
 		}
 		if used[racks[a]] != used[racks[b]] {
@@ -164,7 +164,7 @@ func leastLoadedHost(p *Placement, id BlockID, racks []topology.RackID, skipRack
 			}
 			load := p.Load(m)
 			if best == topology.NoMachine || load < bestLoad ||
-				(load == bestLoad && p.Used(m) < p.Used(best)) {
+				(floatEq(load, bestLoad) && p.Used(m) < p.Used(best)) {
 				best, bestLoad = m, load
 			}
 		}

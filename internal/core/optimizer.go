@@ -124,7 +124,7 @@ func replicatePhase(p *Placement, opts *OptimizerOptions, res *OptimizeResult) e
 		}
 	}
 	sort.Slice(deficits, func(a, b int) bool {
-		if deficits[a].heat != deficits[b].heat {
+		if !floatEq(deficits[a].heat, deficits[b].heat) {
 			return deficits[a].heat > deficits[b].heat
 		}
 		return deficits[a].id < deficits[b].id
@@ -174,7 +174,7 @@ func newEvictQueue(p *Placement, targets map[BlockID]int) *evictQueue {
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].heat != cands[b].heat {
+		if !floatEq(cands[a].heat, cands[b].heat) {
 			return cands[a].heat < cands[b].heat
 		}
 		return cands[a].id < cands[b].id
@@ -308,7 +308,7 @@ func replicasByLoadDescending(p *Placement, id BlockID) []topology.MachineID {
 	ms := p.Replicas(id)
 	sort.Slice(ms, func(a, b int) bool {
 		la, lb := p.Load(ms[a]), p.Load(ms[b])
-		if la != lb {
+		if !floatEq(la, lb) {
 			return la > lb
 		}
 		return ms[a] < ms[b]

@@ -153,7 +153,7 @@ func (b *blockState) perReplica() float64 {
 // holders after its per-replica popularity changed from oldPerReplica.
 func (p *Placement) reloadBlock(b *blockState, oldPerReplica float64) {
 	newPerReplica := b.perReplica()
-	if newPerReplica == oldPerReplica {
+	if floatEq(newPerReplica, oldPerReplica) {
 		return
 	}
 	delta := newPerReplica - oldPerReplica

@@ -203,7 +203,7 @@ func (h *repHeap) Len() int { return len(h.entries) }
 
 func (h *repHeap) Less(a, b int) bool {
 	ea, eb := h.entries[a], h.entries[b]
-	if ea.key != eb.key {
+	if !floatEq(ea.key, eb.key) {
 		if h.max {
 			return ea.key > eb.key
 		}

@@ -207,7 +207,7 @@ func swapCandidates(p *Placement, m, n topology.MachineID) []swapCand {
 		out = append(out, swapCand{id: j, pop: p.PerReplicaPopularity(j)})
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].pop != out[b].pop {
+		if !floatEq(out[a].pop, out[b].pop) {
 			return out[a].pop < out[b].pop
 		}
 		return out[a].id < out[b].id
@@ -270,7 +270,7 @@ func exclusiveBlocksByPopularity(p *Placement, m, n topology.MachineID) []BlockI
 	}
 	sort.Slice(out, func(a, b int) bool {
 		pa, pb := p.PerReplicaPopularity(out[a]), p.PerReplicaPopularity(out[b])
-		if pa != pb {
+		if !floatEq(pa, pb) {
 			return pa > pb
 		}
 		return out[a] < out[b]

@@ -104,7 +104,7 @@ func Start(cfg Config) (*DataNode, error) {
 		Capacity: cfg.CapacityBlocks,
 	}, nil, cfg.Timeout)
 	if err != nil {
-		dn.server.Close()
+		_ = dn.server.Close() // best effort: the register error is what matters
 		return nil, fmt.Errorf("datanode: register: %w", err)
 	}
 	dn.id = resp.Node

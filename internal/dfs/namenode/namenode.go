@@ -266,11 +266,11 @@ func Start(cfg Config) (*NameNode, error) {
 	if cfg.FsImagePath != "" {
 		if _, statErr := os.Stat(cfg.FsImagePath); statErr == nil {
 			if err := nn.loadFsImage(cfg.FsImagePath); err != nil {
-				ln.Close()
+				_ = ln.Close() // best effort: the load error is what matters
 				return nil, err
 			}
 		} else if !errors.Is(statErr, os.ErrNotExist) {
-			ln.Close()
+			_ = ln.Close()
 			return nil, fmt.Errorf("namenode: stat fsimage: %w", statErr)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"aurora/internal/core"
 	"aurora/internal/dfs/proto"
+	"aurora/internal/invariant"
 	"aurora/internal/topology"
 )
 
@@ -317,9 +318,17 @@ func (nn *NameNode) OptimizeNow(opts core.OptimizerOptions) (core.OptimizeResult
 			return core.OptimizeResult{}, err
 		}
 	}
+	// In debug builds, a feasible placement must stay feasible through
+	// the optimizer: assert the paper invariants after the run.
+	assertAfter := invariant.Enabled && nn.placement.CheckFeasible() == nil
 	res, err := core.Optimize(nn.placement, opts)
 	if err != nil {
 		return res, fmt.Errorf("namenode: optimize: %w", err)
+	}
+	if assertAfter {
+		if verr := invariant.CheckPlacement(nn.placement); verr != nil {
+			return res, fmt.Errorf("namenode: post-optimize %w", verr)
+		}
 	}
 	return res, nil
 }

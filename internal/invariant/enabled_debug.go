@@ -1,0 +1,7 @@
+//go:build invariantdebug
+
+package invariant
+
+// Enabled is true in debug builds (`-tags invariantdebug`): the DFS
+// namenode checks every invariant after every optimizer run.
+const Enabled = true

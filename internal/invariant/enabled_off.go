@@ -1,0 +1,9 @@
+//go:build !invariantdebug
+
+package invariant
+
+// Enabled reports whether runtime invariant assertions are compiled in.
+// The default build omits them: CheckPlacement walks every block, which
+// is too expensive for every optimizer period in production. Build with
+// `-tags invariantdebug` (make race does) to assert after every run.
+const Enabled = false

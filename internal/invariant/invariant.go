@@ -1,0 +1,129 @@
+// Package invariant re-derives the algorithmic invariants the Aurora
+// paper's placement algorithms must preserve and checks a placement
+// against them: machine capacity, per-block replication factor k_i, and
+// rack spread ρ_i (Section III), plus load conservation — the sum of
+// machine loads must equal the total popularity of all placed blocks,
+// since each block's demand P_i divides across its k_i replicas.
+//
+// CheckPlacement is independent of core's own incremental bookkeeping:
+// it recomputes everything from the public accessor API, so a
+// bookkeeping bug in core cannot hide itself. It is called from
+// optimizer property tests, and — when the build tag `invariantdebug`
+// is set (see Enabled) — from the DFS namenode after every optimizer
+// run, turning every reconfiguration period into an assertion.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"aurora/internal/core"
+	"aurora/internal/topology"
+)
+
+// ErrViolation is wrapped by every invariant failure.
+var ErrViolation = errors.New("invariant: violated")
+
+// CheckPlacement verifies every paper invariant on the placement:
+//
+//   - capacity:     every machine stores at most its capacity in replicas;
+//   - replication:  every block has k_i >= MinReplicas (k_low);
+//   - uniqueness:   a machine holds at most one replica of a block;
+//   - rack spread:  every block spans at least ρ_i = MinRacks racks;
+//   - conservation: Σ_m load(m) equals Σ_i P_i over placed blocks, and
+//     each block's per-replica popularity is P_i / k_i;
+//   - bookkeeping:  core's incremental counters agree with a from-scratch
+//     recomputation (Placement.Validate).
+//
+// The first violation found is returned, wrapped in ErrViolation; nil
+// means the placement satisfies all invariants.
+func CheckPlacement(p *core.Placement) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil placement", ErrViolation)
+	}
+	cluster := p.Cluster()
+	const eps = 1e-6
+
+	// Capacity, recomputed by summing membership per machine.
+	stored := make(map[topology.MachineID]int)
+	var totalPopularity, totalPerReplica float64
+	for _, id := range p.Blocks() {
+		spec, err := p.Spec(id)
+		if err != nil {
+			return fmt.Errorf("%w: block %d has no spec: %v", ErrViolation, id, err)
+		}
+		replicas := p.Replicas(id)
+		if len(replicas) == 0 {
+			continue // not yet placed; feasibility applies to placed blocks
+		}
+		if len(replicas) < spec.MinReplicas {
+			return fmt.Errorf("%w: block %d has k=%d replicas, below k_low=%d",
+				ErrViolation, id, len(replicas), spec.MinReplicas)
+		}
+		racks := make(map[topology.RackID]bool)
+		seen := make(map[topology.MachineID]bool)
+		for _, m := range replicas {
+			if seen[m] {
+				return fmt.Errorf("%w: block %d has two replicas on machine %d", ErrViolation, id, m)
+			}
+			seen[m] = true
+			stored[m]++
+			r, err := cluster.RackOf(m)
+			if err != nil {
+				return fmt.Errorf("%w: block %d placed on unknown machine %d", ErrViolation, id, m)
+			}
+			racks[r] = true
+		}
+		if len(racks) < spec.MinRacks {
+			return fmt.Errorf("%w: block %d spans %d racks, below rho=%d",
+				ErrViolation, id, len(racks), spec.MinRacks)
+		}
+		if got := p.RackSpread(id); got != len(racks) {
+			return fmt.Errorf("%w: block %d RackSpread reports %d, recomputed %d",
+				ErrViolation, id, got, len(racks))
+		}
+		perReplica := p.PerReplicaPopularity(id)
+		want := spec.Popularity / float64(len(replicas))
+		if math.Abs(perReplica-want) > eps*(1+want) {
+			return fmt.Errorf("%w: block %d per-replica popularity %v, want P/k = %v",
+				ErrViolation, id, perReplica, want)
+		}
+		totalPopularity += spec.Popularity
+		totalPerReplica += perReplica * float64(len(replicas))
+	}
+	for m, n := range stored {
+		if cap := cluster.Capacity(m); n > cap {
+			return fmt.Errorf("%w: machine %d stores %d replicas, capacity %d",
+				ErrViolation, m, n, cap)
+		}
+		if used := p.Used(m); used != n {
+			return fmt.Errorf("%w: machine %d Used reports %d, recomputed %d",
+				ErrViolation, m, used, n)
+		}
+	}
+
+	// Conservation: machine loads sum to the total placed popularity.
+	var totalLoad float64
+	for _, load := range p.Loads() {
+		if load < -eps {
+			return fmt.Errorf("%w: negative machine load %v", ErrViolation, load)
+		}
+		totalLoad += load
+	}
+	if math.Abs(totalLoad-totalPopularity) > eps*(1+totalPopularity) {
+		return fmt.Errorf("%w: load conservation: Σ load = %v, Σ P_i = %v",
+			ErrViolation, totalLoad, totalPopularity)
+	}
+	if math.Abs(totalPerReplica-totalPopularity) > eps*(1+totalPopularity) {
+		return fmt.Errorf("%w: per-replica popularity conservation: Σ p_i·k_i = %v, Σ P_i = %v",
+			ErrViolation, totalPerReplica, totalPopularity)
+	}
+
+	// Finally, core's own incremental bookkeeping must agree with a
+	// from-scratch recomputation.
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrViolation, err)
+	}
+	return nil
+}

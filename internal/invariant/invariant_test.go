@@ -1,0 +1,175 @@
+package invariant_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/invariant"
+	"aurora/internal/topology"
+)
+
+// buildRandomInstance creates a random feasible placement: a small
+// cluster, random block specs, an initial greedy placement, then a
+// shuffle of random feasible moves so the start is not already
+// balanced.
+func buildRandomInstance(seed uint64) (*core.Placement, []core.BlockSpec, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xaa0a))
+	racks := rng.IntN(3) + 2
+	perRack := rng.IntN(3) + 2
+	capacity := rng.IntN(20) + 10
+	cl, err := topology.Uniform(racks, perRack, capacity, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	nBlocks := rng.IntN(20) + 5
+	specs := make([]core.BlockSpec, nBlocks)
+	for i := range specs {
+		k := rng.IntN(3) + 1
+		rho := 1
+		if k >= 2 && rng.IntN(2) == 0 {
+			rho = 2
+		}
+		specs[i] = core.BlockSpec{
+			ID:          core.BlockID(i + 1),
+			Popularity:  float64(rng.IntN(100)),
+			MinReplicas: k,
+			MinRacks:    rho,
+		}
+	}
+	p, err := core.NewPlacement(cl, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range specs {
+		if err := core.InitialPlace(p, s.ID, s.MinReplicas, topology.NoMachine); err != nil {
+			return nil, nil, err
+		}
+	}
+	machines := cl.Machines()
+	for i := 0; i < 50; i++ {
+		id := specs[rng.IntN(len(specs))].ID
+		reps := p.Replicas(id)
+		if len(reps) == 0 {
+			continue
+		}
+		from := reps[rng.IntN(len(reps))]
+		to := machines[rng.IntN(len(machines))]
+		_ = p.MoveReplica(id, from, to) // infeasible moves just fail
+	}
+	return p, specs, nil
+}
+
+// TestCheckPlacementAfterAlgorithms is the satellite property test: on
+// randomized seeded instances, every paper invariant holds after
+// Algorithm 1 (BP-Node), Algorithm 2 (BP-Rack), and the full
+// Algorithm 5 period including Algorithm 3 replication (BP-Replicate).
+func TestCheckPlacementAfterAlgorithms(t *testing.T) {
+	const trials = 60
+	for seed := uint64(0); seed < trials; seed++ {
+		p, _, err := buildRandomInstance(seed)
+		if errors.Is(err, core.ErrMachineFull) {
+			continue // instance does not fit the cluster; vacuous
+		}
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		if err := invariant.CheckPlacement(p); err != nil {
+			t.Fatalf("seed %d: initial placement violates invariants: %v", seed, err)
+		}
+		eps := float64(seed%5) / 10
+
+		// Algorithm 1: BP-Node local search.
+		node := p.Clone()
+		if _, err := core.BPNodeSearch(node, core.SearchOptions{Epsilon: eps}); err != nil {
+			t.Fatalf("seed %d: BPNodeSearch: %v", seed, err)
+		}
+		if err := invariant.CheckPlacement(node); err != nil {
+			t.Errorf("seed %d: after BPNodeSearch: %v", seed, err)
+		}
+
+		// Algorithm 2: BP-Rack local search.
+		rack := p.Clone()
+		if _, err := core.BPRackSearch(rack, core.SearchOptions{Epsilon: eps}); err != nil {
+			t.Fatalf("seed %d: BPRackSearch: %v", seed, err)
+		}
+		if err := invariant.CheckPlacement(rack); err != nil {
+			t.Errorf("seed %d: after BPRackSearch: %v", seed, err)
+		}
+
+		// Algorithm 5 with a replication budget, so Algorithm 3
+		// (BP-Replicate) adds and evicts replicas before the search.
+		full := p.Clone()
+		budget := full.TotalReplicas() + int(seed%7)
+		_, err = core.Optimize(full, core.OptimizerOptions{
+			Epsilon:           eps,
+			ReplicationBudget: budget,
+			RackAware:         seed%2 == 0,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Optimize: %v", seed, err)
+		}
+		if err := invariant.CheckPlacement(full); err != nil {
+			t.Errorf("seed %d: after Optimize(budget=%d): %v", seed, budget, err)
+		}
+	}
+}
+
+// TestCheckPlacementDetectsViolations proves the checker is not
+// vacuous: placements hand-built to break each invariant are reported.
+func TestCheckPlacementDetectsViolations(t *testing.T) {
+	build := func(t *testing.T, specs []core.BlockSpec) *core.Placement {
+		t.Helper()
+		cl, err := topology.Uniform(2, 2, 8, 2)
+		if err != nil {
+			t.Fatalf("topology: %v", err)
+		}
+		p, err := core.NewPlacement(cl, specs)
+		if err != nil {
+			t.Fatalf("NewPlacement: %v", err)
+		}
+		return p
+	}
+
+	t.Run("nil placement", func(t *testing.T) {
+		if err := invariant.CheckPlacement(nil); !errors.Is(err, invariant.ErrViolation) {
+			t.Fatalf("got %v, want ErrViolation", err)
+		}
+	})
+
+	t.Run("under-replicated", func(t *testing.T) {
+		p := build(t, []core.BlockSpec{{ID: 1, Popularity: 10, MinReplicas: 2, MinRacks: 1}})
+		m := p.Cluster().Machines()[0]
+		if err := p.AddReplica(1, m); err != nil {
+			t.Fatalf("AddReplica: %v", err)
+		}
+		if err := invariant.CheckPlacement(p); !errors.Is(err, invariant.ErrViolation) {
+			t.Fatalf("got %v, want ErrViolation for k < k_low", err)
+		}
+	})
+
+	t.Run("rack spread too small", func(t *testing.T) {
+		p := build(t, []core.BlockSpec{{ID: 1, Popularity: 10, MinReplicas: 2, MinRacks: 2}})
+		r := p.Cluster().Racks()[0]
+		ms, err := p.Cluster().MachinesInRack(r)
+		if err != nil {
+			t.Fatalf("MachinesInRack: %v", err)
+		}
+		for _, m := range ms[:2] {
+			if err := p.AddReplica(1, m); err != nil {
+				t.Fatalf("AddReplica: %v", err)
+			}
+		}
+		if err := invariant.CheckPlacement(p); !errors.Is(err, invariant.ErrViolation) {
+			t.Fatalf("got %v, want ErrViolation for rack spread", err)
+		}
+	})
+
+	t.Run("unplaced block is not a violation", func(t *testing.T) {
+		p := build(t, []core.BlockSpec{{ID: 1, Popularity: 10, MinReplicas: 3, MinRacks: 2}})
+		if err := invariant.CheckPlacement(p); err != nil {
+			t.Fatalf("unplaced block should be skipped, got %v", err)
+		}
+	})
+}

@@ -1,5 +1,11 @@
 package sim
 
+// Simulation runs are compared across policies and must be replayable
+// from a seed: aurora-lint forbids global randomness and wall-clock
+// reads here; see DESIGN.md "Correctness tooling".
+//
+//lint:deterministic
+
 import (
 	"container/heap"
 	"errors"
