@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet lint race ci
+.PHONY: all build test vet lint race bench ci
+
+# Hot-path benchmarks recorded by `make bench` (see README.md,
+# "Benchmark ledger"). BENCH_LABEL picks the ledger column.
+BENCH_PATTERN ?= ^(BenchmarkLocalSearchNode|BenchmarkLocalSearchRack|BenchmarkOptimizePeriod)$$
+BENCH_LABEL ?= after
 
 all: build test
 
@@ -25,5 +30,13 @@ lint: vet
 # optimizer period in the stress tests also checks the paper invariants.
 race:
 	$(GO) test -race -tags invariantdebug ./...
+
+# Run the core hot-path benchmarks and merge the numbers into
+# BENCH_core.json under $(BENCH_LABEL). The intermediate file keeps a
+# failed bench run from feeding partial output into the ledger.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2x -benchmem . > bench.out
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench.out -out BENCH_core.json
+	@rm -f bench.out
 
 ci: build lint test race

@@ -141,32 +141,62 @@ func buildRandomPlacementCap(b *testing.B, machines, blocks, capacity int) (*aur
 	return cluster, specs, p
 }
 
-// BenchmarkLocalSearchNode measures Algorithm 1 converging a random
-// 40-machine, 2000-block instance.
+// benchSizes are the hot-path benchmark configurations. The laptop-scale
+// instance converges fully; the large instance (1000 machines, 20k
+// blocks) caps the operation count so runtime stays bounded — the op
+// sequence is deterministic, so ns/op remains a fair per-operation
+// comparison across implementations. Clone runs under StopTimer so
+// neither time nor allocations of the deep copy pollute the search
+// measurement.
+var benchSizes = []struct {
+	name     string
+	machines int
+	blocks   int
+	maxIters int
+}{
+	{name: "40x2k", machines: 40, blocks: 2000},
+	{name: "1000x20k", machines: 1000, blocks: 20000, maxIters: 2000},
+}
+
+// BenchmarkLocalSearchNode measures Algorithm 1 on random instances.
 func BenchmarkLocalSearchNode(b *testing.B) {
-	_, _, base := buildRandomPlacement(b, 40, 2000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := base.Clone()
-		res, err := core.BPNodeSearch(p, core.SearchOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.Iterations), "ops")
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			_, _, base := buildRandomPlacement(b, sz.machines, sz.blocks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := base.Clone()
+				b.StartTimer()
+				res, err := core.BPNodeSearch(p, core.SearchOptions{MaxIterations: sz.maxIters})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Iterations), "ops")
+			}
+		})
 	}
 }
 
-// BenchmarkLocalSearchRack measures Algorithm 2 on the same instance.
+// BenchmarkLocalSearchRack measures Algorithm 2 on the same instances.
 func BenchmarkLocalSearchRack(b *testing.B) {
-	_, _, base := buildRandomPlacement(b, 40, 2000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := base.Clone()
-		res, err := core.BPRackSearch(p, core.SearchOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.Iterations), "ops")
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			_, _, base := buildRandomPlacement(b, sz.machines, sz.blocks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := base.Clone()
+				b.StartTimer()
+				res, err := core.BPRackSearch(p, core.SearchOptions{MaxIterations: sz.maxIters})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Iterations), "ops")
+			}
+		})
 	}
 }
 
@@ -219,21 +249,29 @@ func BenchmarkInitialPlacement(b *testing.B) {
 }
 
 // BenchmarkOptimizePeriod measures one full Algorithm 5 period
-// (replication + local search) on a contended instance.
+// (replication + local search) on contended instances.
 func BenchmarkOptimizePeriod(b *testing.B) {
-	_, _, base := buildRandomPlacement(b, 40, 2000)
-	budget := base.TotalReplicas() + 1000
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := base.Clone()
-		if _, err := aurora.Optimize(p, aurora.OptimizerOptions{
-			Epsilon:             0.1,
-			RackAware:           true,
-			ReplicationBudget:   budget,
-			MaxReplicationMoves: 20000,
-		}); err != nil {
-			b.Fatal(err)
-		}
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			_, _, base := buildRandomPlacement(b, sz.machines, sz.blocks)
+			budget := base.TotalReplicas() + 1000
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := base.Clone()
+				b.StartTimer()
+				if _, err := aurora.Optimize(p, aurora.OptimizerOptions{
+					Epsilon:             0.1,
+					RackAware:           true,
+					ReplicationBudget:   budget,
+					MaxReplicationMoves: 20000,
+					MaxSearchIterations: sz.maxIters,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -20,8 +20,12 @@ var randConstructors = map[string]bool{
 }
 
 // wallClockFuncs are the time package functions that read the wall
-// clock.
-var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+// clock, directly or through a timer that fires off it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
 
 // checkDeterminism flags global-generator and wall-clock uses in
 // packages that declared //lint:deterministic.

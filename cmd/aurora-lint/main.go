@@ -8,7 +8,9 @@
 //     lock held; see DESIGN.md "Correctness tooling".
 //   - mutexcopy:   mutex-bearing structs must never be copied by value.
 //   - determinism: packages marked //lint:deterministic (internal/core,
-//     internal/sim) may not use global math/rand or read the wall clock.
+//     internal/sim, internal/loadindex, internal/par,
+//     internal/experiments) may not use global math/rand or read the
+//     wall clock, directly or via timers.
 //   - floatcmp:    packages marked //lint:strictfloat (internal/core) may
 //     not compare floats with ==/!=.
 //   - errcheck:    error results may not be silently discarded.

@@ -67,6 +67,10 @@ func TestRulesOnFixtures(t *testing.T) {
 					"global rand.Intn in a deterministic package; thread a seeded *rand.Rand instead"},
 				{"determ/determ.go", 13, RuleDeterminism,
 					"time.Now reads the wall clock in a deterministic package; thread an explicit clock"},
+				{"determ/determ.go", 28, RuleDeterminism,
+					"time.After reads the wall clock in a deterministic package; thread an explicit clock"},
+				{"determ/determ.go", 29, RuleDeterminism,
+					"time.NewTicker reads the wall clock in a deterministic package; thread an explicit clock"},
 			},
 		},
 		{

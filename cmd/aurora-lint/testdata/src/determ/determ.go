@@ -22,3 +22,10 @@ func Seeded(seed int64) int {
 func Elapsed(d time.Duration) float64 {
 	return d.Seconds()
 }
+
+// Sleepy waits on timer channels, which fire off the wall clock.
+func Sleepy() {
+	<-time.After(time.Millisecond)
+	tk := time.NewTicker(time.Second)
+	tk.Stop()
+}

@@ -1,0 +1,199 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// repository's benchmark ledger, BENCH_core.json. Each invocation parses
+// one benchmark run and merges it into the ledger under a label (for
+// example "before" or "after"), so successive PRs accumulate a perf
+// trajectory per benchmark instead of overwriting history.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <pattern> -benchmem . > bench.out
+//	go run ./cmd/benchjson -label after -in bench.out -out BENCH_core.json
+//
+// The output format is documented in README.md ("Benchmark ledger").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's measurements for one label. The three
+// standard -benchmem columns get dedicated fields; custom b.ReportMetric
+// series land in Extra keyed by their unit string.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Ledger is the top-level BENCH_core.json document: for every benchmark
+// name, the results recorded under each label.
+type Ledger struct {
+	Format     string                       `json:"format"`
+	Benchmarks map[string]map[string]Result `json:"benchmarks"`
+}
+
+const formatID = "aurora-bench-v1"
+
+// gomaxprocsSuffix strips the -N GOMAXPROCS suffix Go appends to
+// benchmark names, so ledgers from differently sized machines merge.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and returns the results keyed
+// by benchmark name. Non-benchmark lines (goos/pkg headers, PASS/ok) are
+// ignored.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid line: name, iterations, value, unit.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = val
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadLedger reads an existing ledger, or returns an empty one if the
+// file does not exist yet.
+func loadLedger(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Ledger{Format: formatID, Benchmarks: make(map[string]map[string]Result)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	if l.Format != formatID {
+		return nil, fmt.Errorf("%s: unknown format %q (want %q)", path, l.Format, formatID)
+	}
+	if l.Benchmarks == nil {
+		l.Benchmarks = make(map[string]map[string]Result)
+	}
+	return &l, nil
+}
+
+// merge records results under label, replacing any prior entry for the
+// same (benchmark, label) pair and leaving other labels untouched.
+func (l *Ledger) merge(label string, results map[string]Result) {
+	for name, res := range results {
+		if l.Benchmarks[name] == nil {
+			l.Benchmarks[name] = make(map[string]Result)
+		}
+		l.Benchmarks[name][label] = res
+	}
+}
+
+// writeLedger marshals with sorted keys (encoding/json sorts map keys)
+// and a trailing newline so diffs stay stable.
+func writeLedger(path string, l *Ledger) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "", "label to file these results under (e.g. before, after)")
+	in := fs.String("in", "", "benchmark output file (default stdin)")
+	out := fs.String("out", "BENCH_core.json", "ledger file to merge into")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *label == "" {
+		fmt.Fprintln(stderr, "benchjson: -label is required")
+		return 2
+	}
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parseBench(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input (did the bench run fail?)")
+		return 1
+	}
+	ledger, err := loadLedger(*out)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	ledger.merge(*label, results)
+	if err := writeLedger(*out, ledger); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var names []string
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stderr, "benchjson: recorded %d benchmark(s) under %q in %s\n", len(names), *label, *out)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: aurora
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLocalSearchNode/40x2k-4         	       2	 120308935 ns/op	       882.0 ops	13763528 B/op	   28958 allocs/op
+BenchmarkOptimizePeriod/1000x20k         	       2	 183208196 ns/op	63621648 B/op	   74041 allocs/op
+PASS
+ok  	aurora	2.407s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(got), got)
+	}
+	// The -4 GOMAXPROCS suffix is stripped so ledgers merge across hosts.
+	node, ok := got["BenchmarkLocalSearchNode/40x2k"]
+	if !ok {
+		t.Fatalf("missing suffix-stripped name; keys: %+v", got)
+	}
+	if node.Iterations != 2 || node.NsPerOp != 120308935 ||
+		node.BytesPerOp != 13763528 || node.AllocsPerOp != 28958 {
+		t.Errorf("node result wrong: %+v", node)
+	}
+	if node.Extra["ops"] != 882.0 {
+		t.Errorf("custom metric lost: %+v", node.Extra)
+	}
+	opt := got["BenchmarkOptimizePeriod/1000x20k"]
+	if opt.NsPerOp != 183208196 || opt.AllocsPerOp != 74041 || opt.Extra != nil {
+		t.Errorf("optimize result wrong: %+v", opt)
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX 2 oops ns/op\n")); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if _, err := parseBench(strings.NewReader("BenchmarkX notanint 5 ns/op\n")); err == nil {
+		t.Error("non-numeric iteration count accepted")
+	}
+}
+
+// Merging a second label must keep the first label's numbers, and
+// re-recording an existing label must replace only that label.
+func TestMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_core.json")
+	input := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(input, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, label := range []string{"before", "after", "after"} {
+		if code := run([]string{"-label", label, "-in", input, "-out", path}, os.Stderr); code != 0 {
+			t.Fatalf("run(-label %s) exit %d", label, code)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledger Ledger
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		t.Fatalf("ledger not valid JSON: %v", err)
+	}
+	if ledger.Format != formatID {
+		t.Errorf("format = %q", ledger.Format)
+	}
+	node := ledger.Benchmarks["BenchmarkLocalSearchNode/40x2k"]
+	if node == nil {
+		t.Fatalf("benchmark missing from ledger: %s", data)
+	}
+	for _, label := range []string{"before", "after"} {
+		if node[label].NsPerOp != 120308935 {
+			t.Errorf("label %q ns/op = %v", label, node[label].NsPerOp)
+		}
+	}
+	if len(node) != 2 {
+		t.Errorf("labels = %d, want 2 (before, after): %+v", len(node), node)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "empty.out")
+	if err := os.WriteFile(input, []byte("PASS\nok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-label", "x", "-in", input,
+		"-out", filepath.Join(dir, "l.json")}, os.Stderr)
+	if code == 0 {
+		t.Error("empty benchmark input accepted")
+	}
+}
+
+func TestRunRequiresLabel(t *testing.T) {
+	if code := run([]string{"-in", "whatever"}, os.Stderr); code != 2 {
+		t.Errorf("missing -label exit %d, want 2", code)
+	}
+}

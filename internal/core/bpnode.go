@@ -28,53 +28,41 @@ import (
 // function is safe to call on BP-Rack instances too.
 func BPNodeSearch(p *Placement, opts SearchOptions) (SearchResult, error) {
 	res := SearchResult{InitialCost: p.Cost()}
-	// stuck marks sources that had no admissible operation when last
-	// probed. The set is invalidated lazily: applied operations only
-	// unstick the two machines they touched, and termination requires a
-	// clean verification pass (full clear, then every source re-probed
-	// without finding an operation) so the terminal condition — no
-	// admissible operation anywhere — is exact.
-	stuck := make(map[topology.MachineID]bool)
+	// Sources that had no admissible operation when last probed are
+	// masked out of the load index, turning the "most-loaded unstuck
+	// machine" query into one tree lookup. The set is invalidated lazily:
+	// applied operations only unstick the two machines they touched, and
+	// termination requires a clean verification pass (full unmask, then
+	// every source re-probed without finding an operation) so the
+	// terminal condition — no admissible operation anywhere — is exact.
+	idx := p.loadIndex()
+	idx.ClearMasks()
+	defer idx.ClearMasks()
 	verified := false
 	for opts.MaxIterations == 0 || res.Iterations < opts.MaxIterations {
 		n := p.MinLoadedMachine()
-		m, ok := maxLoadedExcluding(p, stuck, p.Load(n))
+		mi, ok := idx.MaxUnmasked(p.Load(n))
 		if !ok {
 			if verified {
 				break
 			}
-			clear(stuck)
+			idx.ClearMasks()
 			verified = true
 			continue
 		}
+		m := topology.MachineID(mi)
 		c, found := bestPairOpSwap(p, m, n, opts.Epsilon, !opts.DisableSwap)
 		if !found {
-			stuck[m] = true
+			idx.Mask(mi)
 			continue
 		}
 		if err := applyCandidate(p, c, &opts, &res); err != nil {
 			return res, err
 		}
 		verified = false
-		delete(stuck, c.op.From)
-		delete(stuck, c.op.To)
+		idx.Unmask(int(c.op.From))
+		idx.Unmask(int(c.op.To))
 	}
 	res.FinalCost = p.Cost()
 	return res, nil
-}
-
-// maxLoadedExcluding returns the most-loaded machine not in the stuck set
-// whose load exceeds minLoad, or ok=false when none remains.
-func maxLoadedExcluding(p *Placement, stuck map[topology.MachineID]bool, minLoad float64) (topology.MachineID, bool) {
-	best := topology.NoMachine
-	bestLoad := minLoad
-	for _, m := range p.Cluster().Machines() {
-		if stuck[m] {
-			continue
-		}
-		if l := p.Load(m); l > bestLoad {
-			best, bestLoad = m, l
-		}
-	}
-	return best, best != topology.NoMachine
 }

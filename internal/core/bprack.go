@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"aurora/internal/topology"
 )
 
@@ -27,38 +25,42 @@ import (
 // factor gracefully per Theorem 9.
 func BPRackSearch(p *Placement, opts SearchOptions) (SearchResult, error) {
 	res := SearchResult{InitialCost: p.Cost()}
-	cluster := p.Cluster()
-	racks := cluster.Racks()
-	// Lazy stuck tracking with a clean verification pass before
-	// termination; see BPNodeSearch for the invariant.
-	stuck := make(map[topology.MachineID]bool)
+	numRacks := p.Cluster().NumRacks()
+	// Lazy stuck tracking via index masks, with a clean verification pass
+	// before termination; see BPNodeSearch for the invariant. The target
+	// buffer is allocated once and refilled each iteration.
+	idx := p.loadIndex()
+	idx.ClearMasks()
+	defer idx.ClearMasks()
+	targets := make([]minTarget, 0, numRacks)
 	verified := false
 	for opts.MaxIterations == 0 || res.Iterations < opts.MaxIterations {
-		targets := rackMinTargets(p, racks)
+		targets = appendRackMinTargets(p, targets[:0], numRacks)
 		if len(targets) == 0 {
 			break
 		}
 		globalMin := targets[0].load
-		m, ok := maxLoadedExcluding(p, stuck, globalMin)
+		mi, ok := idx.MaxUnmasked(globalMin)
 		if !ok {
 			if verified {
 				break
 			}
-			clear(stuck)
+			idx.ClearMasks()
 			verified = true
 			continue
 		}
+		m := topology.MachineID(mi)
 		c, found := bestAmongTargets(p, m, targets, opts.Epsilon, !opts.DisableSwap)
 		if !found {
-			stuck[m] = true
+			idx.Mask(mi)
 			continue
 		}
 		if err := applyCandidate(p, c, &opts, &res); err != nil {
 			return res, err
 		}
 		verified = false
-		delete(stuck, c.op.From)
-		delete(stuck, c.op.To)
+		idx.Unmask(int(c.op.From))
+		idx.Unmask(int(c.op.To))
 	}
 	res.FinalCost = p.Cost()
 	return res, nil
@@ -71,24 +73,38 @@ type minTarget struct {
 	load    float64
 }
 
-// rackMinTargets returns each rack's least-loaded machine, sorted by
-// ascending load (the global minimum first). Ties break by machine ID.
-func rackMinTargets(p *Placement, racks []topology.RackID) []minTarget {
-	targets := make([]minTarget, 0, len(racks))
-	for _, r := range racks {
-		m, err := p.MinLoadedMachineInRack(r)
-		if err != nil {
-			continue
-		}
-		targets = append(targets, minTarget{machine: m, load: p.Load(m)})
+// targetLess is the exact strict total order on (load, machine) used to
+// rank destination candidates: ascending load, ties by machine ID. Since
+// machine IDs are unique the order is total, so any correct sort yields
+// the same sequence.
+func targetLess(a, b minTarget) bool {
+	if a.load < b.load {
+		return true
 	}
-	sort.Slice(targets, func(a, b int) bool {
-		if !floatEq(targets[a].load, targets[b].load) {
-			return targets[a].load < targets[b].load
+	if a.load > b.load {
+		return false
+	}
+	return a.machine < b.machine
+}
+
+// appendRackMinTargets appends each rack's least-loaded machine to buf,
+// sorted by targetLess (the global minimum first). The per-rack minima
+// come from the load index, and the handful of racks is ordered with an
+// allocation-free insertion sort.
+func appendRackMinTargets(p *Placement, buf []minTarget, numRacks int) []minTarget {
+	idx := p.loadIndex()
+	for r := 0; r < numRacks; r++ {
+		m := topology.MachineID(idx.MinInRack(r))
+		t := minTarget{machine: m, load: p.Load(m)}
+		i := len(buf)
+		buf = append(buf, t)
+		for i > 0 && targetLess(t, buf[i-1]) {
+			buf[i] = buf[i-1]
+			i--
 		}
-		return targets[a].machine < targets[b].machine
-	})
-	return targets
+		buf[i] = t
+	}
+	return buf
 }
 
 // bestAmongTargets probes the source machine m against every rack's

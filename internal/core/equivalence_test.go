@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"aurora/internal/topology"
+)
+
+// The indexed hot path must be a pure performance change: on any
+// instance, both local searches must execute exactly the operation
+// sequence the retained reference implementation executes, and land on
+// bit-identical costs. These tests assert that, op for op, over
+// randomized BP-Node/BP-Rack/BP-Replicate instances.
+
+// captureOps runs search on p and records every executed operation.
+func captureOps(p *Placement, opts SearchOptions,
+	search func(*Placement, SearchOptions) (SearchResult, error)) ([]Op, SearchResult, error) {
+	var ops []Op
+	opts.OnOp = func(o Op) { ops = append(ops, o) }
+	res, err := search(p, opts)
+	return ops, res, err
+}
+
+func TestSearchEquivalenceProperty(t *testing.T) {
+	searches := []struct {
+		name    string
+		indexed func(*Placement, SearchOptions) (SearchResult, error)
+		ref     func(*Placement, SearchOptions) (SearchResult, error)
+	}{
+		{"node", BPNodeSearch, refBPNodeSearch},
+		{"rack", BPRackSearch, refBPRackSearch},
+	}
+	cases := []struct {
+		eps         float64
+		disableSwap bool
+	}{
+		{0, false},
+		{0.3, false},
+		{0.7, false},
+		{0.3, true},
+	}
+	for _, s := range searches {
+		t.Run(s.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 40; seed++ {
+				p, _, err := buildRandomInstance(seed)
+				if errors.Is(err, ErrMachineFull) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d: build: %v", seed, err)
+				}
+				for _, c := range cases {
+					opts := SearchOptions{Epsilon: c.eps, DisableSwap: c.disableSwap}
+					a, b := p.Clone(), p.Clone()
+					gotOps, gotRes, err := captureOps(a, opts, s.indexed)
+					if err != nil {
+						t.Fatalf("seed %d %+v: indexed: %v", seed, c, err)
+					}
+					wantOps, wantRes, err := captureOps(b, opts, s.ref)
+					if err != nil {
+						t.Fatalf("seed %d %+v: reference: %v", seed, c, err)
+					}
+					if !reflect.DeepEqual(gotOps, wantOps) {
+						t.Fatalf("seed %d %+v: op sequences diverge:\nindexed   %v\nreference %v",
+							seed, c, gotOps, wantOps)
+					}
+					if gotRes != wantRes {
+						t.Fatalf("seed %d %+v: results diverge: indexed %+v, reference %+v",
+							seed, c, gotRes, wantRes)
+					}
+					if ga, gb := a.Cost(), b.Cost(); ga != gb {
+						t.Fatalf("seed %d %+v: final costs diverge: %v vs %v", seed, c, ga, gb)
+					}
+					if err := a.Validate(); err != nil {
+						t.Fatalf("seed %d %+v: indexed placement invalid after search: %v", seed, c, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeEquivalenceProperty covers BP-Replicate: a full optimizer
+// period (Algorithm 3 targets + replication + eviction + rack-aware
+// search) on the indexed implementation must produce the same replication
+// decisions and the same search ops as replicatePhase followed by the
+// reference search.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	type event struct {
+		kind     string
+		block    BlockID
+		from, to topology.MachineID
+	}
+	for seed := uint64(100); seed < 130; seed++ {
+		p, specs, err := buildRandomInstance(seed)
+		if errors.Is(err, ErrMachineFull) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		budget := p.TotalReplicas() + int(seed%16)
+		base := OptimizerOptions{
+			Epsilon:           0.2,
+			RackAware:         true,
+			ReplicationBudget: budget,
+			MaxPerBlock:       len(specs),
+		}
+
+		a, b := p.Clone(), p.Clone()
+		var gotEvents []event
+		optsA := base
+		optsA.OnReplicate = func(id BlockID, from, to topology.MachineID) {
+			gotEvents = append(gotEvents, event{"replicate", id, from, to})
+		}
+		optsA.OnEvict = func(id BlockID, m topology.MachineID) {
+			gotEvents = append(gotEvents, event{"evict", id, m, topology.NoMachine})
+		}
+		var gotOps []Op
+		optsA.OnOp = func(o Op) { gotOps = append(gotOps, o) }
+		gotRes, err := Optimize(a, optsA)
+		if err != nil {
+			t.Fatalf("seed %d: optimize: %v", seed, err)
+		}
+
+		// Reference period: same replication phase, then the reference
+		// rack search.
+		var wantEvents []event
+		optsB := base
+		optsB.OnReplicate = func(id BlockID, from, to topology.MachineID) {
+			wantEvents = append(wantEvents, event{"replicate", id, from, to})
+		}
+		optsB.OnEvict = func(id BlockID, m topology.MachineID) {
+			wantEvents = append(wantEvents, event{"evict", id, m, topology.NoMachine})
+		}
+		var wantRef OptimizeResult
+		if err := replicatePhase(b, &optsB, &wantRef); err != nil {
+			t.Fatalf("seed %d: reference replicate: %v", seed, err)
+		}
+		wantOps, wantSearch, err := captureOps(b, SearchOptions{Epsilon: base.Epsilon}, refBPRackSearch)
+		if err != nil {
+			t.Fatalf("seed %d: reference search: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(gotEvents, wantEvents) {
+			t.Fatalf("seed %d: replication events diverge:\nindexed   %v\nreference %v",
+				seed, gotEvents, wantEvents)
+		}
+		if !reflect.DeepEqual(gotOps, wantOps) {
+			t.Fatalf("seed %d: search ops diverge:\nindexed   %v\nreference %v",
+				seed, gotOps, wantOps)
+		}
+		if gotRes.Search != wantSearch {
+			t.Fatalf("seed %d: search results diverge: %+v vs %+v", seed, gotRes.Search, wantSearch)
+		}
+		if ca, cb := a.Cost(), b.Cost(); ca != cb {
+			t.Fatalf("seed %d: final costs diverge: %v vs %v", seed, ca, cb)
+		}
+	}
+}
+
+// TestAccessorEquivalenceProperty drives a random mutation stream through
+// a placement and checks, after every mutation, that the index-backed
+// extreme-machine accessors agree with the linear scans they replaced —
+// including the masked query used for stuck-source tracking.
+func TestAccessorEquivalenceProperty(t *testing.T) {
+	for seed := uint64(200); seed < 215; seed++ {
+		p, specs, err := buildRandomInstance(seed)
+		if errors.Is(err, ErrMachineFull) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		rng := rand.New(rand.NewPCG(seed, 42))
+		machines := p.Cluster().Machines()
+		racks := p.Cluster().Racks()
+		for step := 0; step < 300; step++ {
+			id := specs[rng.IntN(len(specs))].ID
+			switch rng.IntN(5) {
+			case 0:
+				_ = p.AddReplica(id, machines[rng.IntN(len(machines))])
+			case 1:
+				reps := p.Replicas(id)
+				if len(reps) > 1 {
+					_ = p.RemoveReplica(id, reps[rng.IntN(len(reps))])
+				}
+			case 2:
+				reps := p.Replicas(id)
+				if len(reps) > 0 {
+					_ = p.MoveReplica(id, reps[rng.IntN(len(reps))], machines[rng.IntN(len(machines))])
+				}
+			case 3:
+				_ = p.SetPopularity(id, float64(rng.IntN(200)))
+			case 4:
+				j := specs[rng.IntN(len(specs))].ID
+				ri, rj := p.Replicas(id), p.Replicas(j)
+				if len(ri) > 0 && len(rj) > 0 {
+					_ = p.SwapReplicas(id, ri[rng.IntN(len(ri))], j, rj[rng.IntN(len(rj))])
+				}
+			}
+			desc := fmt.Sprintf("seed %d step %d", seed, step)
+			if got, want := p.MaxLoadedMachine(), refMaxLoadedMachine(p); got != want {
+				t.Fatalf("%s: MaxLoadedMachine = %d, reference = %d", desc, got, want)
+			}
+			if got, want := p.MinLoadedMachine(), refMinLoadedMachine(p); got != want {
+				t.Fatalf("%s: MinLoadedMachine = %d, reference = %d", desc, got, want)
+			}
+			if got, want := p.Cost(), refCost(p); got != want {
+				t.Fatalf("%s: Cost = %v, reference = %v", desc, got, want)
+			}
+			for _, r := range racks {
+				gotMax, _ := p.MaxLoadedMachineInRack(r)
+				wantMax, _ := refMaxLoadedMachineInRack(p, r)
+				if gotMax != wantMax {
+					t.Fatalf("%s: MaxLoadedMachineInRack(%d) = %d, reference = %d", desc, r, gotMax, wantMax)
+				}
+				gotMin, _ := p.MinLoadedMachineInRack(r)
+				wantMin, _ := refMinLoadedMachineInRack(p, r)
+				if gotMin != wantMin {
+					t.Fatalf("%s: MinLoadedMachineInRack(%d) = %d, reference = %d", desc, r, gotMin, wantMin)
+				}
+			}
+			// Masked query vs the stuck-map scan.
+			stuck := make(map[topology.MachineID]bool)
+			idx := p.loadIndex()
+			for _, m := range machines {
+				if rng.IntN(3) == 0 {
+					stuck[m] = true
+					idx.Mask(int(m))
+				}
+			}
+			minLoad := p.Load(p.MinLoadedMachine())
+			gotM, gotOK := idx.MaxUnmasked(minLoad)
+			wantM, wantOK := refMaxLoadedExcluding(p, stuck, minLoad)
+			if gotOK != wantOK || (gotOK && topology.MachineID(gotM) != wantM) {
+				t.Fatalf("%s: MaxUnmasked = (%d, %v), reference = (%d, %v)", desc, gotM, gotOK, wantM, wantOK)
+			}
+			idx.ClearMasks()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: %v", desc, err)
+			}
+		}
+	}
+}
+
+// TestPairOpEquivalence compares the indexed pair evaluation against the
+// reference directly, over every (max, min)-flavored machine pair of
+// random instances. This catches divergence even when the full search
+// happens not to visit a pair.
+func TestPairOpEquivalence(t *testing.T) {
+	for seed := uint64(300); seed < 330; seed++ {
+		p, _, err := buildRandomInstance(seed)
+		if errors.Is(err, ErrMachineFull) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		machines := p.Cluster().Machines()
+		for _, eps := range []float64{0, 0.3, 0.7} {
+			for _, allowSwap := range []bool{true, false} {
+				for _, m := range machines {
+					for _, n := range machines {
+						if m == n {
+							continue
+						}
+						got, gotOK := bestPairOpSwap(p, m, n, eps, allowSwap)
+						want, wantOK := refBestPairOpSwap(p, m, n, eps, allowSwap)
+						if gotOK != wantOK || got != want {
+							t.Fatalf("seed %d eps %v swap %v pair (%d,%d): indexed (%+v, %v), reference (%+v, %v)",
+								seed, eps, allowSwap, m, n, got, gotOK, want, wantOK)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRackTargetEquivalence checks the scratch-buffer target builder
+// against the rebuild-and-sort reference.
+func TestRackTargetEquivalence(t *testing.T) {
+	for seed := uint64(400); seed < 430; seed++ {
+		p, _, err := buildRandomInstance(seed)
+		if errors.Is(err, ErrMachineFull) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		racks := p.Cluster().Racks()
+		got := appendRackMinTargets(p, nil, p.Cluster().NumRacks())
+		want := refRackMinTargets(p, racks)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: targets diverge:\nindexed   %v\nreference %v", seed, got, want)
+		}
+	}
+}

@@ -120,23 +120,15 @@ func blockInRack(p *Placement, id BlockID, r topology.RackID) bool {
 // it every block would pile into the first rack.
 func racksByLoad(p *Placement) []topology.RackID {
 	racks := p.Cluster().Racks()
-	used := make(map[topology.RackID]int, len(racks))
-	for _, r := range racks {
-		ms, err := p.Cluster().MachinesInRack(r)
-		if err != nil {
-			continue
-		}
-		for _, m := range ms {
-			used[r] += p.Used(m)
-		}
-	}
+	// p.rackUsed is maintained incrementally and equals the per-rack sum of
+	// Used(m) the previous implementation recomputed here in O(M).
 	sort.Slice(racks, func(a, b int) bool {
 		la, lb := p.RackLoadOf(racks[a]), p.RackLoadOf(racks[b])
 		if !floatEq(la, lb) {
 			return la < lb
 		}
-		if used[racks[a]] != used[racks[b]] {
-			return used[racks[a]] < used[racks[b]]
+		if p.rackUsed[racks[a]] != p.rackUsed[racks[b]] {
+			return p.rackUsed[racks[a]] < p.rackUsed[racks[b]]
 		}
 		return racks[a] < racks[b]
 	})

@@ -157,6 +157,7 @@ type evictQueue struct {
 	targets map[BlockID]int
 	order   []BlockID
 	pos     int
+	scratch []topology.MachineID // reused by holder scans in evictSurplus
 }
 
 // newEvictQueue snapshots the blocks whose replica count exceeds their
@@ -270,7 +271,8 @@ func evictSurplus(p *Placement, eq *evictQueue, forBlock BlockID, opts *Optimize
 		}
 		// Drop from the most-loaded holder whose removal keeps the rack
 		// spread intact and frees a slot the incoming block can use.
-		for _, m := range replicasByLoadDescending(p, id) {
+		eq.scratch = appendReplicasByLoadDescending(p, id, eq.scratch[:0])
+		for _, m := range eq.scratch {
 			if p.HasReplica(forBlock, m) {
 				continue // freeing this slot would not help forBlock
 			}
@@ -302,10 +304,12 @@ func sortedTargetIDs(targets map[BlockID]int) []BlockID {
 	return ids
 }
 
-// replicasByLoadDescending lists the holders of block id from most to
-// least loaded.
-func replicasByLoadDescending(p *Placement, id BlockID) []topology.MachineID {
-	ms := p.Replicas(id)
+// appendReplicasByLoadDescending appends the holders of block id to buf
+// from most to least loaded and returns the extended slice.
+func appendReplicasByLoadDescending(p *Placement, id BlockID, buf []topology.MachineID) []topology.MachineID {
+	start := len(buf)
+	buf = p.AppendReplicas(id, buf)
+	ms := buf[start:]
 	sort.Slice(ms, func(a, b int) bool {
 		la, lb := p.Load(ms[a]), p.Load(ms[b])
 		if !floatEq(la, lb) {
@@ -313,24 +317,23 @@ func replicasByLoadDescending(p *Placement, id BlockID) []topology.MachineID {
 		}
 		return ms[a] < ms[b]
 	})
-	return ms
+	return buf
 }
 
 // removalKeepsSpread reports whether removing block id's replica on m
-// keeps the block across at least minRacks racks.
+// keeps the block across at least minRacks racks. The per-rack replica
+// counts the placement already maintains answer this in O(1).
 func removalKeepsSpread(p *Placement, id BlockID, m topology.MachineID, minRacks int) bool {
 	rack, err := p.Cluster().RackOf(m)
 	if err != nil {
 		return false
 	}
-	inRack := 0
-	spread := p.RackSpread(id)
-	for _, holder := range p.Replicas(id) {
-		if r, err := p.Cluster().RackOf(holder); err == nil && r == rack {
-			inRack++
-		}
+	b, ok := p.blocks[id]
+	if !ok {
+		return false
 	}
-	if inRack == 1 {
+	spread := len(b.rackCount)
+	if b.rackCount[rack] == 1 {
 		spread--
 	}
 	return spread >= minRacks

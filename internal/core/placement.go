@@ -3,14 +3,25 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"aurora/internal/loadindex"
 	"aurora/internal/topology"
 )
 
 // Placement is the mutable assignment of block replicas to machines, with
 // incremental load bookkeeping. It is the state all placement algorithms
 // operate on.
+//
+// Beyond the per-machine load scalars, every mutation maintains two
+// ordered structures the local search depends on (DESIGN.md "Hot-path
+// data structures"):
+//
+//   - a loadindex.Index over machine loads, making the extreme-machine
+//     queries (MaxLoadedMachine and friends) O(log M) instead of O(M);
+//   - per machine, the held blocks sorted ascending by exact
+//     (per-replica popularity, block ID), so the search iterates
+//     candidate blocks without re-sorting per probe.
 //
 // Placement is not safe for concurrent use; the optimizer serializes
 // access.
@@ -19,19 +30,145 @@ type Placement struct {
 	blocks   map[BlockID]*blockState
 	machines []machineState
 	rackLoad []float64
-	replicas int // cached Σ_i k_i
+	rackUsed []int // replicas stored per rack (disk-usage tie-breaks)
+	replicas int   // cached Σ_i k_i
+	idx      *loadindex.Index
 }
 
+// blockState tracks one block's holders. replicas is kept sorted
+// ascending by machine ID: replica sets are small (k_i), so a sorted
+// slice beats a map on every operation the hot path performs —
+// membership probes, iteration, and cloning — and makes iteration order
+// deterministic for free.
 type blockState struct {
 	spec      BlockSpec
-	replicas  map[topology.MachineID]struct{}
+	replicas  []topology.MachineID
 	rackCount map[topology.RackID]int
 }
 
-type machineState struct {
-	load   float64
-	blocks map[BlockID]struct{}
+// holdersFind returns the position of m in the ascending holder list s,
+// and whether it is present (the insertion point when absent).
+func holdersFind(s []topology.MachineID, m topology.MachineID) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo] == m
 }
+
+// hasHolder reports whether machine m holds a replica of b.
+func (b *blockState) hasHolder(m topology.MachineID) bool {
+	_, ok := holdersFind(b.replicas, m)
+	return ok
+}
+
+// addHolder inserts m into b's holder list. The caller has verified m is
+// not already present.
+func (b *blockState) addHolder(m topology.MachineID) {
+	i, _ := holdersFind(b.replicas, m)
+	b.replicas = append(b.replicas, 0)
+	copy(b.replicas[i+1:], b.replicas[i:])
+	b.replicas[i] = m
+}
+
+// removeHolder deletes m from b's holder list. A miss means the
+// incremental bookkeeping is corrupt, which is a bug.
+func (b *blockState) removeHolder(m topology.MachineID) {
+	i, ok := holdersFind(b.replicas, m)
+	if !ok {
+		panic(fmt.Sprintf("core: machine %d is not a holder of block %d", m, b.spec.ID))
+	}
+	copy(b.replicas[i:], b.replicas[i+1:])
+	b.replicas = b.replicas[:len(b.replicas)-1]
+}
+
+// blockRef is one entry of a machine's popularity-sorted block list. The
+// stored pop is bit-identical to the block's current per-replica
+// popularity: perReplica() is a pure float64 division, so recomputing it
+// from unchanged inputs reproduces the stored bits exactly, which is what
+// lets removals locate entries by binary search.
+type blockRef struct {
+	id  BlockID
+	pop float64
+}
+
+type machineState struct {
+	load float64
+	// sorted holds the machine's blocks ascending by (per-replica
+	// popularity, ID) under the exact total order refLess. It is the
+	// machine's only block registry: its length is the used capacity, and
+	// machine→block membership queries go through the block's holder list
+	// instead.
+	sorted []blockRef
+}
+
+// refLess is the exact strict total order on (popularity, ID) keys. It
+// deliberately uses no tolerance: a comparator with approximate ties is
+// not transitive, so an incrementally maintained list could diverge from
+// a freshly sorted one.
+func refLess(aPop float64, aID BlockID, bPop float64, bID BlockID) bool {
+	if aPop < bPop {
+		return true
+	}
+	if aPop > bPop {
+		return false
+	}
+	return aID < bID
+}
+
+// lowerBound returns the first index in s whose key is >= (pop, id).
+// Hand-rolled so the hot path spends no allocations on closures.
+func lowerBound(s []blockRef, pop float64, id BlockID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if refLess(s[mid].pop, s[mid].id, pop, id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sortedInsert adds (id, pop) to machine m's ordered block list.
+func (p *Placement) sortedInsert(m topology.MachineID, id BlockID, pop float64) {
+	s := p.machines[m].sorted
+	i := lowerBound(s, pop, id)
+	s = append(s, blockRef{})
+	copy(s[i+1:], s[i:])
+	s[i] = blockRef{id: id, pop: pop}
+	p.machines[m].sorted = s
+}
+
+// sortedRemove deletes (id, pop) from machine m's ordered block list. The
+// pop key must be the exact value the entry was inserted with; a miss
+// means the incremental bookkeeping is corrupt, which is a bug.
+func (p *Placement) sortedRemove(m topology.MachineID, id BlockID, pop float64) {
+	s := p.machines[m].sorted
+	i := lowerBound(s, pop, id)
+	if i >= len(s) || s[i].id != id {
+		panic(fmt.Sprintf("core: machine %d has no sorted entry for block %d at popularity %v", m, id, pop))
+	}
+	copy(s[i:], s[i+1:])
+	p.machines[m].sorted = s[:len(s)-1]
+}
+
+// addLoad applies a load delta to machine m, keeping the load index in
+// sync. All load mutations go through here.
+func (p *Placement) addLoad(m topology.MachineID, delta float64) {
+	p.machines[m].load += delta
+	p.idx.Update(int(m), p.machines[m].load)
+}
+
+// loadIndex exposes the incremental index to the search implementations
+// in this package.
+func (p *Placement) loadIndex() *loadindex.Index { return p.idx }
 
 // NewPlacement creates an empty placement (no replicas) for the given
 // blocks over the given cluster.
@@ -44,10 +181,14 @@ func NewPlacement(cluster *topology.Cluster, specs []BlockSpec) (*Placement, err
 		blocks:   make(map[BlockID]*blockState, len(specs)),
 		machines: make([]machineState, cluster.NumMachines()),
 		rackLoad: make([]float64, cluster.NumRacks()),
+		rackUsed: make([]int, cluster.NumRacks()),
 	}
-	for i := range p.machines {
-		p.machines[i].blocks = make(map[BlockID]struct{})
+	rackOf := cluster.RackAssignments()
+	racks := make([]int, len(rackOf))
+	for i, r := range rackOf {
+		racks[i] = int(r)
 	}
+	p.idx = loadindex.New(make([]float64, cluster.NumMachines()), racks, cluster.NumRacks())
 	for _, s := range specs {
 		if err := p.AddBlock(s); err != nil {
 			return nil, err
@@ -77,7 +218,6 @@ func (p *Placement) AddBlock(s BlockSpec) error {
 	}
 	p.blocks[s.ID] = &blockState{
 		spec:      s,
-		replicas:  make(map[topology.MachineID]struct{}),
 		rackCount: make(map[topology.RackID]int),
 	}
 	return nil
@@ -90,11 +230,12 @@ func (p *Placement) DeleteBlock(id BlockID) error {
 		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
 	}
 	perReplica := b.perReplica()
-	for m := range b.replicas {
-		delete(p.machines[m].blocks, id)
-		p.machines[m].load -= perReplica
+	for _, m := range b.replicas {
+		p.sortedRemove(m, id, perReplica)
+		p.addLoad(m, -perReplica)
 		rack := p.cluster.MustMachine(m).Rack
 		p.rackLoad[rack] -= perReplica
+		p.rackUsed[rack]--
 	}
 	p.replicas -= len(b.replicas)
 	delete(p.blocks, id)
@@ -114,7 +255,7 @@ func (p *Placement) SetPopularity(id BlockID, popularity float64) error {
 	}
 	old := b.perReplica()
 	b.spec.Popularity = popularity
-	p.reloadBlock(b, old)
+	p.reloadBlock(id, b, old)
 	return nil
 }
 
@@ -129,12 +270,19 @@ func (p *Placement) Spec(id BlockID) (BlockSpec, error) {
 
 // Blocks returns all block IDs in ascending order.
 func (p *Placement) Blocks() []BlockID {
-	ids := make([]BlockID, 0, len(p.blocks))
+	return p.AppendBlocks(make([]BlockID, 0, len(p.blocks)))
+}
+
+// AppendBlocks appends all block IDs to buf in ascending order and
+// returns the extended slice. Callers that poll repeatedly (invariant
+// checks, epoch loops) reuse buf to avoid per-call allocations.
+func (p *Placement) AppendBlocks(buf []BlockID) []BlockID {
+	start := len(buf)
 	for id := range p.blocks {
-		ids = append(ids, id)
+		buf = append(buf, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // NumBlocks reports how many blocks are registered.
@@ -149,16 +297,21 @@ func (b *blockState) perReplica() float64 {
 	return b.spec.Popularity / float64(len(b.replicas))
 }
 
-// reloadBlock recomputes the load contribution of block b on all its
+// reloadBlock recomputes the load contribution of block id on all its
 // holders after its per-replica popularity changed from oldPerReplica.
-func (p *Placement) reloadBlock(b *blockState, oldPerReplica float64) {
+// The skip test is bit-equality, not floatEq: the sorted block lists key
+// on exact popularity values, so any bit-level change must reposition the
+// entries even when numerically negligible.
+func (p *Placement) reloadBlock(id BlockID, b *blockState, oldPerReplica float64) {
 	newPerReplica := b.perReplica()
-	if floatEq(newPerReplica, oldPerReplica) {
+	if math.Float64bits(newPerReplica) == math.Float64bits(oldPerReplica) {
 		return
 	}
 	delta := newPerReplica - oldPerReplica
-	for m := range b.replicas {
-		p.machines[m].load += delta
+	for _, m := range b.replicas {
+		p.sortedRemove(m, id, oldPerReplica)
+		p.sortedInsert(m, id, newPerReplica)
+		p.addLoad(m, delta)
 		p.rackLoad[p.cluster.MustMachine(m).Rack] += delta
 	}
 }
@@ -175,29 +328,32 @@ func (p *Placement) AddReplica(id BlockID, m topology.MachineID) error {
 	if err != nil {
 		return err
 	}
-	if _, dup := b.replicas[m]; dup {
+	if b.hasHolder(m) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, id, m)
 	}
-	if len(p.machines[m].blocks) >= mach.Capacity {
+	if len(p.machines[m].sorted) >= mach.Capacity {
 		return fmt.Errorf("%w: machine %d", ErrMachineFull, m)
 	}
 	old := b.perReplica()
-	b.replicas[m] = struct{}{}
+	b.addHolder(m)
 	p.replicas++
 	b.rackCount[mach.Rack]++
-	p.machines[m].blocks[id] = struct{}{}
 	// The new holder picks up the new per-replica load; existing holders
 	// are rescaled from the old value.
 	newPerReplica := b.perReplica()
-	p.machines[m].load += newPerReplica
+	p.sortedInsert(m, id, newPerReplica)
+	p.addLoad(m, newPerReplica)
 	p.rackLoad[mach.Rack] += newPerReplica
+	p.rackUsed[mach.Rack]++
 	// Rescale the others (the new holder was already added at the new
 	// rate, so exclude it by adjusting with the old rate first).
-	for holder := range b.replicas {
+	for _, holder := range b.replicas {
 		if holder == m {
 			continue
 		}
-		p.machines[holder].load += newPerReplica - old
+		p.sortedRemove(holder, id, old)
+		p.sortedInsert(holder, id, newPerReplica)
+		p.addLoad(holder, newPerReplica-old)
 		p.rackLoad[p.cluster.MustMachine(holder).Rack] += newPerReplica - old
 	}
 	return nil
@@ -212,20 +368,21 @@ func (p *Placement) RemoveReplica(id BlockID, m topology.MachineID) error {
 	if !ok {
 		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
 	}
-	if _, held := b.replicas[m]; !held {
+	if !b.hasHolder(m) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, id, m)
 	}
 	mach := p.cluster.MustMachine(m)
 	old := b.perReplica()
-	delete(b.replicas, m)
+	b.removeHolder(m)
 	p.replicas--
 	if b.rackCount[mach.Rack]--; b.rackCount[mach.Rack] == 0 {
 		delete(b.rackCount, mach.Rack)
 	}
-	delete(p.machines[m].blocks, id)
-	p.machines[m].load -= old
+	p.sortedRemove(m, id, old)
+	p.addLoad(m, -old)
 	p.rackLoad[mach.Rack] -= old
-	p.reloadBlock(b, old)
+	p.rackUsed[mach.Rack]--
+	p.reloadBlock(id, b, old)
 	return nil
 }
 
@@ -237,17 +394,17 @@ func (p *Placement) MoveReplica(id BlockID, from, to topology.MachineID) error {
 	if !ok {
 		return fmt.Errorf("%w: block %d", ErrUnknownBlock, id)
 	}
-	if _, held := b.replicas[from]; !held {
+	if !b.hasHolder(from) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, id, from)
 	}
-	if _, dup := b.replicas[to]; dup {
+	if b.hasHolder(to) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, id, to)
 	}
 	toMach, err := p.cluster.Machine(to)
 	if err != nil {
 		return err
 	}
-	if len(p.machines[to].blocks) >= toMach.Capacity {
+	if len(p.machines[to].sorted) >= toMach.Capacity {
 		return fmt.Errorf("%w: machine %d", ErrMachineFull, to)
 	}
 	if p.rackSpreadAfterMove(b, from, to) < b.spec.MinRacks && p.RackSpread(id) >= b.spec.MinRacks {
@@ -255,27 +412,34 @@ func (p *Placement) MoveReplica(id BlockID, from, to topology.MachineID) error {
 	}
 	perReplica := b.perReplica()
 	fromMach := p.cluster.MustMachine(from)
-	delete(b.replicas, from)
+	b.removeHolder(from)
 	if b.rackCount[fromMach.Rack]--; b.rackCount[fromMach.Rack] == 0 {
 		delete(b.rackCount, fromMach.Rack)
 	}
-	delete(p.machines[from].blocks, id)
-	p.machines[from].load -= perReplica
+	p.sortedRemove(from, id, perReplica)
+	p.addLoad(from, -perReplica)
 	p.rackLoad[fromMach.Rack] -= perReplica
+	p.rackUsed[fromMach.Rack]--
 
-	b.replicas[to] = struct{}{}
+	b.addHolder(to)
 	b.rackCount[toMach.Rack]++
-	p.machines[to].blocks[id] = struct{}{}
-	p.machines[to].load += perReplica
+	p.sortedInsert(to, id, perReplica)
+	p.addLoad(to, perReplica)
 	p.rackLoad[toMach.Rack] += perReplica
+	p.rackUsed[toMach.Rack]++
 	return nil
 }
 
 // rackSpreadAfterMove computes the number of distinct racks holding block
 // b if one replica moved from machine `from` to machine `to`.
 func (p *Placement) rackSpreadAfterMove(b *blockState, from, to topology.MachineID) int {
-	fromRack := p.cluster.MustMachine(from).Rack
-	toRack := p.cluster.MustMachine(to).Rack
+	return rackSpreadAfterMoveRacks(b,
+		p.cluster.MustMachine(from).Rack, p.cluster.MustMachine(to).Rack)
+}
+
+// rackSpreadAfterMoveRacks is rackSpreadAfterMove for callers that
+// already resolved the racks (the search hoists them per machine pair).
+func rackSpreadAfterMoveRacks(b *blockState, fromRack, toRack topology.RackID) int {
 	spread := len(b.rackCount)
 	if fromRack == toRack {
 		return spread
@@ -295,14 +459,14 @@ func (p *Placement) CanMove(id BlockID, from, to topology.MachineID) bool {
 	if !ok {
 		return false
 	}
-	if _, held := b.replicas[from]; !held {
+	if !b.hasHolder(from) {
 		return false
 	}
-	if _, dup := b.replicas[to]; dup {
+	if b.hasHolder(to) {
 		return false
 	}
 	toMach, err := p.cluster.Machine(to)
-	if err != nil || len(p.machines[to].blocks) >= toMach.Capacity {
+	if err != nil || len(p.machines[to].sorted) >= toMach.Capacity {
 		return false
 	}
 	if p.rackSpreadAfterMove(b, from, to) < b.spec.MinRacks && p.RackSpread(id) >= b.spec.MinRacks {
@@ -330,16 +494,16 @@ func (p *Placement) SwapReplicas(i BlockID, m topology.MachineID, j BlockID, n t
 	if !ok {
 		return fmt.Errorf("%w: block %d", ErrUnknownBlock, j)
 	}
-	if _, held := bi.replicas[m]; !held {
+	if !bi.hasHolder(m) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, i, m)
 	}
-	if _, held := bj.replicas[n]; !held {
+	if !bj.hasHolder(n) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrNotPlaced, j, n)
 	}
-	if _, dup := bi.replicas[n]; dup {
+	if bi.hasHolder(n) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, i, n)
 	}
-	if _, dup := bj.replicas[m]; dup {
+	if bj.hasHolder(m) {
 		return fmt.Errorf("%w: block %d on machine %d", ErrAlreadyPlaced, j, m)
 	}
 	if p.rackSpreadAfterMove(bi, m, n) < bi.spec.MinRacks && p.RackSpread(i) >= bi.spec.MinRacks {
@@ -354,29 +518,30 @@ func (p *Placement) SwapReplicas(i BlockID, m topology.MachineID, j BlockID, n t
 	nRack := p.cluster.MustMachine(n).Rack
 
 	// i: m -> n
-	delete(bi.replicas, m)
+	bi.removeHolder(m)
 	if bi.rackCount[mRack]--; bi.rackCount[mRack] == 0 {
 		delete(bi.rackCount, mRack)
 	}
-	bi.replicas[n] = struct{}{}
+	bi.addHolder(n)
 	bi.rackCount[nRack]++
-	delete(p.machines[m].blocks, i)
-	p.machines[n].blocks[i] = struct{}{}
+	p.sortedRemove(m, i, pi)
+	p.sortedInsert(n, i, pi)
 
 	// j: n -> m
-	delete(bj.replicas, n)
+	bj.removeHolder(n)
 	if bj.rackCount[nRack]--; bj.rackCount[nRack] == 0 {
 		delete(bj.rackCount, nRack)
 	}
-	bj.replicas[m] = struct{}{}
+	bj.addHolder(m)
 	bj.rackCount[mRack]++
-	delete(p.machines[n].blocks, j)
-	p.machines[m].blocks[j] = struct{}{}
+	p.sortedRemove(n, j, pj)
+	p.sortedInsert(m, j, pj)
 
-	p.machines[m].load += pj - pi
-	p.machines[n].load += pi - pj
+	p.addLoad(m, pj-pi)
+	p.addLoad(n, pi-pj)
 	p.rackLoad[mRack] += pj - pi
 	p.rackLoad[nRack] += pi - pj
+	// rackUsed is unchanged: each machine loses one replica and gains one.
 	return nil
 }
 
@@ -393,16 +558,16 @@ func (p *Placement) CanSwap(i BlockID, m topology.MachineID, j BlockID, n topolo
 	if !ok {
 		return false
 	}
-	if _, held := bi.replicas[m]; !held {
+	if !bi.hasHolder(m) {
 		return false
 	}
-	if _, held := bj.replicas[n]; !held {
+	if !bj.hasHolder(n) {
 		return false
 	}
-	if _, dup := bi.replicas[n]; dup {
+	if bi.hasHolder(n) {
 		return false
 	}
-	if _, dup := bj.replicas[m]; dup {
+	if bj.hasHolder(m) {
 		return false
 	}
 	if p.rackSpreadAfterMove(bi, m, n) < bi.spec.MinRacks && p.RackSpread(i) >= bi.spec.MinRacks {
@@ -420,8 +585,7 @@ func (p *Placement) HasReplica(id BlockID, m topology.MachineID) bool {
 	if !ok {
 		return false
 	}
-	_, held := b.replicas[m]
-	return held
+	return b.hasHolder(m)
 }
 
 // Replicas returns the machines holding block id, in ascending order.
@@ -430,12 +594,18 @@ func (p *Placement) Replicas(id BlockID) []topology.MachineID {
 	if !ok {
 		return nil
 	}
-	out := make([]topology.MachineID, 0, len(b.replicas))
-	for m := range b.replicas {
-		out = append(out, m)
+	return p.AppendReplicas(id, make([]topology.MachineID, 0, len(b.replicas)))
+}
+
+// AppendReplicas appends the machines holding block id to buf in
+// ascending order and returns the extended slice. The holder list is
+// stored sorted, so this is a straight copy.
+func (p *Placement) AppendReplicas(id BlockID, buf []topology.MachineID) []topology.MachineID {
+	b, ok := p.blocks[id]
+	if !ok {
+		return buf
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append(buf, b.replicas...)
 }
 
 // ReplicaCount returns k_i, the current replica count of block id (zero
@@ -477,11 +647,17 @@ func (p *Placement) Load(m topology.MachineID) float64 {
 
 // Loads returns the full machine-load vector indexed by MachineID.
 func (p *Placement) Loads() []float64 {
-	out := make([]float64, len(p.machines))
+	return p.AppendLoads(make([]float64, 0, len(p.machines)))
+}
+
+// AppendLoads appends the machine-load vector (indexed by MachineID from
+// the start of the appended region) to buf and returns the extended
+// slice.
+func (p *Placement) AppendLoads(buf []float64) []float64 {
 	for i := range p.machines {
-		out[i] = p.machines[i].load
+		buf = append(buf, p.machines[i].load)
 	}
-	return out
+	return buf
 }
 
 // RackLoadOf returns the total popularity load of rack r.
@@ -493,14 +669,12 @@ func (p *Placement) RackLoadOf(r topology.RackID) float64 {
 }
 
 // Cost returns the optimization objective λ: the maximum machine load.
+// The floor at zero matches the scan it replaced, which started from 0.
 func (p *Placement) Cost() float64 {
-	max := 0.0
-	for i := range p.machines {
-		if p.machines[i].load > max {
-			max = p.machines[i].load
-		}
+	if c := p.machines[p.idx.Max()].load; c > 0 {
+		return c
 	}
-	return max
+	return 0
 }
 
 // Used returns the number of block replicas on machine m.
@@ -508,7 +682,7 @@ func (p *Placement) Used(m topology.MachineID) int {
 	if int(m) < 0 || int(m) >= len(p.machines) {
 		return 0
 	}
-	return len(p.machines[m].blocks)
+	return len(p.machines[m].sorted)
 }
 
 // FreeCapacity returns the remaining replica slots on machine m.
@@ -524,66 +698,51 @@ func (p *Placement) BlocksOn(m topology.MachineID) []BlockID {
 	if int(m) < 0 || int(m) >= len(p.machines) {
 		return nil
 	}
-	out := make([]BlockID, 0, len(p.machines[m].blocks))
-	for id := range p.machines[m].blocks {
-		out = append(out, id)
+	return p.AppendBlocksOn(m, make([]BlockID, 0, len(p.machines[m].sorted)))
+}
+
+// AppendBlocksOn appends the blocks stored on machine m to buf in
+// ascending ID order and returns the extended slice.
+func (p *Placement) AppendBlocksOn(m topology.MachineID, buf []BlockID) []BlockID {
+	if int(m) < 0 || int(m) >= len(p.machines) {
+		return buf
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	start := len(buf)
+	for _, ref := range p.machines[m].sorted {
+		buf = append(buf, ref.id)
+	}
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // MaxLoadedMachine returns the machine with the highest load; ties break
-// toward the lowest machine ID so the algorithms are deterministic.
+// toward the lowest machine ID so the algorithms are deterministic. The
+// index's prefer-left tie-break reproduces the linear scan's keep-first
+// behavior exactly.
 func (p *Placement) MaxLoadedMachine() topology.MachineID {
-	best, bestLoad := topology.MachineID(0), math.Inf(-1)
-	for i := range p.machines {
-		if p.machines[i].load > bestLoad {
-			best, bestLoad = topology.MachineID(i), p.machines[i].load
-		}
-	}
-	return best
+	return topology.MachineID(p.idx.Max())
 }
 
 // MinLoadedMachine returns the machine with the lowest load (lowest ID on
 // ties).
 func (p *Placement) MinLoadedMachine() topology.MachineID {
-	best, bestLoad := topology.MachineID(0), math.Inf(1)
-	for i := range p.machines {
-		if p.machines[i].load < bestLoad {
-			best, bestLoad = topology.MachineID(i), p.machines[i].load
-		}
-	}
-	return best
+	return topology.MachineID(p.idx.Min())
 }
 
 // MaxLoadedMachineInRack returns the highest-loaded machine within rack r.
 func (p *Placement) MaxLoadedMachineInRack(r topology.RackID) (topology.MachineID, error) {
-	ms, err := p.cluster.MachinesInRack(r)
-	if err != nil {
-		return topology.NoMachine, err
+	if int(r) < 0 || int(r) >= p.cluster.NumRacks() {
+		return topology.NoMachine, fmt.Errorf("%w: rack %d", topology.ErrUnknownRack, r)
 	}
-	best, bestLoad := topology.NoMachine, math.Inf(-1)
-	for _, m := range ms {
-		if p.machines[m].load > bestLoad {
-			best, bestLoad = m, p.machines[m].load
-		}
-	}
-	return best, nil
+	return topology.MachineID(p.idx.MaxInRack(int(r))), nil
 }
 
 // MinLoadedMachineInRack returns the lowest-loaded machine within rack r.
 func (p *Placement) MinLoadedMachineInRack(r topology.RackID) (topology.MachineID, error) {
-	ms, err := p.cluster.MachinesInRack(r)
-	if err != nil {
-		return topology.NoMachine, err
+	if int(r) < 0 || int(r) >= p.cluster.NumRacks() {
+		return topology.NoMachine, fmt.Errorf("%w: rack %d", topology.ErrUnknownRack, r)
 	}
-	best, bestLoad := topology.NoMachine, math.Inf(1)
-	for _, m := range ms {
-		if p.machines[m].load < bestLoad {
-			best, bestLoad = m, p.machines[m].load
-		}
-	}
-	return best, nil
+	return topology.MachineID(p.idx.MinInRack(int(r))), nil
 }
 
 // MaxPerReplicaPopularity returns p_max, the largest per-replica
@@ -630,24 +789,21 @@ func (p *Placement) Clone() *Placement {
 		blocks:   make(map[BlockID]*blockState, len(p.blocks)),
 		machines: make([]machineState, len(p.machines)),
 		rackLoad: make([]float64, len(p.rackLoad)),
+		rackUsed: make([]int, len(p.rackUsed)),
 		replicas: p.replicas,
 	}
 	copy(c.rackLoad, p.rackLoad)
+	copy(c.rackUsed, p.rackUsed)
 	for i := range p.machines {
 		c.machines[i].load = p.machines[i].load
-		c.machines[i].blocks = make(map[BlockID]struct{}, len(p.machines[i].blocks))
-		for id := range p.machines[i].blocks {
-			c.machines[i].blocks[id] = struct{}{}
-		}
+		c.machines[i].sorted = append([]blockRef(nil), p.machines[i].sorted...)
 	}
+	c.idx = p.idx.Clone()
 	for id, b := range p.blocks {
 		nb := &blockState{
 			spec:      b.spec,
-			replicas:  make(map[topology.MachineID]struct{}, len(b.replicas)),
+			replicas:  append([]topology.MachineID(nil), b.replicas...),
 			rackCount: make(map[topology.RackID]int, len(b.rackCount)),
-		}
-		for m := range b.replicas {
-			nb.replicas[m] = struct{}{}
 		}
 		for r, n := range b.rackCount {
 			nb.rackCount[r] = n
@@ -668,13 +824,18 @@ func (p *Placement) Validate() error {
 	for id, b := range p.blocks {
 		perReplica := b.perReplica()
 		rackSeen := make(map[topology.RackID]int)
-		for m := range b.replicas {
+		for k, m := range b.replicas {
+			if k > 0 && b.replicas[k-1] >= m {
+				return fmt.Errorf("core: block %d holder list out of order at %d: %d !< %d",
+					id, k, b.replicas[k-1], m)
+			}
 			mach, err := p.cluster.Machine(m)
 			if err != nil {
 				return fmt.Errorf("core: block %d on invalid machine %d: %w", id, m, err)
 			}
-			if _, ok := p.machines[m].blocks[id]; !ok {
-				return fmt.Errorf("core: block %d lists machine %d but machine does not list block", id, m)
+			s := p.machines[m].sorted
+			if i := lowerBound(s, perReplica, id); i >= len(s) || s[i].id != id {
+				return fmt.Errorf("core: block %d lists machine %d but machine's sorted list has no entry", id, m)
 			}
 			loads[m] += perReplica
 			rackLoads[mach.Rack] += perReplica
@@ -691,8 +852,26 @@ func (p *Placement) Validate() error {
 		}
 	}
 	for i := range p.machines {
-		if len(p.machines[i].blocks) != counts[i] {
-			return fmt.Errorf("core: machine %d holds %d blocks, bookkeeping says %d", i, counts[i], len(p.machines[i].blocks))
+		s := p.machines[i].sorted
+		if len(s) != counts[i] {
+			return fmt.Errorf("core: machine %d sorted list has %d entries, recomputed count is %d", i, len(s), counts[i])
+		}
+		for j, ref := range s {
+			if j > 0 && !refLess(s[j-1].pop, s[j-1].id, ref.pop, ref.id) {
+				return fmt.Errorf("core: machine %d sorted list out of order at %d: (%v,%d) !< (%v,%d)",
+					i, j, s[j-1].pop, s[j-1].id, ref.pop, ref.id)
+			}
+			b, ok := p.blocks[ref.id]
+			if !ok {
+				return fmt.Errorf("core: machine %d sorted list names unknown block %d", i, ref.id)
+			}
+			if !b.hasHolder(topology.MachineID(i)) {
+				return fmt.Errorf("core: machine %d lists block %d but block does not list machine", i, ref.id)
+			}
+			if math.Float64bits(ref.pop) != math.Float64bits(b.perReplica()) {
+				return fmt.Errorf("core: machine %d sorted entry for block %d stores popularity %v, current per-replica is %v",
+					i, ref.id, ref.pop, b.perReplica())
+			}
 		}
 		if counts[i] > p.cluster.Capacity(topology.MachineID(i)) {
 			return fmt.Errorf("core: machine %d over capacity: %d > %d", i, counts[i], p.cluster.Capacity(topology.MachineID(i)))
@@ -700,19 +879,21 @@ func (p *Placement) Validate() error {
 		if math.Abs(loads[i]-p.machines[i].load) > eps*(1+math.Abs(loads[i])) {
 			return fmt.Errorf("core: machine %d load drift: recomputed %v, bookkeeping %v", i, loads[i], p.machines[i].load)
 		}
-		for id := range p.machines[i].blocks {
-			b, ok := p.blocks[id]
-			if !ok {
-				return fmt.Errorf("core: machine %d lists unknown block %d", i, id)
-			}
-			if _, held := b.replicas[topology.MachineID(i)]; !held {
-				return fmt.Errorf("core: machine %d lists block %d but block does not list machine", i, id)
-			}
-		}
 	}
 	for r := range p.rackLoad {
 		if math.Abs(rackLoads[r]-p.rackLoad[r]) > eps*(1+math.Abs(rackLoads[r])) {
 			return fmt.Errorf("core: rack %d load drift: recomputed %v, bookkeeping %v", r, rackLoads[r], p.rackLoad[r])
+		}
+	}
+	rackCounts := make([]int, len(p.rackUsed))
+	for i := range p.machines {
+		if r, err := p.cluster.RackOf(topology.MachineID(i)); err == nil {
+			rackCounts[r] += len(p.machines[i].sorted)
+		}
+	}
+	for r := range p.rackUsed {
+		if rackCounts[r] != p.rackUsed[r] {
+			return fmt.Errorf("core: rack %d used drift: recomputed %d, bookkeeping %d", r, rackCounts[r], p.rackUsed[r])
 		}
 	}
 	total := 0
@@ -721,6 +902,16 @@ func (p *Placement) Validate() error {
 	}
 	if total != p.replicas {
 		return fmt.Errorf("core: replica counter drift: recomputed %d, bookkeeping %d", total, p.replicas)
+	}
+	// The load index must agree bit-for-bit with the bookkeeping loads
+	// (not the recomputed ones): every index update is fed the exact
+	// incremental load value.
+	bookkeeping := make([]float64, len(p.machines))
+	for i := range p.machines {
+		bookkeeping[i] = p.machines[i].load
+	}
+	if err := p.idx.Validate(bookkeeping); err != nil {
+		return fmt.Errorf("core: load index: %w", err)
 	}
 	return nil
 }

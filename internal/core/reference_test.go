@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"aurora/internal/topology"
+)
+
+// This file retains the pre-index implementations of the local search and
+// the extreme-machine queries: linear scans over all machines and
+// per-probe rebuild+sort of the candidate block lists. They are the
+// executable specification the equivalence property tests compare the
+// indexed hot path against, op for op.
+//
+// The comparators are the exact total orders the indexed structures
+// maintain ((popularity, ID) and (load, machine)); a tolerance-based
+// comparator is not transitive, so it cannot define the common order both
+// implementations must agree on.
+
+// refMaxLoadedMachine is the linear-scan MaxLoadedMachine (keep-first on
+// ties).
+func refMaxLoadedMachine(p *Placement) topology.MachineID {
+	best, bestLoad := topology.MachineID(0), negInf()
+	for i := range p.machines {
+		if p.machines[i].load > bestLoad {
+			best, bestLoad = topology.MachineID(i), p.machines[i].load
+		}
+	}
+	return best
+}
+
+// refMinLoadedMachine is the linear-scan MinLoadedMachine.
+func refMinLoadedMachine(p *Placement) topology.MachineID {
+	best, bestLoad := topology.MachineID(0), posInf()
+	for i := range p.machines {
+		if p.machines[i].load < bestLoad {
+			best, bestLoad = topology.MachineID(i), p.machines[i].load
+		}
+	}
+	return best
+}
+
+// refMaxLoadedMachineInRack is the linear-scan per-rack maximum.
+func refMaxLoadedMachineInRack(p *Placement, r topology.RackID) (topology.MachineID, error) {
+	ms, err := p.cluster.MachinesInRack(r)
+	if err != nil {
+		return topology.NoMachine, err
+	}
+	best, bestLoad := topology.NoMachine, negInf()
+	for _, m := range ms {
+		if p.machines[m].load > bestLoad {
+			best, bestLoad = m, p.machines[m].load
+		}
+	}
+	return best, nil
+}
+
+// refMinLoadedMachineInRack is the linear-scan per-rack minimum.
+func refMinLoadedMachineInRack(p *Placement, r topology.RackID) (topology.MachineID, error) {
+	ms, err := p.cluster.MachinesInRack(r)
+	if err != nil {
+		return topology.NoMachine, err
+	}
+	best, bestLoad := topology.NoMachine, posInf()
+	for _, m := range ms {
+		if p.machines[m].load < bestLoad {
+			best, bestLoad = m, p.machines[m].load
+		}
+	}
+	return best, nil
+}
+
+// refMaxLoadedExcluding is the stuck-set scan the masked index replaces:
+// the most-loaded machine not in the stuck set with load above minLoad.
+func refMaxLoadedExcluding(p *Placement, stuck map[topology.MachineID]bool, minLoad float64) (topology.MachineID, bool) {
+	best := topology.NoMachine
+	bestLoad := minLoad
+	for _, m := range p.Cluster().Machines() {
+		if stuck[m] {
+			continue
+		}
+		if l := p.Load(m); l > bestLoad {
+			best, bestLoad = m, l
+		}
+	}
+	return best, best != topology.NoMachine
+}
+
+// refExclusiveBlocksByPopularity rebuilds and sorts the blocks on m that
+// are not on n, per-replica popularity descending, ties by ascending ID.
+func refExclusiveBlocksByPopularity(p *Placement, m, n topology.MachineID) []BlockID {
+	var out []BlockID
+	for _, id := range p.BlocksOn(m) {
+		if !p.HasReplica(id, n) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := p.PerReplicaPopularity(out[a]), p.PerReplicaPopularity(out[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// refSwapCand mirrors the pre-index precomputed counterpart entries.
+type refSwapCand struct {
+	id  BlockID
+	pop float64
+}
+
+// refSwapCandidates rebuilds and sorts the blocks on n that m does not
+// hold, popularity ascending, ties by ID.
+func refSwapCandidates(p *Placement, m, n topology.MachineID) []refSwapCand {
+	var out []refSwapCand
+	for _, j := range p.BlocksOn(n) {
+		if p.HasReplica(j, m) {
+			continue
+		}
+		out = append(out, refSwapCand{id: j, pop: p.PerReplicaPopularity(j)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].pop != out[b].pop {
+			return out[a].pop < out[b].pop
+		}
+		return out[a].id < out[b].id
+	})
+	return out
+}
+
+// refBestSwapCounterpart is the V-shaped search over the prefiltered
+// candidate list.
+func refBestSwapCounterpart(p *Placement, cands []refSwapCand, i BlockID, pi float64, m, n topology.MachineID, lm, ln float64) (BlockID, float64, bool) {
+	hi := sort.Search(len(cands), func(k int) bool { return cands[k].pop >= pi })
+	if hi == 0 {
+		return 0, 0, false
+	}
+	target := pi - (lm-ln)/2
+	start := sort.Search(hi, func(k int) bool { return cands[k].pop >= target })
+
+	bestJ := BlockID(-1)
+	bestCost := lm
+	found := false
+	consider := func(k int) bool {
+		c := cands[k]
+		cost := pairCost(lm-pi+c.pop, ln+pi-c.pop)
+		if cost >= bestCost {
+			return false
+		}
+		if p.CanSwap(i, m, c.id, n) {
+			bestJ, bestCost, found = c.id, cost, true
+		}
+		return true
+	}
+	for k := start; k < hi; k++ {
+		if !consider(k) {
+			break
+		}
+	}
+	for k := start - 1; k >= 0; k-- {
+		if !consider(k) {
+			break
+		}
+	}
+	return bestJ, bestCost, found
+}
+
+// refBestPairOpSwap is the pre-index pair evaluation: rebuild both sorted
+// candidate lists for every probed pair.
+func refBestPairOpSwap(p *Placement, m, n topology.MachineID, epsilon float64, allowSwap bool) (candidate, bool) {
+	lm, ln := p.Load(m), p.Load(n)
+	if lm <= ln {
+		return candidate{}, false
+	}
+	if !pairAdmissible(lm, ln, epsilon) {
+		return candidate{}, false
+	}
+	exclusive := refExclusiveBlocksByPopularity(p, m, n)
+	var swapCands []refSwapCand
+	if allowSwap {
+		swapCands = refSwapCandidates(p, m, n)
+	}
+	best := candidate{newPairCost: lm}
+	found := false
+	for _, i := range exclusive {
+		pi := p.PerReplicaPopularity(i)
+		if pi <= minImprovement*(1+lm) {
+			break
+		}
+		if p.CanMove(i, m, n) {
+			cost := pairCost(lm-pi, ln+pi)
+			if improves(lm, cost) && cost < best.newPairCost {
+				best = candidate{
+					op:          Op{Kind: moveKind(p, m, n), Block: i, From: m, To: n},
+					newPairCost: cost,
+				}
+				found = true
+			}
+		}
+		if !allowSwap {
+			continue
+		}
+		if j, cost, ok := refBestSwapCounterpart(p, swapCands, i, pi, m, n, lm, ln); ok {
+			if improves(lm, cost) && cost < best.newPairCost {
+				best = candidate{
+					op:          Op{Kind: swapKind(p, m, n), Block: i, From: m, To: n, OtherBlock: j},
+					newPairCost: cost,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// refBPNodeSearch is BPNodeSearch with the stuck map and linear scans of
+// the pre-index implementation.
+func refBPNodeSearch(p *Placement, opts SearchOptions) (SearchResult, error) {
+	res := SearchResult{InitialCost: refCost(p)}
+	stuck := make(map[topology.MachineID]bool)
+	verified := false
+	for opts.MaxIterations == 0 || res.Iterations < opts.MaxIterations {
+		n := refMinLoadedMachine(p)
+		m, ok := refMaxLoadedExcluding(p, stuck, p.Load(n))
+		if !ok {
+			if verified {
+				break
+			}
+			clear(stuck)
+			verified = true
+			continue
+		}
+		c, found := refBestPairOpSwap(p, m, n, opts.Epsilon, !opts.DisableSwap)
+		if !found {
+			stuck[m] = true
+			continue
+		}
+		if err := applyCandidate(p, c, &opts, &res); err != nil {
+			return res, err
+		}
+		verified = false
+		delete(stuck, c.op.From)
+		delete(stuck, c.op.To)
+	}
+	res.FinalCost = refCost(p)
+	return res, nil
+}
+
+// refRackMinTargets rebuilds the per-rack minimum list with linear scans
+// and a full sort.
+func refRackMinTargets(p *Placement, racks []topology.RackID) []minTarget {
+	targets := make([]minTarget, 0, len(racks))
+	for _, r := range racks {
+		m, err := refMinLoadedMachineInRack(p, r)
+		if err != nil {
+			continue
+		}
+		targets = append(targets, minTarget{machine: m, load: p.Load(m)})
+	}
+	sort.Slice(targets, func(a, b int) bool { return targetLess(targets[a], targets[b]) })
+	return targets
+}
+
+// refBestAmongTargets mirrors bestAmongTargets over the reference pair
+// evaluation.
+func refBestAmongTargets(p *Placement, m topology.MachineID, targets []minTarget, epsilon float64, allowSwap bool) (candidate, bool) {
+	for _, t := range targets {
+		if t.machine == m {
+			continue
+		}
+		if c, ok := refBestPairOpSwap(p, m, t.machine, epsilon, allowSwap); ok {
+			return c, true
+		}
+	}
+	return candidate{}, false
+}
+
+// refBPRackSearch is BPRackSearch with the stuck map and rebuilt target
+// lists of the pre-index implementation.
+func refBPRackSearch(p *Placement, opts SearchOptions) (SearchResult, error) {
+	res := SearchResult{InitialCost: refCost(p)}
+	racks := p.Cluster().Racks()
+	stuck := make(map[topology.MachineID]bool)
+	verified := false
+	for opts.MaxIterations == 0 || res.Iterations < opts.MaxIterations {
+		targets := refRackMinTargets(p, racks)
+		if len(targets) == 0 {
+			break
+		}
+		globalMin := targets[0].load
+		m, ok := refMaxLoadedExcluding(p, stuck, globalMin)
+		if !ok {
+			if verified {
+				break
+			}
+			clear(stuck)
+			verified = true
+			continue
+		}
+		c, found := refBestAmongTargets(p, m, targets, opts.Epsilon, !opts.DisableSwap)
+		if !found {
+			stuck[m] = true
+			continue
+		}
+		if err := applyCandidate(p, c, &opts, &res); err != nil {
+			return res, err
+		}
+		verified = false
+		delete(stuck, c.op.From)
+		delete(stuck, c.op.To)
+	}
+	res.FinalCost = refCost(p)
+	return res, nil
+}
+
+// refCost is the linear-scan Cost.
+func refCost(p *Placement) float64 {
+	max := 0.0
+	for i := range p.machines {
+		if p.machines[i].load > max {
+			max = p.machines[i].load
+		}
+	}
+	return max
+}
+
+func negInf() float64 { return math.Inf(-1) }
+
+func posInf() float64 { return math.Inf(1) }

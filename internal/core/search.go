@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"aurora/internal/topology"
 )
@@ -135,6 +134,14 @@ func bestPairOp(p *Placement, m, n topology.MachineID, epsilon float64) (candida
 }
 
 // bestPairOpSwap is bestPairOp with swaps optionally disabled.
+//
+// It allocates nothing: both machines' candidate blocks come from the
+// popularity-sorted lists Placement maintains incrementally, so there is
+// no per-probe rebuild or sort. The visit order matches the reference
+// scan (per-replica popularity descending, ties by ascending block ID):
+// the stored lists are ascending by (popularity, ID), so equal-popularity
+// runs are located from the top of the list and each run is walked
+// forward.
 func bestPairOpSwap(p *Placement, m, n topology.MachineID, epsilon float64, allowSwap bool) (candidate, bool) {
 	lm, ln := p.Load(m), p.Load(n)
 	if lm <= ln {
@@ -146,73 +153,95 @@ func bestPairOpSwap(p *Placement, m, n topology.MachineID, epsilon float64, allo
 	if !pairAdmissible(lm, ln, epsilon) {
 		return candidate{}, false
 	}
-	exclusive := exclusiveBlocksByPopularity(p, m, n)
-	var swapCands []swapCand
-	if allowSwap {
-		swapCands = swapCandidates(p, m, n)
-	}
+	// Per-pair facts hoisted out of the scan: rack IDs for the spread
+	// checks and whether n has room for a move (swaps need no room — one
+	// replica leaves as one arrives). The scan mutates nothing, so these
+	// stay valid throughout.
+	mRack := p.cluster.MustMachine(m).Rack
+	nMach := p.cluster.MustMachine(n)
+	nRack := nMach.Rack
+	nHasRoom := len(p.machines[n].sorted) < nMach.Capacity
+	mine := p.machines[m].sorted
 	best := candidate{newPairCost: lm}
 	found := false
-	for _, i := range exclusive {
-		pi := p.PerReplicaPopularity(i)
-		// Any operation that relocates block i improves the pair cost by
-		// at most p_i, and the scan is in descending popularity, so once
-		// p_i falls below the noise floor nothing further can qualify.
-		if pi <= minImprovement*(1+lm) {
+	for hi := len(mine); hi > 0; {
+		runPop := mine[hi-1].pop
+		// Any operation that relocates a block improves the pair cost by
+		// at most its popularity, and runs are visited in descending
+		// popularity, so once it falls below the noise floor nothing
+		// further can qualify.
+		if runPop <= minImprovement*(1+lm) {
 			break
 		}
-		// Try the move first: it is one block transfer instead of two.
-		if p.CanMove(i, m, n) {
-			cost := pairCost(lm-pi, ln+pi)
-			if improves(lm, cost) && cost < best.newPairCost {
-				best = candidate{
-					op:          Op{Kind: moveKind(p, m, n), Block: i, From: m, To: n},
-					newPairCost: cost,
+		lo := hi
+		for lo > 0 && !(mine[lo-1].pop < runPop) {
+			lo--
+		}
+		for k := lo; k < hi; k++ {
+			i, pi := mine[k].id, mine[k].pop
+			b := p.blocks[i]
+			// Blocks held by both machines are skipped (Theorem 2): a
+			// machine stores at most one replica, and relocating a shared
+			// block would change its replication factor.
+			if b.hasHolder(n) {
+				continue
+			}
+			// Try the move first: it is one block transfer instead of two.
+			// Feasibility is CanMove minus the checks the scan already
+			// guarantees (block exists, held on m, absent from n).
+			if nHasRoom && moveKeepsSpread(b, mRack, nRack) {
+				cost := pairCost(lm-pi, ln+pi)
+				if improves(lm, cost) && cost < best.newPairCost {
+					best = candidate{
+						op:          Op{Kind: moveKind(p, m, n), Block: i, From: m, To: n},
+						newPairCost: cost,
+					}
+					found = true
 				}
-				found = true
+			}
+			// Try swapping i against the best counterpart on n.
+			if !allowSwap {
+				continue
+			}
+			if j, cost, ok := bestSwapCounterpart(p, i, b, pi, m, n, mRack, nRack, lm, ln); ok {
+				if improves(lm, cost) && cost < best.newPairCost {
+					best = candidate{
+						op:          Op{Kind: swapKind(p, m, n), Block: i, From: m, To: n, OtherBlock: j},
+						newPairCost: cost,
+					}
+					found = true
+				}
 			}
 		}
-		// Try swapping i against the best counterpart on n.
-		if !allowSwap {
-			continue
-		}
-		if j, cost, ok := bestSwapCounterpart(p, swapCands, i, pi, m, n, lm, ln); ok {
-			if improves(lm, cost) && cost < best.newPairCost {
-				best = candidate{
-					op:          Op{Kind: swapKind(p, m, n), Block: i, From: m, To: n, OtherBlock: j},
-					newPairCost: cost,
-				}
-				found = true
-			}
-		}
+		hi = lo
 	}
 	return best, found
 }
 
-// swapCand is a precomputed swap counterpart on the low machine.
-type swapCand struct {
-	id  BlockID
-	pop float64
+// popLowerBound returns the first index in s whose popularity is >= pop,
+// ignoring IDs. Hand-rolled to keep the hot path closure-free.
+func popLowerBound(s []blockRef, pop float64) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].pop < pop {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
-// swapCandidates lists blocks on n that m does not hold, sorted by
-// per-replica popularity ascending (ties by ID), the order
-// bestSwapCounterpart's search exploits.
-func swapCandidates(p *Placement, m, n topology.MachineID) []swapCand {
-	var out []swapCand
-	for _, j := range p.BlocksOn(n) {
-		if p.HasReplica(j, m) {
-			continue
-		}
-		out = append(out, swapCand{id: j, pop: p.PerReplicaPopularity(j)})
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if !floatEq(out[a].pop, out[b].pop) {
-			return out[a].pop < out[b].pop
-		}
-		return out[a].id < out[b].id
-	})
-	return out
+// moveKeepsSpread reports whether relocating one replica of b from
+// fromRack to toRack keeps its rack-spread constraint satisfiable: the
+// spread after the move meets MinRacks, or it was already below (the
+// search never repairs spread, only refuses to worsen a satisfied
+// constraint). This is the rack leg of CanMove/CanSwap with the machine
+// lookups hoisted to the caller.
+func moveKeepsSpread(b *blockState, fromRack, toRack topology.RackID) bool {
+	return rackSpreadAfterMoveRacks(b, fromRack, toRack) >= b.spec.MinRacks ||
+		len(b.rackCount) < b.spec.MinRacks
 }
 
 // bestSwapCounterpart finds the block j on n (not on m) that minimizes
@@ -221,26 +250,42 @@ func swapCandidates(p *Placement, m, n topology.MachineID) []swapCand {
 // p_j* = p_i - (L_m - L_n)/2, so the search starts at the candidate
 // nearest p_j* and expands outward, stopping a direction as soon as its
 // cost can no longer beat the best found.
-func bestSwapCounterpart(p *Placement, cands []swapCand, i BlockID, pi float64, m, n topology.MachineID, lm, ln float64) (BlockID, float64, bool) {
+//
+// It searches n's incrementally sorted block list directly instead of a
+// prefiltered copy; blocks shared with m are skipped in place. Stopping
+// at a shared block whose cost can no longer win is sound because the
+// cost is monotone non-decreasing along each walk direction: every later
+// candidate, shared or not, is at least as bad.
+//
+// bi is i's block state and mRack/nRack the pair's racks, hoisted by the
+// caller. The callers' scan invariants (i held on m and not on n, j held
+// on n, i != j, m != n) replace the corresponding CanSwap lookups.
+func bestSwapCounterpart(p *Placement, i BlockID, bi *blockState, pi float64, m, n topology.MachineID, mRack, nRack topology.RackID, lm, ln float64) (BlockID, float64, bool) {
+	// If sending i to n's rack would break i's spread, no counterpart is
+	// feasible at all.
+	if !moveKeepsSpread(bi, mRack, nRack) {
+		return 0, 0, false
+	}
+	cands := p.machines[n].sorted
 	// Only counterparts with p_j < p_i strictly lower m's load.
-	hi := sort.Search(len(cands), func(k int) bool { return cands[k].pop >= pi })
+	hi := popLowerBound(cands, pi)
 	if hi == 0 {
 		return 0, 0, false
 	}
 	target := pi - (lm-ln)/2
-	start := sort.Search(hi, func(k int) bool { return cands[k].pop >= target })
+	start := popLowerBound(cands[:hi], target)
 
-	costAt := func(pj float64) float64 { return pairCost(lm-pi+pj, ln+pi-pj) }
 	bestJ := BlockID(-1)
 	bestCost := lm
 	found := false
 	consider := func(k int) bool {
 		c := cands[k]
-		cost := costAt(c.pop)
+		cost := pairCost(lm-pi+c.pop, ln+pi-c.pop)
 		if cost >= bestCost {
 			return false // V-shape: farther candidates on this side are worse
 		}
-		if p.CanSwap(i, m, c.id, n) {
+		bj := p.blocks[c.id]
+		if !bj.hasHolder(m) && moveKeepsSpread(bj, nRack, mRack) {
 			bestJ, bestCost, found = c.id, cost, true
 		}
 		return true
@@ -256,26 +301,6 @@ func bestSwapCounterpart(p *Placement, cands []swapCand, i BlockID, pi float64, 
 		}
 	}
 	return bestJ, bestCost, found
-}
-
-// exclusiveBlocksByPopularity lists the blocks on m that are not on n,
-// sorted by per-replica popularity descending (ties by ID for
-// determinism).
-func exclusiveBlocksByPopularity(p *Placement, m, n topology.MachineID) []BlockID {
-	var out []BlockID
-	for _, id := range p.BlocksOn(m) {
-		if !p.HasReplica(id, n) {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		pa, pb := p.PerReplicaPopularity(out[a]), p.PerReplicaPopularity(out[b])
-		if !floatEq(pa, pb) {
-			return pa > pb
-		}
-		return out[a] < out[b]
-	})
-	return out
 }
 
 func pairCost(a, b float64) float64 {

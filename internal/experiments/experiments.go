@@ -11,6 +11,11 @@
 // Each figure's three panels map to SweepRow fields: (a) remote tasks per
 // hour, (b) the machine-load CDF, (c) block movements per machine per
 // hour.
+//
+// Sweeps may run rows in parallel (Setup.Workers); results stay
+// deterministic because each row owns its slot and its own seeded RNGs.
+//
+//lint:deterministic
 package experiments
 
 import (
@@ -23,6 +28,7 @@ import (
 	"aurora/internal/baseline"
 	"aurora/internal/core"
 	"aurora/internal/metrics"
+	"aurora/internal/par"
 	"aurora/internal/sim"
 	"aurora/internal/topology"
 	"aurora/internal/trace"
@@ -56,6 +62,12 @@ type Setup struct {
 	// MaxSearchIterations caps the per-epoch local search (a runtime
 	// guard; 0 = unbounded).
 	MaxSearchIterations int
+	// Workers bounds how many sweep rows run concurrently (0 = one per
+	// CPU, 1 = serial). Rows are independent: each constructs its own
+	// policy and simulator over the shared read-only cluster and trace,
+	// and writes into its own result slot, so a parallel sweep is
+	// byte-identical to a serial one.
+	Workers int
 }
 
 // DefaultSetup returns a laptop-scale rendition of the paper's setup
@@ -224,17 +236,22 @@ func figSweep(s Setup, name string, minRacks int, withBudget bool) (*Figure, err
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure{Name: name}
-	hdfs, err := sim.NewHDFSPolicy(s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	row, err := runOne(cl, tr, hdfs, "HDFS", 0, s.Hours)
-	if err != nil {
-		return nil, err
-	}
-	fig.Rows = append(fig.Rows, row)
-	for _, eps := range s.Epsilons {
+	// Row 0 is the HDFS baseline, rows 1..len(Epsilons) the sweep. Each
+	// worker builds its own policy; the cluster and trace are shared
+	// read-only.
+	rows := make([]SweepRow, 1+len(s.Epsilons))
+	errs := make([]error, len(rows))
+	par.ForEach(len(rows), s.Workers, func(i int) {
+		if i == 0 {
+			hdfs, err := sim.NewHDFSPolicy(s.Seed)
+			if err != nil {
+				errs[0] = err
+				return
+			}
+			rows[0], errs[0] = runOne(cl, tr, hdfs, "HDFS", 0, s.Hours)
+			return
+		}
+		eps := s.Epsilons[i-1]
 		pol := &sim.AuroraPolicy{Opts: core.OptimizerOptions{
 			Epsilon:             eps,
 			RackAware:           minRacks > 1,
@@ -245,12 +262,12 @@ func figSweep(s Setup, name string, minRacks int, withBudget bool) (*Figure, err
 			pol.Opts.MaxReplicationMoves = s.K
 		}
 		label := fmt.Sprintf("Aurora eps=%.1f", eps)
-		row, err := runOne(cl, tr, pol, label, eps, s.Hours)
-		if err != nil {
-			return nil, err
-		}
-		fig.Rows = append(fig.Rows, row)
+		rows[i], errs[i] = runOne(cl, tr, pol, label, eps, s.Hours)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
+	fig := &Figure{Name: name, Rows: rows}
 	fig.Notes = fmt.Sprintf("cluster %d racks x %d machines, %d files, %d blocks, %d hours, %.0f jobs/hour",
 		s.Racks, s.MachinesPerRack, s.Files, tr.NumBlocks(), s.Hours, s.JobsPerHour)
 	return fig, nil
@@ -271,22 +288,25 @@ func Fig5(s Setup) (*Figure, error) {
 		return nil, err
 	}
 	budget := tr.NumBlocks()*3 + s.BudgetExtraBlocks
-	fig := &Figure{Name: "Figure 5 (Case 3: BP-Replicate vs Scarlett)"}
 
-	scar, err := sim.NewScarlettPolicy(s.Seed, &baseline.Scarlett{
-		Mode:   baseline.Priority,
-		Budget: budget,
-	})
-	if err != nil {
-		return nil, err
-	}
-	row, err := runOne(cl, tr, scar, "Scarlett", 0, s.Hours)
-	if err != nil {
-		return nil, err
-	}
-	fig.Rows = append(fig.Rows, row)
-
-	for _, eps := range s.Epsilons {
+	// Row 0 is the Scarlett baseline, rows 1..len(Epsilons) the sweep;
+	// same slotting scheme as figSweep.
+	rows := make([]SweepRow, 1+len(s.Epsilons))
+	errs := make([]error, len(rows))
+	par.ForEach(len(rows), s.Workers, func(i int) {
+		if i == 0 {
+			scar, err := sim.NewScarlettPolicy(s.Seed, &baseline.Scarlett{
+				Mode:   baseline.Priority,
+				Budget: budget,
+			})
+			if err != nil {
+				errs[0] = err
+				return
+			}
+			rows[0], errs[0] = runOne(cl, tr, scar, "Scarlett", 0, s.Hours)
+			return
+		}
+		eps := s.Epsilons[i-1]
 		pol := &sim.AuroraPolicy{Opts: core.OptimizerOptions{
 			Epsilon:             eps,
 			RackAware:           true,
@@ -295,12 +315,12 @@ func Fig5(s Setup) (*Figure, error) {
 			MaxSearchIterations: s.MaxSearchIterations,
 		}}
 		label := fmt.Sprintf("Aurora eps=%.1f", eps)
-		row, err := runOne(cl, tr, pol, label, eps, s.Hours)
-		if err != nil {
-			return nil, err
-		}
-		fig.Rows = append(fig.Rows, row)
+		rows[i], errs[i] = runOne(cl, tr, pol, label, eps, s.Hours)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
+	fig := &Figure{Name: "Figure 5 (Case 3: BP-Replicate vs Scarlett)", Rows: rows}
 	fig.Notes = fmt.Sprintf("replication budget beta = %d (3x%d blocks + %d extra), K = %d",
 		budget, tr.NumBlocks(), s.BudgetExtraBlocks, s.K)
 	return fig, nil

@@ -17,6 +17,7 @@ import (
 	"aurora/internal/dfs/namenode"
 	"aurora/internal/dfs/proto"
 	"aurora/internal/metrics"
+	"aurora/internal/par"
 	"aurora/internal/trace"
 )
 
@@ -40,6 +41,14 @@ type TestbedSetup struct {
 	// 3x minimum.
 	BudgetExtraBlocks int
 	Seed              uint64
+	// Workers bounds how many of the three systems run concurrently.
+	// Unlike the simulated sweeps this defaults to serial (<= 1): each
+	// system spins up a live TCP cluster whose wall-clock movement
+	// timings feed panel (c), so concurrent runs perturb each other's
+	// measurements. Set above 1 only when throughput matters more than
+	// timing fidelity (locality and command counts stay deterministic
+	// either way).
+	Workers int
 }
 
 // DefaultTestbedSetup mirrors the paper's testbed shape at test speed.
@@ -100,13 +109,23 @@ func Fig6(s TestbedSetup) (*Fig6Result, error) {
 		tr.Jobs = tr.Jobs[:s.Jobs]
 	}
 
-	res := &Fig6Result{}
-	for _, system := range []string{"HDFS", "Scarlett", "Aurora"} {
-		row, err := runTestbedSystem(s, tr, system)
+	systems := []string{"HDFS", "Scarlett", "Aurora"}
+	res := &Fig6Result{Rows: make([]TestbedRow, len(systems))}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 1 // serial by default; see TestbedSetup.Workers
+	}
+	errs := make([]error, len(systems))
+	par.ForEach(len(systems), workers, func(i int) {
+		row, err := runTestbedSystem(s, tr, systems[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: testbed %s: %w", system, err)
+			errs[i] = fmt.Errorf("experiments: testbed %s: %w", systems[i], err)
+			return
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	scar, aur := res.Rows[1], res.Rows[2]
 	for id, ts := range scar.JobDurations {
@@ -120,6 +139,47 @@ func Fig6(s TestbedSetup) (*Fig6Result, error) {
 	res.Notes = fmt.Sprintf("%d nodes x %d slots over %d racks, %d files, %d jobs, epsilon=%.1f",
 		s.Nodes, s.SlotsPerNode, s.Racks, s.Files, len(tr.Jobs), s.Epsilon)
 	return res, nil
+}
+
+// Fig6Cell is one (epsilon, trial) cell of the testbed sweep grid.
+type Fig6Cell struct {
+	Epsilon float64
+	Trial   int
+	Seed    uint64
+	Result  *Fig6Result
+}
+
+// Fig6Grid sweeps the testbed experiment over an epsilon x trial grid,
+// running up to `workers` cells concurrently (0 = one per CPU). Each
+// cell derives a distinct trial seed from base.Seed, keeps its three
+// systems serial (cell-internal Workers is forced to 1, so grid
+// parallelism is only across fully independent clusters), and writes
+// into its own slot: the returned cells are ordered epsilon-major
+// (index e*trials + t) regardless of worker count.
+func Fig6Grid(base TestbedSetup, epsilons []float64, trials, workers int) ([]Fig6Cell, error) {
+	if len(epsilons) == 0 || trials <= 0 {
+		return nil, fmt.Errorf("%w: fig6 grid needs epsilons and trials", ErrBadSetup)
+	}
+	cells := make([]Fig6Cell, len(epsilons)*trials)
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), workers, func(i int) {
+		e, t := i/trials, i%trials
+		s := base
+		s.Epsilon = epsilons[e]
+		// Distinct, well-spread trial seeds (golden-ratio stride).
+		s.Seed = base.Seed + uint64(t)*0x9e3779b97f4a7c15
+		s.Workers = 1
+		res, err := Fig6(s)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: fig6 grid eps=%.2f trial %d: %w", s.Epsilon, t, err)
+			return
+		}
+		cells[i] = Fig6Cell{Epsilon: s.Epsilon, Trial: t, Seed: s.Seed, Result: res}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // runTestbedSystem spins up a real cluster, loads the dataset, replays

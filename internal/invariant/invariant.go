@@ -45,15 +45,21 @@ func CheckPlacement(p *core.Placement) error {
 	cluster := p.Cluster()
 	const eps = 1e-6
 
-	// Capacity, recomputed by summing membership per machine.
+	// Capacity, recomputed by summing membership per machine. The ID and
+	// replica buffers are reused across blocks via the Append* accessors:
+	// with invariantdebug builds running this after every optimizer
+	// period, per-call allocations add up.
 	stored := make(map[topology.MachineID]int)
 	var totalPopularity, totalPerReplica float64
-	for _, id := range p.Blocks() {
+	ids := p.AppendBlocks(nil)
+	var replicaBuf []topology.MachineID
+	for _, id := range ids {
 		spec, err := p.Spec(id)
 		if err != nil {
 			return fmt.Errorf("%w: block %d has no spec: %v", ErrViolation, id, err)
 		}
-		replicas := p.Replicas(id)
+		replicaBuf = p.AppendReplicas(id, replicaBuf[:0])
+		replicas := replicaBuf
 		if len(replicas) == 0 {
 			continue // not yet placed; feasibility applies to placed blocks
 		}
@@ -105,7 +111,7 @@ func CheckPlacement(p *core.Placement) error {
 
 	// Conservation: machine loads sum to the total placed popularity.
 	var totalLoad float64
-	for _, load := range p.Loads() {
+	for _, load := range p.AppendLoads(nil) {
 		if load < -eps {
 			return fmt.Errorf("%w: negative machine load %v", ErrViolation, load)
 		}

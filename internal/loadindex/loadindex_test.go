@@ -1,0 +1,195 @@
+package loadindex
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// scanMax/scanMin mirror the linear scans the index replaces, including
+// the keep-first tie-break.
+func scanMax(loads []float64, skip func(int) bool) (int, float64) {
+	best, bestLoad := -1, math.Inf(-1)
+	for i, l := range loads {
+		if skip != nil && skip(i) {
+			continue
+		}
+		if l > bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best, bestLoad
+}
+
+func scanMin(loads []float64, members []int) int {
+	best, bestLoad := -1, math.Inf(1)
+	for _, m := range members {
+		if loads[m] < bestLoad {
+			best, bestLoad = m, loads[m]
+		}
+	}
+	return best
+}
+
+// buildRandom creates an index over a random layout alongside the plain
+// vectors the scans use.
+func buildRandom(rng *rand.Rand, machines, racks int) (*Index, []float64, []int, [][]int) {
+	loads := make([]float64, machines)
+	rackOf := make([]int, machines)
+	members := make([][]int, racks)
+	for m := 0; m < machines; m++ {
+		// Small integer loads force plenty of exact ties.
+		loads[m] = float64(rng.IntN(8))
+		r := m % racks // every rack non-empty for machines >= racks
+		rackOf[m] = r
+		members[r] = append(members[r], m)
+	}
+	return New(loads, rackOf, racks), loads, rackOf, members
+}
+
+func TestIndexMatchesScans(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		machines := rng.IntN(60) + 3
+		racks := rng.IntN(4) + 1
+		if racks > machines {
+			racks = machines
+		}
+		idx, loads, _, members := buildRandom(rng, machines, racks)
+		for step := 0; step < 200; step++ {
+			m := rng.IntN(machines)
+			loads[m] = float64(rng.IntN(8)) + float64(rng.IntN(4))/4
+			idx.Update(m, loads[m])
+
+			if got, want := idx.Max(), first(scanMax(loads, nil)); got != want {
+				t.Fatalf("trial %d step %d: Max = %d, scan = %d (loads %v)", trial, step, got, want, loads)
+			}
+			wantMin, minLoad := -1, math.Inf(1)
+			for i, l := range loads {
+				if l < minLoad {
+					wantMin, minLoad = i, l
+				}
+			}
+			if got := idx.Min(); got != wantMin {
+				t.Fatalf("trial %d step %d: Min = %d, scan = %d", trial, step, got, wantMin)
+			}
+			for r := 0; r < len(members); r++ {
+				maxWant, _ := scanMax(loads, func(i int) bool { return i%len(members) != r })
+				if got := idx.MaxInRack(r); got != maxWant {
+					t.Fatalf("trial %d step %d: MaxInRack(%d) = %d, scan = %d", trial, step, r, got, maxWant)
+				}
+				if got, want := idx.MinInRack(r), scanMin(loads, members[r]); got != want {
+					t.Fatalf("trial %d step %d: MinInRack(%d) = %d, scan = %d", trial, step, r, got, want)
+				}
+			}
+			if err := idx.Validate(loads); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+	}
+}
+
+func first(i int, _ float64) int { return i }
+
+func TestMasking(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	machines := 20
+	idx, loads, _, _ := buildRandom(rng, machines, 3)
+	masked := make(map[int]bool)
+	for step := 0; step < 500; step++ {
+		switch rng.IntN(4) {
+		case 0:
+			m := rng.IntN(machines)
+			masked[m] = true
+			idx.Mask(m)
+		case 1:
+			m := rng.IntN(machines)
+			delete(masked, m)
+			idx.Unmask(m)
+		case 2:
+			m := rng.IntN(machines)
+			loads[m] = float64(rng.IntN(10))
+			idx.Update(m, loads[m])
+		case 3:
+			threshold := float64(rng.IntN(10)) - 1
+			want, wantLoad := scanMax(loads, func(i int) bool { return masked[i] })
+			wantOK := want >= 0 && wantLoad > threshold
+			got, ok := idx.MaxUnmasked(threshold)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: MaxUnmasked(%v) = (%d, %v), scan = (%d, %v)",
+					step, threshold, got, ok, want, wantOK)
+			}
+		}
+		if err := idx.Validate(loads); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	idx.ClearMasks()
+	clear(masked)
+	if err := idx.Validate(loads); err != nil {
+		t.Fatalf("after ClearMasks: %v", err)
+	}
+	want, _ := scanMax(loads, nil)
+	if got, ok := idx.MaxUnmasked(math.Inf(-1)); !ok || got != want {
+		t.Fatalf("after ClearMasks: MaxUnmasked = (%d, %v), want (%d, true)", got, ok, want)
+	}
+}
+
+func TestAllMasked(t *testing.T) {
+	idx := New([]float64{1, 2, 3}, []int{0, 0, 0}, 1)
+	for m := 0; m < 3; m++ {
+		idx.Mask(m)
+	}
+	if m, ok := idx.MaxUnmasked(math.Inf(-1)); ok {
+		t.Fatalf("all masked: MaxUnmasked = (%d, true), want ok=false", m)
+	}
+	// Updates while masked take effect when the mask clears.
+	idx.Update(1, 99)
+	idx.ClearMasks()
+	if m, ok := idx.MaxUnmasked(0); !ok || m != 1 {
+		t.Fatalf("after clear: MaxUnmasked = (%d, %v), want (1, true)", m, ok)
+	}
+	if err := idx.Validate([]float64{1, 99, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieBreakLowestID(t *testing.T) {
+	idx := New([]float64{5, 5, 5, 5}, []int{0, 0, 1, 1}, 2)
+	if got := idx.Max(); got != 0 {
+		t.Fatalf("Max tie = %d, want 0", got)
+	}
+	if got := idx.Min(); got != 0 {
+		t.Fatalf("Min tie = %d, want 0", got)
+	}
+	if got := idx.MaxInRack(1); got != 2 {
+		t.Fatalf("MaxInRack(1) tie = %d, want 2", got)
+	}
+	if got := idx.MinInRack(1); got != 2 {
+		t.Fatalf("MinInRack(1) tie = %d, want 2", got)
+	}
+	idx.Mask(0)
+	if got, ok := idx.MaxUnmasked(math.Inf(-1)); !ok || got != 1 {
+		t.Fatalf("MaxUnmasked after masking 0 = (%d, %v), want (1, true)", got, ok)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	idx := New([]float64{1, 2, 3, 4}, []int{0, 0, 1, 1}, 2)
+	idx.Mask(3)
+	c := idx.Clone()
+	idx.Update(0, 100)
+	idx.Unmask(3)
+	if got := c.Max(); got != 3 {
+		t.Fatalf("clone Max = %d, want 3 (original mutation leaked)", got)
+	}
+	if got, ok := c.MaxUnmasked(math.Inf(-1)); !ok || got != 2 {
+		t.Fatalf("clone MaxUnmasked = (%d, %v), want (2, true): mask state not copied", got, ok)
+	}
+	if err := c.Validate([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Validate([]float64{100, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Package par provides the bounded worker pool the experiment sweeps and
+// the simulator use to parallelize independent trials.
+//
+// The pool is deliberately minimal: n index-addressed work items drained
+// by an atomic counter, each worker writing results into its item's
+// dedicated slot. Because every item owns its slot and computes from its
+// index alone, results are positionally deterministic — a parallel run
+// produces exactly the slice a serial run produces, in the same order,
+// regardless of worker interleaving. Callers keep that guarantee by
+// making fn(i) depend only on i and on read-only shared state.
+//
+//lint:deterministic
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values above zero are taken as
+// given, anything else means one worker per available CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using up to `workers`
+// concurrent goroutines (normalized via Workers). With one worker the
+// items run in order on the calling goroutine, so a serial run is not
+// just equivalent to the parallel one but literally the same execution.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the error at the lowest index of errs, or nil when
+// every slot is nil. Sweeps that collect one error per work item report
+// the same error a serial run would have hit first.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

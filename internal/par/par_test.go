@@ -1,0 +1,81 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial ran %d items", len(order))
+	}
+}
+
+func TestForEachResultsMatchSerial(t *testing.T) {
+	const n = 64
+	serial := make([]int, n)
+	ForEach(n, 1, func(i int) { serial[i] = i * i })
+	parallel := make([]int, n)
+	ForEach(n, 8, func(i int) { parallel[i] = i * i })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d, parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	ForEach(-1, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Fatalf("FirstError(all nil) = %v", err)
+	}
+	if err := FirstError([]error{nil, e1, e2}); err != e1 {
+		t.Fatalf("FirstError = %v, want %v", err, e1)
+	}
+	if err := FirstError(nil); err != nil {
+		t.Fatalf("FirstError(nil) = %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// buildConfigs returns n fresh configs over shared read-only cluster and
+// trace, each with its own policy instance (policies carry RNG state).
+func buildConfigs(t *testing.T, n int) []Config {
+	t.Helper()
+	cl := smallCluster(t)
+	tr := smallTrace(t, 7, 30, 3, 50)
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		var pol Policy
+		if i%2 == 0 {
+			p, err := NewHDFSPolicy(uint64(i + 1))
+			if err != nil {
+				t.Fatalf("NewHDFSPolicy: %v", err)
+			}
+			pol = p
+		} else {
+			pol = auroraPolicy(tr.NumBlocks()*3 + 50)
+		}
+		cfgs[i] = Config{Cluster: cl, Trace: tr, Policy: pol}
+	}
+	return cfgs
+}
+
+// Parallel RunMany must produce results deeply identical to a serial run
+// of the same configs — bit-identical floats included — because each run
+// is self-contained and results are slotted by index.
+func TestRunManyMatchesSerial(t *testing.T) {
+	serial, err := RunMany(buildConfigs(t, 6), 1)
+	if err != nil {
+		t.Fatalf("serial RunMany: %v", err)
+	}
+	parallel, err := RunMany(buildConfigs(t, 6), 4)
+	if err != nil {
+		t.Fatalf("parallel RunMany: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("config %d: serial and parallel results diverge:\nserial   %+v\nparallel %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	res, err := RunMany(nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("RunMany(nil) = (%v, %v)", res, err)
+	}
+}
+
+func TestRunManyFirstError(t *testing.T) {
+	cfgs := buildConfigs(t, 3)
+	cfgs[1].Policy = nil // invalid: serial order would hit this first among errors
+	if _, err := RunMany(cfgs, 4); !errors.Is(err, ErrBadSimConfig) {
+		t.Fatalf("RunMany err = %v, want ErrBadSimConfig", err)
+	}
+}
+
+// Guard the documented contract: a shared trace really is only read.
+func TestRunManySharedTraceUntouched(t *testing.T) {
+	cl := smallCluster(t)
+	tr := smallTrace(t, 9, 20, 2, 40)
+	before := len(tr.Jobs)
+	var blocksBefore int
+	for _, f := range tr.Files {
+		blocksBefore += len(f.Blocks)
+	}
+	cfgs := make([]Config, 4)
+	for i := range cfgs {
+		pol, err := NewHDFSPolicy(uint64(100 + i))
+		if err != nil {
+			t.Fatalf("NewHDFSPolicy: %v", err)
+		}
+		cfgs[i] = Config{Cluster: cl, Trace: tr, Policy: pol}
+	}
+	if _, err := RunMany(cfgs, 4); err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	var blocksAfter int
+	for _, f := range tr.Files {
+		blocksAfter += len(f.Blocks)
+	}
+	if len(tr.Jobs) != before || blocksAfter != blocksBefore {
+		t.Fatal("shared trace mutated by RunMany")
+	}
+}

@@ -208,6 +208,17 @@ func (c *Cluster) Racks() []RackID {
 	return ids
 }
 
+// RackAssignments returns, indexed by machine ID, the rack housing each
+// machine. The returned slice is fresh; load indexes use it to build
+// per-rack structures without per-machine lookups.
+func (c *Cluster) RackAssignments() []RackID {
+	out := make([]RackID, len(c.machines))
+	for i := range c.machines {
+		out[i] = c.machines[i].Rack
+	}
+	return out
+}
+
 // MachinesInRack returns the machine IDs housed in rack id, in ascending
 // order. The returned slice is fresh.
 func (c *Cluster) MachinesInRack(id RackID) ([]MachineID, error) {
