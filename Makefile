@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench ci
+.PHONY: all build test vet lint race bench chaos ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column.
@@ -30,6 +30,13 @@ lint: vet
 # optimizer period in the stress tests also checks the paper invariants.
 race:
 	$(GO) test -race -tags invariantdebug ./...
+
+# Seeded chaos gate under the race detector: a third of the datanodes
+# crash mid-run (plus latency spikes, dropped heartbeats and a corrupt
+# replica); no block may be lost and the same seed must reproduce the
+# same fault log. See DESIGN.md §10.
+chaos:
+	$(GO) test -race -tags invariantdebug -run '^TestChaosCrashRecoverNoDataLoss$$' -v ./internal/dfs/
 
 # Run the core hot-path benchmarks and merge the numbers into
 # BENCH_core.json under $(BENCH_LABEL). The intermediate file keeps a

@@ -17,6 +17,7 @@ const (
 	RuleFloatCmp    = "floatcmp"    // exact ==/!= on floats in strict-float package
 	RuleErrCheck    = "errcheck"    // error result silently discarded
 	RuleDirective   = "directive"   // malformed //lint: directive
+	RulePkgDoc      = "pkgdoc"      // package without a godoc package comment
 )
 
 var knownRules = map[string]bool{
@@ -26,6 +27,7 @@ var knownRules = map[string]bool{
 	RuleFloatCmp:    true,
 	RuleErrCheck:    true,
 	RuleDirective:   true,
+	RulePkgDoc:      true,
 }
 
 // Diagnostic is one finding.
@@ -78,6 +80,7 @@ func (r *Runner) Check(pkg *Package) {
 		r.checkFloatCmp(pkg)
 	}
 	r.checkErrCheck(pkg)
+	r.checkPkgDoc(pkg)
 }
 
 // Diagnostics returns the surviving findings sorted by position.

@@ -100,6 +100,13 @@ func TestRulesOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			pkg: "nodoc",
+			want: []finding{
+				{"nodoc/nodoc.go", 1, RulePkgDoc,
+					`package nodoc lacks a doc comment; start one file with "// Package nodoc ..."`},
+			},
+		},
+		{
 			pkg:  "clean",
 			want: nil,
 		},

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// checkPkgDoc enforces the godoc package-comment convention: at least
+// one file of every package must carry a doc comment on its package
+// clause, starting "Package <name> ..." for libraries or "Command ..."
+// for main packages. The finding anchors to the package clause of the
+// first file (directory order), which is where the comment belongs.
+func (r *Runner) checkPkgDoc(pkg *Package) {
+	if len(pkg.Files) == 0 {
+		return
+	}
+	want := "Package "
+	if pkg.Types.Name() == "main" {
+		want = "Command "
+	}
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), want) {
+			return
+		}
+	}
+	f := pkg.Files[0]
+	suggest := pkg.Types.Name()
+	if suggest == "main" {
+		suggest = filepath.Base(pkg.Dir)
+	}
+	r.report(f.Package, RulePkgDoc,
+		"package %s lacks a doc comment; start one file with %q",
+		pkg.Types.Name(), "// "+want+suggest+" ...")
+}

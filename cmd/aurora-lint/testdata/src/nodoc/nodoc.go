@@ -1,0 +1,5 @@
+package nodoc
+
+// Answer is documented, but the package itself is not — the pkgdoc
+// rule must flag the package clause above.
+func Answer() int { return 42 }

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"aurora/internal/experiments"
+	"aurora/internal/faultinject"
+	"aurora/internal/metrics"
 )
 
 func main() {
@@ -24,11 +26,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("aurora-testbed", flag.ContinueOnError)
 	var (
-		seed    = fs.Uint64("seed", 42, "workload seed")
-		nodes   = fs.Int("nodes", 10, "datanodes (paper: 10)")
-		files   = fs.Int("files", 24, "files in the dataset")
-		jobs    = fs.Int("jobs", 400, "jobs to replay")
-		epsilon = fs.Float64("epsilon", 0.8, "Aurora epsilon (paper: 0.8)")
+		seed      = fs.Uint64("seed", 42, "workload seed")
+		nodes     = fs.Int("nodes", 10, "datanodes (paper: 10)")
+		files     = fs.Int("files", 24, "files in the dataset")
+		jobs      = fs.Int("jobs", 400, "jobs to replay")
+		epsilon   = fs.Float64("epsilon", 0.8, "Aurora epsilon (paper: 0.8)")
+		faultSpec = fs.String("fault-schedule", "", `fault schedule: "random" for a seeded crash/slow mix, or an explicit spec like "crash:2@500ms;recover:2@1.5s" (see internal/faultinject)`)
+		faultSeed = fs.Uint64("fault-seed", 1, `seed for -fault-schedule=random`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -38,6 +42,18 @@ func run(args []string) error {
 	setup.Files = *files
 	setup.Jobs = *jobs
 	setup.Epsilon = *epsilon
+	if *faultSpec != "" {
+		sch, err := buildFaultSchedule(*faultSpec, *faultSeed, *nodes)
+		if err != nil {
+			return err
+		}
+		setup.FaultSchedule = sch
+		fmt.Println("fault schedule (same per system, clock starts after dataset load):")
+		for _, line := range sch.Log() {
+			fmt.Println(" ", line)
+		}
+		fmt.Println()
+	}
 
 	start := time.Now()
 	res, err := experiments.Fig6(setup)
@@ -47,6 +63,38 @@ func run(args []string) error {
 	if err := res.Render(os.Stdout); err != nil {
 		return err
 	}
+	if setup.FaultSchedule != nil {
+		fmt.Println("\nfault/retry counters:")
+		fmt.Print(metrics.Default.String())
+	}
 	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// buildFaultSchedule resolves the -fault-schedule flag: "random" draws a
+// seeded mix of crash-recover cycles and latency spikes sized to the
+// cluster; anything else parses as an explicit event spec.
+func buildFaultSchedule(spec string, seed uint64, nodes int) (faultinject.Schedule, error) {
+	if spec != "random" {
+		return faultinject.ParseSchedule(spec)
+	}
+	// Keep concurrent crash victims below the replication factor so a
+	// random schedule can never make a 3x-replicated block unreachable
+	// for longer than a recovery.
+	crashes := nodes / 3
+	if crashes < 1 {
+		crashes = 1
+	}
+	if crashes > 2 {
+		crashes = 2
+	}
+	return faultinject.RandomSchedule(seed, faultinject.ScheduleConfig{
+		Nodes:          nodes,
+		Crashes:        crashes,
+		Slows:          2,
+		HeartbeatDrops: 1,
+		Start:          500 * time.Millisecond,
+		Spacing:        400 * time.Millisecond,
+		Downtime:       1500 * time.Millisecond,
+	})
 }

@@ -1,4 +1,4 @@
-// Adaptive: popularity churns over simulated days and Aurora's
+// Command adaptive: popularity churns over simulated days and Aurora's
 // controller re-targets replication factors each period — the dynamic
 // behaviour Section V is designed for ("if the block usage pattern
 // becomes stable, over time Aurora will eventually converge to a near

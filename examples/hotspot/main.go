@@ -1,4 +1,4 @@
-// Hotspot: run a real mini-DFS cluster on loopback, create a read
+// Command hotspot: run a real mini-DFS cluster on loopback, create a read
 // hotspot, and watch Aurora's controller replicate and rebalance it
 // away — the end-to-end behaviour of the paper's HDFS prototype.
 //

@@ -1,4 +1,4 @@
-// Quickstart: place a skewed dataset on a cluster, then let Aurora
+// Command quickstart: place a skewed dataset on a cluster, then let Aurora
 // choose replication factors and balance the load.
 //
 //	go run ./examples/quickstart

@@ -1,4 +1,4 @@
-// Replication-on-read: compare plain Aurora against Aurora extended
+// Command replication-on-read: compare plain Aurora against Aurora extended
 // with replication-on-read and against the DARE baseline — the paper's
 // Section VIII future work ("we are interested in implementing
 // techniques such as replication on read [9]").

@@ -1,4 +1,4 @@
-// Tradeoff: sweep the epsilon admissibility knob (Section IV of the
+// Command tradeoff: sweep the epsilon admissibility knob (Section IV of the
 // paper) and print how solution quality trades against reconfiguration
 // cost — the relationship behind Figures 3c/4c.
 //

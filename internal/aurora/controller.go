@@ -13,7 +13,9 @@ import (
 
 	"aurora/internal/core"
 	"aurora/internal/invariant"
+	"aurora/internal/metrics"
 	"aurora/internal/popularity"
+	"aurora/internal/retrypolicy"
 )
 
 // Target is anything the periodic controller can optimize: the mini-DFS
@@ -40,6 +42,14 @@ type Config struct {
 	Options core.OptimizerOptions
 	// OnPeriod, if non-nil, observes every optimization outcome.
 	OnPeriod func(core.OptimizeResult, error)
+	// ErrorBackoff spaces optimization attempts after failures: once a
+	// period errors (e.g. the namenode is mid-recovery and not ready),
+	// the next attempt waits at least ErrorBackoff.Delay(consecutive
+	// errors); ticks inside the window are skipped, not queued, and a
+	// success resets the backoff. The zero value means
+	// retrypolicy.Default. The controller never aborts on error — a
+	// failed period degrades to a skipped one.
+	ErrorBackoff retrypolicy.Policy
 }
 
 // Stats aggregates the controller's lifetime activity.
@@ -49,7 +59,10 @@ type Stats struct {
 	Migrations   int
 	Evictions    int
 	Errors       int
-	LastCost     float64
+	// SkippedPeriods counts ticks suppressed by the error backoff while
+	// the target was failing — the degraded-mode signal.
+	SkippedPeriods int
+	LastCost       float64
 }
 
 // Controller runs Algorithm 5 against a Target once per period.
@@ -57,8 +70,10 @@ type Controller struct {
 	cfg    Config
 	target Target
 
-	mu    sync.Mutex
-	stats Stats
+	mu           sync.Mutex
+	stats        Stats
+	consecErrors int
+	nextEligible time.Time
 
 	stop chan struct{}
 	done chan struct{}
@@ -72,6 +87,9 @@ func NewController(target Target, cfg Config) (*Controller, error) {
 	}
 	if cfg.Period <= 0 {
 		return nil, fmt.Errorf("%w: %v", ErrBadPeriod, cfg.Period)
+	}
+	if cfg.ErrorBackoff.MaxAttempts == 0 && cfg.ErrorBackoff.BaseDelay == 0 {
+		cfg.ErrorBackoff = retrypolicy.Default
 	}
 	c := &Controller{
 		cfg:    cfg,
@@ -119,6 +137,16 @@ func (c *Controller) loop() {
 		case <-c.stop:
 			return
 		case <-ticker.C:
+			c.mu.Lock()
+			backedOff := time.Now().Before(c.nextEligible)
+			if backedOff {
+				c.stats.SkippedPeriods++
+			}
+			c.mu.Unlock()
+			if backedOff {
+				metrics.Default.Counter("aurora.skipped_periods").Inc()
+				continue
+			}
 			res, err := c.target.OptimizeNow(c.cfg.Options)
 			c.record(res, err)
 		}
@@ -130,7 +158,12 @@ func (c *Controller) record(res core.OptimizeResult, err error) {
 	c.stats.Periods++
 	if err != nil {
 		c.stats.Errors++
+		c.consecErrors++
+		c.nextEligible = time.Now().Add(c.cfg.ErrorBackoff.Delay(c.consecErrors))
+		metrics.Default.Counter("aurora.degraded_periods").Inc()
 	} else {
+		c.consecErrors = 0
+		c.nextEligible = time.Time{}
 		c.stats.Replications += res.Replications
 		c.stats.Migrations += res.Search.Movements
 		c.stats.Evictions += res.Evictions

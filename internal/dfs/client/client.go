@@ -9,9 +9,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand/v2"
+	"strings"
 	"time"
 
 	"aurora/internal/dfs/proto"
+	"aurora/internal/metrics"
+	"aurora/internal/retrypolicy"
+	"aurora/internal/trace"
 )
 
 // Errors returned by the client.
@@ -38,6 +42,9 @@ type Client struct {
 	// blocks, Section V's Algorithm 4).
 	localDataAddr string
 	rng           *lockedRand
+	call          proto.CallFunc
+	retry         retrypolicy.Policy
+	spans         *trace.SpanLog
 }
 
 // Option configures a Client.
@@ -64,6 +71,25 @@ func WithSeed(seed uint64) Option {
 	return func(c *Client) { c.rng = newLockedRand(seed) }
 }
 
+// WithCall overrides the RPC transport (the fault-injection harness
+// passes an Injector.CallFrom here).
+func WithCall(fn proto.CallFunc) Option {
+	return func(c *Client) { c.call = fn }
+}
+
+// WithRetry overrides the retry/backoff policy applied to namenode RPCs
+// and pipeline writes. The zero Policy disables retries entirely; the
+// default is retrypolicy.Default. A nil Retryable on the supplied
+// policy is filled in with TransientRPC.
+func WithRetry(p retrypolicy.Policy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithSpanLog records one span per client operation into l.
+func WithSpanLog(l *trace.SpanLog) Option {
+	return func(c *Client) { c.spans = l }
+}
+
 // New creates a client for the namenode at addr.
 func New(namenodeAddr string, opts ...Option) *Client {
 	c := &Client{
@@ -71,11 +97,62 @@ func New(namenodeAddr string, opts ...Option) *Client {
 		blockSize: 1 << 20,
 		timeout:   proto.DefaultTimeout,
 		rng:       newLockedRand(uint64(time.Now().UnixNano())),
+		call:      proto.Call,
+		retry:     retrypolicy.Default,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// TransientRPC classifies RPC errors for retry purposes: transport
+// failures (dial errors, injected faults, torn connections) are worth
+// retrying; application-level rejections arrive as *proto.RemoteError
+// and are permanent, except the namenode's startup not-ready state,
+// which clears once registration completes.
+func TransientRPC(err error) bool {
+	var re *proto.RemoteError
+	if errors.As(err, &re) {
+		return strings.Contains(re.Msg, "not ready")
+	}
+	return true
+}
+
+// retryPolicy returns the client's policy with the classifier defaulted
+// and retry metrics attached.
+func (c *Client) retryPolicy() retrypolicy.Policy {
+	p := c.retry
+	if p.Retryable == nil {
+		p.Retryable = TransientRPC
+	}
+	user := p.OnRetry
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		metrics.Default.Counter("dfs.client.retries").Inc()
+		if user != nil {
+			user(attempt, err, delay)
+		}
+	}
+	return p
+}
+
+// callNN issues one namenode RPC under the retry policy. Retries assume
+// the failed attempt did not reach the namenode — true for injected
+// faults (which fail at the caller) and refused connections; a response
+// lost in flight can surface a duplicate-application error instead.
+func (c *Client) callNN(op string, req *proto.Message) (*proto.Message, error) {
+	sp := c.spans.Start("client." + op)
+	defer sp.End()
+	var resp *proto.Message
+	err := c.retryPolicy().Do(func() error {
+		var callErr error
+		resp, _, callErr = c.call(c.namenode, req, nil, c.timeout)
+		return callErr
+	})
+	if err != nil {
+		sp.Annotate("err", err.Error())
+	}
+	return resp, err
 }
 
 // Create writes data as a new file with the given replication factor
@@ -86,7 +163,7 @@ func (c *Client) Create(path string, data []byte, replication int) error {
 		return ErrEmptyFile
 	}
 	req := &proto.Message{Type: proto.MsgCreateFile, Path: path, Replication: replication}
-	if _, _, err := proto.Call(c.namenode, req, nil, c.timeout); err != nil {
+	if _, err := c.callNN("create", req); err != nil {
 		return fmt.Errorf("client: create %s: %w", path, err)
 	}
 	for off := 0; off < len(data); off += c.blockSize {
@@ -98,19 +175,19 @@ func (c *Client) Create(path string, data []byte, replication int) error {
 			return fmt.Errorf("client: write %s block at %d: %w", path, off, err)
 		}
 	}
-	if _, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgCompleteFile, Path: path}, nil, c.timeout); err != nil {
+	if _, err := c.callNN("complete", &proto.Message{Type: proto.MsgCompleteFile, Path: path}); err != nil {
 		return fmt.Errorf("client: complete %s: %w", path, err)
 	}
 	return nil
 }
 
 func (c *Client) writeBlock(path string, chunk []byte) error {
-	resp, _, err := proto.Call(c.namenode, &proto.Message{
+	resp, err := c.callNN("add_block", &proto.Message{
 		Type:     proto.MsgAddBlock,
 		Path:     path,
 		Length:   len(chunk),
 		DataAddr: c.localDataAddr,
-	}, nil, c.timeout)
+	})
 	if err != nil {
 		return err
 	}
@@ -124,35 +201,68 @@ func (c *Client) writeBlock(path string, chunk []byte) error {
 		Length:   len(chunk),
 		Checksum: checksum(chunk),
 	}
-	if _, _, err := proto.Call(resp.Pipeline[0], write, chunk, c.timeout); err != nil {
+	// Pipeline writes retry under the same policy: block puts are
+	// idempotent (same id, same bytes), so a duplicate is harmless.
+	sp := c.spans.Start("client.write_block")
+	sp.Annotate("block", fmt.Sprint(resp.Block))
+	defer sp.End()
+	err = c.retryPolicy().Do(func() error {
+		_, _, callErr := c.call(resp.Pipeline[0], write, chunk, c.timeout)
+		return callErr
+	})
+	if err != nil {
 		return fmt.Errorf("client: pipeline head %s: %w", resp.Pipeline[0], err)
 	}
 	return nil
 }
 
 // Read fetches the whole file, reading each block from a random replica
-// and failing over to the others.
+// and failing over to the others. When every replica of a block fails —
+// its holders crashed, or the locations are stale because the namenode
+// re-homed replicas since they were fetched — Read refetches the
+// block's locations and tries again under the retry policy, so reads
+// issued during a fault window eventually succeed once the namenode
+// re-replicates.
 func (c *Client) Read(path string) ([]byte, error) {
 	locs, err := c.Locations(path)
 	if err != nil {
 		return nil, err
 	}
 	var out []byte
-	for _, loc := range locs {
-		data, err := c.readBlock(loc)
+	for i := range locs {
+		data, err := c.readBlockFresh(path, i, locs[i])
 		if err != nil {
-			return nil, fmt.Errorf("client: read %s block %d: %w", path, loc.Block, err)
+			return nil, fmt.Errorf("client: read %s block %d: %w", path, locs[i].Block, err)
 		}
 		out = append(out, data...)
 	}
 	return out, nil
 }
 
+// readBlockFresh reads block idx of the file, refetching its locations
+// between attempts when every known replica fails.
+func (c *Client) readBlockFresh(path string, idx int, loc proto.BlockLocation) ([]byte, error) {
+	var data []byte
+	err := c.retryPolicy().Do(func() error {
+		var readErr error
+		data, readErr = c.readBlock(loc)
+		if readErr == nil {
+			return nil
+		}
+		metrics.Default.Counter("dfs.client.location_refetch").Inc()
+		if locs, locErr := c.Locations(path); locErr == nil && idx < len(locs) {
+			loc = locs[idx]
+		}
+		return readErr
+	})
+	return data, err
+}
+
 // Locations asks the namenode where each block of the file lives. Every
 // call counts as one access in the namenode's usage monitor, exactly as
 // Aurora's BlockMap instrumentation counts accesses in the prototype.
 func (c *Client) Locations(path string) ([]proto.BlockLocation, error) {
-	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgGetLocations, Path: path}, nil, c.timeout)
+	resp, err := c.callNN("locations", &proto.Message{Type: proto.MsgGetLocations, Path: path})
 	if err != nil {
 		return nil, fmt.Errorf("client: locations %s: %w", path, err)
 	}
@@ -167,9 +277,10 @@ func (c *Client) readBlock(loc proto.BlockLocation) ([]byte, error) {
 	var lastErr error
 	for _, i := range order {
 		addr := loc.Addresses[i]
-		resp, data, err := proto.Call(addr, &proto.Message{Type: proto.MsgReadBlock, Block: loc.Block}, nil, c.timeout)
+		resp, data, err := c.call(addr, &proto.Message{Type: proto.MsgReadBlock, Block: loc.Block}, nil, c.timeout)
 		if err != nil {
 			lastErr = err
+			metrics.Default.Counter("dfs.client.read_failover").Inc()
 			continue
 		}
 		if resp.Checksum != 0 && checksum(data) != resp.Checksum {
@@ -185,11 +296,11 @@ func (c *Client) readBlock(loc proto.BlockLocation) ([]byte, error) {
 // SetReplication changes the file's replication factor at run time — the
 // HDFS API Aurora drives for dynamic replication.
 func (c *Client) SetReplication(path string, k int) error {
-	_, _, err := proto.Call(c.namenode, &proto.Message{
+	_, err := c.callNN("set_replication", &proto.Message{
 		Type:        proto.MsgSetRepl,
 		Path:        path,
 		Replication: k,
-	}, nil, c.timeout)
+	})
 	if err != nil {
 		return fmt.Errorf("client: set replication %s: %w", path, err)
 	}
@@ -198,7 +309,7 @@ func (c *Client) SetReplication(path string, k int) error {
 
 // Delete removes the file; replicas are reaped lazily by the namenode.
 func (c *Client) Delete(path string) error {
-	if _, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgDeleteFile, Path: path}, nil, c.timeout); err != nil {
+	if _, err := c.callNN("delete", &proto.Message{Type: proto.MsgDeleteFile, Path: path}); err != nil {
 		return fmt.Errorf("client: delete %s: %w", path, err)
 	}
 	return nil
@@ -206,7 +317,7 @@ func (c *Client) Delete(path string) error {
 
 // List returns metadata for all files.
 func (c *Client) List() ([]proto.FileInfo, error) {
-	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgListFiles}, nil, c.timeout)
+	resp, err := c.callNN("list", &proto.Message{Type: proto.MsgListFiles})
 	if err != nil {
 		return nil, fmt.Errorf("client: list: %w", err)
 	}
@@ -215,7 +326,7 @@ func (c *Client) List() ([]proto.FileInfo, error) {
 
 // Stat returns metadata for one file.
 func (c *Client) Stat(path string) (proto.FileInfo, error) {
-	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgStatFile, Path: path}, nil, c.timeout)
+	resp, err := c.callNN("stat", &proto.Message{Type: proto.MsgStatFile, Path: path})
 	if err != nil {
 		return proto.FileInfo{}, fmt.Errorf("client: stat %s: %w", path, err)
 	}
@@ -228,7 +339,7 @@ func (c *Client) Stat(path string) (proto.FileInfo, error) {
 // Fsck returns the namenode's health report: desired-versus-confirmed
 // replica accounting and the reconcile backlog.
 func (c *Client) Fsck() (proto.HealthReport, error) {
-	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgFsck}, nil, c.timeout)
+	resp, err := c.callNN("fsck", &proto.Message{Type: proto.MsgFsck})
 	if err != nil {
 		return proto.HealthReport{}, fmt.Errorf("client: fsck: %w", err)
 	}
@@ -242,7 +353,7 @@ func (c *Client) Fsck() (proto.HealthReport, error) {
 // ClusterInfo until it reports Decommissioned before stopping the
 // process.
 func (c *Client) Decommission(node proto.NodeID) error {
-	if _, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgDecommission, Node: node}, nil, c.timeout); err != nil {
+	if _, err := c.callNN("decommission", &proto.Message{Type: proto.MsgDecommission, Node: node}); err != nil {
 		return fmt.Errorf("client: decommission node %d: %w", node, err)
 	}
 	return nil
@@ -250,7 +361,7 @@ func (c *Client) Decommission(node proto.NodeID) error {
 
 // ClusterInfo returns per-datanode state.
 func (c *Client) ClusterInfo() ([]proto.NodeInfo, error) {
-	resp, _, err := proto.Call(c.namenode, &proto.Message{Type: proto.MsgClusterInfo}, nil, c.timeout)
+	resp, err := c.callNN("cluster_info", &proto.Message{Type: proto.MsgClusterInfo})
 	if err != nil {
 		return nil, fmt.Errorf("client: cluster info: %w", err)
 	}

@@ -10,9 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"aurora/internal/dfs/proto"
+	"aurora/internal/metrics"
+	"aurora/internal/retrypolicy"
 )
 
 // Config parameterizes a datanode.
@@ -37,6 +40,26 @@ type Config struct {
 	// the compression optimization the paper cites for making block
 	// movement overhead acceptable. Client writes are never compressed.
 	CompressTransfers bool
+	// Call overrides the RPC transport (the fault-injection harness
+	// passes an Injector.CallFrom here); nil means proto.Call.
+	Call proto.CallFunc
+	// Retry is the backoff policy for registration and replication
+	// transfers; the zero value means retrypolicy.Default.
+	Retry retrypolicy.Policy
+	// WrapStore, when set, decorates the node's block store before use —
+	// a fault-injection hook for byzantine store behaviour.
+	WrapStore func(BlockStore) BlockStore
+}
+
+// transientRPC mirrors the client's classifier: transport failures
+// retry, application-level rejections (*proto.RemoteError) do not,
+// except the namenode's startup not-ready state.
+func transientRPC(err error) bool {
+	var re *proto.RemoteError
+	if errors.As(err, &re) {
+		return strings.Contains(re.Msg, "not ready")
+	}
+	return true
 }
 
 // Errors returned by the datanode.
@@ -52,6 +75,8 @@ type DataNode struct {
 	id     proto.NodeID
 	server *proto.Server
 	store  BlockStore
+	call   proto.CallFunc
+	retry  retrypolicy.Policy
 
 	stop chan struct{}
 	done chan struct{}
@@ -75,6 +100,15 @@ func Start(cfg Config) (*DataNode, error) {
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
+	if cfg.Call == nil {
+		cfg.Call = proto.Call
+	}
+	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.BaseDelay == 0 {
+		cfg.Retry = retrypolicy.Default
+	}
+	if cfg.Retry.Retryable == nil {
+		cfg.Retry.Retryable = transientRPC
+	}
 	var store BlockStore
 	if cfg.DataDir != "" {
 		ds, err := newDiskStore(cfg.DataDir, cfg.CapacityBlocks)
@@ -85,6 +119,9 @@ func Start(cfg Config) (*DataNode, error) {
 	} else {
 		store = newMemStore(cfg.CapacityBlocks)
 	}
+	if cfg.WrapStore != nil {
+		store = cfg.WrapStore(store)
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("datanode: listen: %w", err)
@@ -92,17 +129,27 @@ func Start(cfg Config) (*DataNode, error) {
 	dn := &DataNode{
 		cfg:   cfg,
 		store: store,
+		call:  cfg.Call,
+		retry: cfg.Retry,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
 	dn.server = proto.Serve(ln, dn.handle, cfg.Timeout)
 
-	resp, _, err := proto.Call(cfg.NameNodeAddr, &proto.Message{
-		Type:     proto.MsgRegister,
-		DataAddr: dn.server.Addr(),
-		Rack:     cfg.Rack,
-		Capacity: cfg.CapacityBlocks,
-	}, nil, cfg.Timeout)
+	// Registration retries under the backoff policy: a node booting
+	// while the namenode is briefly unreachable joins as soon as the
+	// window clears instead of failing its whole startup.
+	var resp *proto.Message
+	err = dn.retryDo("dfs.datanode.register_retries", func() error {
+		var callErr error
+		resp, _, callErr = dn.call(cfg.NameNodeAddr, &proto.Message{
+			Type:     proto.MsgRegister,
+			DataAddr: dn.server.Addr(),
+			Rack:     cfg.Rack,
+			Capacity: cfg.CapacityBlocks,
+		}, nil, cfg.Timeout)
+		return callErr
+	})
 	if err != nil {
 		_ = dn.server.Close() // best effort: the register error is what matters
 		return nil, fmt.Errorf("datanode: register: %w", err)
@@ -121,6 +168,24 @@ func (dn *DataNode) Addr() string { return dn.server.Addr() }
 
 // NumBlocks reports how many replicas the node currently stores.
 func (dn *DataNode) NumBlocks() int { return dn.store.Len() }
+
+// Blocks lists the replicas the node currently stores (the harness uses
+// this to pick corruption victims).
+func (dn *DataNode) Blocks() []proto.BlockID { return dn.store.List() }
+
+// retryDo runs op under the node's retry policy, counting retries into
+// the named metric.
+func (dn *DataNode) retryDo(counter string, op func() error) error {
+	p := dn.retry
+	user := p.OnRetry
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		metrics.Default.Counter(counter).Inc()
+		if user != nil {
+			user(attempt, err, delay)
+		}
+	}
+	return p.Do(op)
+}
 
 // HasBlock reports whether the node stores block id.
 func (dn *DataNode) HasBlock(id proto.BlockID) bool { return dn.store.Has(id) }
@@ -196,7 +261,7 @@ func (dn *DataNode) handleWrite(req *proto.Message, payload []byte) (*proto.Mess
 			Length:   len(data),
 			Checksum: req.Checksum,
 		}
-		if _, _, err := proto.Call(next, fwd, data, dn.cfg.Timeout); err != nil {
+		if _, _, err := dn.call(next, fwd, data, dn.cfg.Timeout); err != nil {
 			// The local copy is durable and reported; surface the
 			// pipeline failure so the writer can decide. The namenode's
 			// replication manager will repair the replica count.
@@ -209,9 +274,28 @@ func (dn *DataNode) handleWrite(req *proto.Message, payload []byte) (*proto.Mess
 func (dn *DataNode) handleRead(req *proto.Message) (*proto.Message, []byte) {
 	data, err := dn.store.Get(req.Block)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			dn.evictCorrupt(req.Block)
+		}
 		return proto.ErrorMessage(err), nil
 	}
 	return &proto.Message{Type: proto.MsgOK, Block: req.Block, Length: len(data), Checksum: Checksum(data)}, data
+}
+
+// evictCorrupt deletes a checksum-failed local replica and reports the
+// deletion, shrinking the namenode's confirmed set so the reconcile
+// loop re-replicates from a healthy holder. Without this a corrupt node
+// keeps getting picked as a read target or replication source and the
+// bad replica never heals.
+func (dn *DataNode) evictCorrupt(id proto.BlockID) {
+	if dn.store.Delete(id) {
+		metrics.Default.Counter("dfs.datanode.corrupt_evicted").Inc()
+		_, _, _ = dn.call(dn.cfg.NameNodeAddr, &proto.Message{
+			Type:  proto.MsgBlockDeleted,
+			Node:  dn.id,
+			Block: id,
+		}, nil, dn.cfg.Timeout)
+	}
 }
 
 // heartbeatLoop sends periodic heartbeats carrying a full block report
@@ -231,13 +315,17 @@ func (dn *DataNode) heartbeatLoop() {
 }
 
 func (dn *DataNode) heartbeatOnce() {
-	resp, _, err := proto.Call(dn.cfg.NameNodeAddr, &proto.Message{
+	resp, _, err := dn.call(dn.cfg.NameNodeAddr, &proto.Message{
 		Type:   proto.MsgHeartbeat,
 		Node:   dn.id,
 		Blocks: dn.store.List(),
 	}, nil, dn.cfg.Timeout)
 	if err != nil {
-		return // namenode briefly unreachable; try again next tick
+		// Namenode briefly unreachable (or the heartbeat was dropped by
+		// fault injection); the next tick retries — heartbeats are the
+		// retry loop, so no backoff here.
+		metrics.Default.Counter("dfs.datanode.heartbeat_failures").Inc()
+		return
 	}
 	for _, cmd := range resp.Commands {
 		dn.execute(cmd)
@@ -251,7 +339,13 @@ func (dn *DataNode) execute(cmd proto.Command) {
 	case proto.CmdReplicate:
 		data, err := dn.store.Get(cmd.Block)
 		if err != nil {
-			return // replica vanished; the namenode will reassign
+			if errors.Is(err, ErrCorrupt) {
+				// A corrupt source can never satisfy this command; evict
+				// and report so the namenode re-sources from a healthy
+				// holder instead of re-picking this node forever.
+				dn.evictCorrupt(cmd.Block)
+			}
+			return // replica unusable; the namenode will reassign
 		}
 		msg := &proto.Message{Type: proto.MsgWriteBlock, Block: cmd.Block, Length: len(data), Checksum: Checksum(data)}
 		wire := data
@@ -261,11 +355,17 @@ func (dn *DataNode) execute(cmd proto.Command) {
 				wire, msg.Encoding = compressed, encoding
 			}
 		}
-		_, _, _ = proto.Call(cmd.Target, msg, wire, dn.cfg.Timeout)
+		// Bounded retry: the target may be inside a latency spike or just
+		// recovering. If all attempts fail the namenode re-issues the
+		// command after its inflight TTL.
+		_ = dn.retryDo("dfs.datanode.replicate_retries", func() error {
+			_, _, callErr := dn.call(cmd.Target, msg, wire, dn.cfg.Timeout)
+			return callErr
+		})
 		// The receiving node reports MsgBlockReceived itself.
 	case proto.CmdDelete:
 		if dn.store.Delete(cmd.Block) {
-			_, _, _ = proto.Call(dn.cfg.NameNodeAddr, &proto.Message{
+			_, _, _ = dn.call(dn.cfg.NameNodeAddr, &proto.Message{
 				Type:  proto.MsgBlockDeleted,
 				Node:  dn.id,
 				Block: cmd.Block,
@@ -276,7 +376,7 @@ func (dn *DataNode) execute(cmd proto.Command) {
 
 // reportReceived tells the namenode a block replica landed here.
 func (dn *DataNode) reportReceived(id proto.BlockID) {
-	_, _, _ = proto.Call(dn.cfg.NameNodeAddr, &proto.Message{
+	_, _, _ = dn.call(dn.cfg.NameNodeAddr, &proto.Message{
 		Type:  proto.MsgBlockReceived,
 		Node:  dn.id,
 		Block: id,

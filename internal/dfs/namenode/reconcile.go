@@ -8,6 +8,7 @@ import (
 	"aurora/internal/core"
 	"aurora/internal/dfs/proto"
 	"aurora/internal/invariant"
+	"aurora/internal/metrics"
 	"aurora/internal/topology"
 )
 
@@ -68,6 +69,7 @@ func (nn *NameNode) detectDeadLocked() {
 			continue
 		}
 		node.alive = false
+		metrics.Default.Counter("dfs.namenode.dead_detected").Inc()
 		m := topology.MachineID(node.id)
 		for _, id := range nn.placement.BlocksOn(m) {
 			_ = nn.placement.RemoveReplica(id, m)
@@ -325,12 +327,32 @@ func (nn *NameNode) OptimizeNow(opts core.OptimizerOptions) (core.OptimizeResult
 	if err != nil {
 		return res, fmt.Errorf("namenode: optimize: %w", err)
 	}
+	nn.repairDeadDesiredLocked()
 	if assertAfter {
 		if verr := invariant.CheckPlacement(nn.placement); verr != nil {
 			return res, fmt.Errorf("namenode: post-optimize %w", verr)
 		}
 	}
 	return res, nil
+}
+
+// repairDeadDesiredLocked strips desired replicas sitting on dead
+// machines and re-homes them on live ones. The optimizer works over the
+// static topology, where a crashed machine looks attractively empty —
+// so an optimization period during a fault window runs normally and
+// this pass repairs its output instead of the period aborting. Runs
+// after core.Optimize and before the debug invariant assert.
+func (nn *NameNode) repairDeadDesiredLocked() {
+	for _, id := range nn.placement.Blocks() {
+		k := nn.placement.ReplicaCount(id)
+		for _, m := range nn.placement.Replicas(id) {
+			if node := nn.nodes[m]; node == nil || !node.alive {
+				nn.ensureAliveDesiredLocked(id, k)
+				metrics.Default.Counter("dfs.namenode.optimize_repairs").Inc()
+				break
+			}
+		}
+	}
 }
 
 // PopularitySnapshot returns the usage monitor's current per-block

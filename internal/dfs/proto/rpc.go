@@ -9,6 +9,11 @@ import (
 // DefaultTimeout bounds a whole request/response exchange.
 const DefaultTimeout = 10 * time.Second
 
+// CallFunc is the signature of Call. Components take a CallFunc so the
+// fault-injection harness can interpose on their RPC traffic; the zero
+// value of any config falls back to Call.
+type CallFunc func(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error)
+
 // Call dials addr, sends one request frame and reads one response frame.
 // A non-nil error is returned for transport failures and for MsgError
 // responses (as *RemoteError).

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
+
+	"aurora/internal/faultinject"
 )
 
 // tinySetup keeps the simulated experiments fast enough for the test
@@ -158,5 +161,44 @@ func TestFig6Testbed(t *testing.T) {
 	out := res.String()
 	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "Aurora") {
 		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestFig6UnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed spins up a real TCP cluster; skipped in -short")
+	}
+	setup := DefaultTestbedSetup(33)
+	setup.Nodes = 6
+	setup.Files = 8
+	setup.Jobs = 80
+	sch, err := faultinject.RandomSchedule(33, faultinject.ScheduleConfig{
+		Nodes:       setup.Nodes,
+		Crashes:     1,
+		Slows:       1,
+		Start:       100 * time.Millisecond,
+		Spacing:     200 * time.Millisecond,
+		Downtime:    600 * time.Millisecond,
+		SlowLatency: 5 * time.Millisecond,
+		SlowDur:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RandomSchedule: %v", err)
+	}
+	setup.FaultSchedule = sch
+	res, err := Fig6(setup)
+	if err != nil {
+		t.Fatalf("Fig6 under faults: %v", err)
+	}
+	for _, r := range res.Rows {
+		if r.LocalTasks+r.RemoteTasks == 0 || r.BytesRead == 0 {
+			t.Fatalf("%s did no work under faults: %+v", r.System, r)
+		}
+	}
+	// An oversubscribed schedule must be rejected up front.
+	bad := setup
+	bad.FaultSchedule = faultinject.Schedule{{Kind: faultinject.Crash, Node: setup.Nodes}}
+	if _, err := Fig6(bad); !errors.Is(err, ErrBadSetup) {
+		t.Errorf("Fig6 out-of-range fault node err = %v, want ErrBadSetup", err)
 	}
 }

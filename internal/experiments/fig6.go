@@ -16,8 +16,10 @@ import (
 	"aurora/internal/dfs/datanode"
 	"aurora/internal/dfs/namenode"
 	"aurora/internal/dfs/proto"
+	"aurora/internal/faultinject"
 	"aurora/internal/metrics"
 	"aurora/internal/par"
+	"aurora/internal/retrypolicy"
 	"aurora/internal/trace"
 )
 
@@ -49,6 +51,12 @@ type TestbedSetup struct {
 	// timing fidelity (locality and command counts stay deterministic
 	// either way).
 	Workers int
+	// FaultSchedule, when non-nil, runs the workload under fault
+	// injection: each system's cluster gets its own injector applying
+	// this schedule, started after the dataset has converged so churn
+	// hits the replay phase. Task reads and client RPCs then retry with
+	// backoff until the cluster heals. See internal/faultinject.
+	FaultSchedule faultinject.Schedule
 }
 
 // DefaultTestbedSetup mirrors the paper's testbed shape at test speed.
@@ -98,6 +106,9 @@ type Fig6Result struct {
 func Fig6(s TestbedSetup) (*Fig6Result, error) {
 	if s.Nodes <= 0 || s.Racks <= 0 || s.Files <= 0 || s.Jobs <= 0 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadSetup, s)
+	}
+	if err := s.FaultSchedule.Validate(s.Nodes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
 	}
 	hours := int(float64(s.Jobs)/s.JobsPerHour) + 1
 	cfg := trace.SWIMLike(s.Seed, s.Files, hours, s.JobsPerHour)
@@ -212,6 +223,24 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 	}
 	defer nn.Close()
 
+	// Under fault injection every process routes its RPCs through the
+	// injector; without it they use the plain transport.
+	var inj *faultinject.Injector
+	call := proto.Call
+	taskRetry := retrypolicy.Policy{MaxAttempts: 2} // one location-refresh retry, as before
+	if s.FaultSchedule != nil {
+		inj = faultinject.New(s.FaultSchedule)
+		call = inj.CallFrom(faultinject.External)
+		taskRetry = retrypolicy.Policy{
+			MaxAttempts: 40,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+		}
+		defer inj.Stop()
+	}
+
 	capacity := (tr.NumBlocks()*3+s.BudgetExtraBlocks)*2/s.Nodes + 8
 	var dns []*datanode.DataNode
 	defer func() {
@@ -220,23 +249,44 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 		}
 	}()
 	for i := 0; i < s.Nodes; i++ {
-		dn, err := datanode.Start(datanode.Config{
+		cfg := datanode.Config{
 			NameNodeAddr:      nn.Addr(),
 			Rack:              i % s.Racks,
 			CapacityBlocks:    capacity,
 			HeartbeatInterval: 30 * time.Millisecond,
-		})
+		}
+		if inj != nil {
+			cfg.Call = inj.CallFrom(i)
+		}
+		dn, err := datanode.Start(cfg)
 		if err != nil {
 			return row, err
 		}
 		dns = append(dns, dn)
+		if inj != nil {
+			inj.RegisterNode(i, dn.Addr())
+			inj.RegisterCorrupter(i, func(id proto.BlockID) error {
+				if id == 0 {
+					blocks := dn.Blocks()
+					if len(blocks) == 0 {
+						return fmt.Errorf("experiments: node stores no blocks to corrupt")
+					}
+					id = blocks[0]
+				}
+				return dn.CorruptBlock(id)
+			})
+		}
 	}
 	if err := nn.WaitReady(10 * time.Second); err != nil {
 		return row, err
 	}
 
 	// Load the dataset.
-	c := client.New(nn.Addr(), client.WithBlockSize(s.BlockBytes), client.WithSeed(s.Seed))
+	clientOpts := []client.Option{client.WithBlockSize(s.BlockBytes), client.WithSeed(s.Seed)}
+	if inj != nil {
+		clientOpts = append(clientOpts, client.WithCall(call), client.WithRetry(taskRetry))
+	}
+	c := client.New(nn.Addr(), clientOpts...)
 	rng := rand.New(rand.NewPCG(s.Seed, 0xf19))
 	paths := make(map[trace.FileID]string, len(tr.Files))
 	for _, f := range tr.Files {
@@ -252,6 +302,13 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 	}
 	if err := nn.WaitConverged(30 * time.Second); err != nil {
 		return row, err
+	}
+	if inj != nil {
+		// The dataset is converged; the schedule's clock starts now so
+		// churn lands on the replay phase.
+		if err := inj.Start(); err != nil {
+			return row, err
+		}
 	}
 
 	budget := tr.NumBlocks()*3 + s.BudgetExtraBlocks
@@ -285,7 +342,7 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 		return nn.WaitConverged(30 * time.Second)
 	}
 
-	if err := replayWorkload(s, tr, paths, c, nn, &row, reconfigure); err != nil {
+	if err := replayWorkload(s, tr, paths, c, nn, &row, reconfigure, call, taskRetry); err != nil {
 		return row, err
 	}
 	durations, replicates, deletes := nn.MovementStats()
@@ -339,7 +396,8 @@ func (h *tbHeap) Pop() any {
 // monitor), block bytes are read over real TCP, and slots gate
 // concurrency per node. Remote tasks take twice as long, per the paper.
 func replayWorkload(s TestbedSetup, tr *trace.Trace, paths map[trace.FileID]string,
-	c *client.Client, nn *namenode.NameNode, row *TestbedRow, reconfigure func() error) error {
+	c *client.Client, nn *namenode.NameNode, row *TestbedRow, reconfigure func() error,
+	call proto.CallFunc, taskRetry retrypolicy.Policy) error {
 
 	info, err := c.ClusterInfo()
 	if err != nil {
@@ -395,30 +453,38 @@ func replayWorkload(s TestbedSetup, tr *trace.Trace, paths map[trace.FileID]stri
 		// local, any replica otherwise). The queued location can go
 		// stale when a reconfiguration epoch ran between the job's
 		// Locations call and the task launch — a migration may have
-		// deleted the replica we targeted — so fall back to fresh
-		// locations, exactly as a retrying task would.
+		// deleted the replica we targeted, or fault injection may have
+		// taken the holder down — so refresh locations and retry under
+		// the task policy (a single refresh without faults, backoff
+		// until the cluster heals with them), as a retrying task would.
 		readFrom := target
 		if !local && len(tk.loc.Addresses) > 0 {
 			readFrom = tk.loc.Addresses[0]
 		}
-		_, data, err := proto.Call(readFrom, &proto.Message{Type: proto.MsgReadBlock, Block: tk.loc.Block}, nil, proto.DefaultTimeout)
+		_, data, err := call(readFrom, &proto.Message{Type: proto.MsgReadBlock, Block: tk.loc.Block}, nil, proto.DefaultTimeout)
 		if err != nil {
-			locs, lerr := c.Locations(tk.path)
-			if lerr != nil {
-				return fmt.Errorf("experiments: refresh locations for %s: %w", tk.path, lerr)
-			}
-			var fresh []string
-			for _, l := range locs {
-				if l.Block == tk.loc.Block {
-					fresh = l.Addresses
+			readErr := err
+			err = taskRetry.Do(func() error {
+				locs, lerr := c.Locations(tk.path)
+				if lerr != nil {
+					return lerr
 				}
-			}
-			if len(fresh) == 0 {
-				return fmt.Errorf("experiments: task read block %d from %s: %w", tk.loc.Block, readFrom, err)
-			}
-			_, data, err = proto.Call(fresh[0], &proto.Message{Type: proto.MsgReadBlock, Block: tk.loc.Block}, nil, proto.DefaultTimeout)
+				for _, l := range locs {
+					if l.Block != tk.loc.Block {
+						continue
+					}
+					for _, a := range l.Addresses {
+						var e error
+						if _, data, e = call(a, &proto.Message{Type: proto.MsgReadBlock, Block: tk.loc.Block}, nil, proto.DefaultTimeout); e == nil {
+							return nil
+						}
+						readErr = e
+					}
+				}
+				return readErr
+			})
 			if err != nil {
-				return fmt.Errorf("experiments: task read block %d (retried at %s): %w", tk.loc.Block, fresh[0], err)
+				return fmt.Errorf("experiments: task read block %d (first tried %s): %w", tk.loc.Block, readFrom, err)
 			}
 		}
 		row.BytesRead += int64(len(data))

@@ -1,0 +1,231 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"time"
+
+	"aurora/internal/dfs/proto"
+)
+
+// ScheduleConfig sizes a RandomSchedule. Zero-valued knobs take the
+// defaults noted per field; only Nodes is required.
+type ScheduleConfig struct {
+	// Nodes is the cluster size events are drawn from (required).
+	Nodes int
+	// Start is the quiet period before the first fault (default 200ms):
+	// leave room for the cluster to converge before churn begins.
+	Start time.Duration
+	// Spacing separates consecutive fault onsets (default 300ms).
+	Spacing time.Duration
+
+	// Crashes is the number of crash-recover cycles.
+	Crashes int
+	// Downtime is how long a crashed node stays down before its Recover
+	// event (default 1s).
+	Downtime time.Duration
+	// PermanentCrashes is the number of crash-stop victims (no Recover);
+	// they are chosen distinct from the crash-recover victims.
+	PermanentCrashes int
+
+	// Slows is the number of latency-spike windows.
+	Slows int
+	// SlowLatency is the added per-RPC delay during a window (default 25ms).
+	SlowLatency time.Duration
+	// SlowDur is the window length (default 500ms).
+	SlowDur time.Duration
+
+	// HeartbeatDrops is the number of drop-heartbeats windows.
+	HeartbeatDrops int
+	// DropDur is the drop window length (default 1s).
+	DropDur time.Duration
+
+	// Corrupts is the number of replica corruptions; each lets the
+	// victim node's corrupter pick a stored block.
+	Corrupts int
+}
+
+func (c *ScheduleConfig) defaults() {
+	if c.Start <= 0 {
+		c.Start = 200 * time.Millisecond
+	}
+	if c.Spacing <= 0 {
+		c.Spacing = 300 * time.Millisecond
+	}
+	if c.Downtime <= 0 {
+		c.Downtime = time.Second
+	}
+	if c.SlowLatency <= 0 {
+		c.SlowLatency = 25 * time.Millisecond
+	}
+	if c.SlowDur <= 0 {
+		c.SlowDur = 500 * time.Millisecond
+	}
+	if c.DropDur <= 0 {
+		c.DropDur = time.Second
+	}
+}
+
+// RandomSchedule draws a fault script from the seed. The result is a
+// pure function of (seed, cfg): victims come from a seeded PCG stream
+// and event times from the fixed Start/Spacing grid, so the same inputs
+// produce the same schedule — and the same injector event log — on
+// every run.
+//
+// Crash victims (both kinds) are distinct nodes, so with replication
+// factor k a schedule with at most k-1 total crash victims cannot lose
+// data even if the windows overlap. Slow, drop-heartbeats and corrupt
+// victims are drawn independently and may repeat.
+func RandomSchedule(seed uint64, cfg ScheduleConfig) (Schedule, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("faultinject: RandomSchedule needs Nodes > 0, got %d", cfg.Nodes)
+	}
+	crashVictims := cfg.Crashes + cfg.PermanentCrashes
+	if crashVictims > cfg.Nodes {
+		return nil, fmt.Errorf("faultinject: %d crash victims exceed %d nodes", crashVictims, cfg.Nodes)
+	}
+	cfg.defaults()
+	rng := rand.New(rand.NewPCG(seed, 0xfa117))
+	perm := rng.Perm(cfg.Nodes)
+
+	var s Schedule
+	at := cfg.Start
+	next := func() time.Duration {
+		t := at
+		at += cfg.Spacing
+		return t
+	}
+	for i := 0; i < cfg.Crashes; i++ {
+		node := perm[i]
+		t := next()
+		s = append(s, Event{At: t, Kind: Crash, Node: node})
+		s = append(s, Event{At: t + cfg.Downtime, Kind: Recover, Node: node})
+	}
+	for i := 0; i < cfg.PermanentCrashes; i++ {
+		s = append(s, Event{At: next(), Kind: Crash, Node: perm[cfg.Crashes+i]})
+	}
+	for i := 0; i < cfg.Slows; i++ {
+		s = append(s, Event{
+			At: next(), Kind: Slow, Node: rng.IntN(cfg.Nodes),
+			Latency: cfg.SlowLatency, Dur: cfg.SlowDur,
+		})
+	}
+	for i := 0; i < cfg.HeartbeatDrops; i++ {
+		s = append(s, Event{At: next(), Kind: DropHeartbeats, Node: rng.IntN(cfg.Nodes), Dur: cfg.DropDur})
+	}
+	for i := 0; i < cfg.Corrupts; i++ {
+		s = append(s, Event{At: next(), Kind: Corrupt, Node: rng.IntN(cfg.Nodes)})
+	}
+	s.Sort()
+	return s, nil
+}
+
+// parseKinds maps the spec aliases accepted by ParseSchedule to kinds.
+var parseKinds = map[string]Kind{
+	"crash":           Crash,
+	"recover":         Recover,
+	"slow":            Slow,
+	"drophb":          DropHeartbeats,
+	"drop-heartbeats": DropHeartbeats,
+	"corrupt":         Corrupt,
+}
+
+// ParseSchedule parses the compact spec syntax used by the testbed's
+// -fault-schedule flag: semicolon-separated events of the form
+//
+//	kind:node@at[+latency][/dur][#block]
+//
+// where kind is crash, recover, slow, drophb or corrupt, node is the
+// datanode index, and at/latency/dur are Go durations. Examples:
+//
+//	crash:2@500ms;recover:2@1.5s
+//	slow:1@1s+20ms/2s
+//	drophb:0@1s/1.5s;corrupt:3@2s#7
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, ev)
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("faultinject: empty schedule spec %q", spec)
+	}
+	s.Sort()
+	return s, nil
+}
+
+func parseEvent(part string) (Event, error) {
+	var ev Event
+	kindStr, rest, ok := strings.Cut(part, ":")
+	if !ok {
+		return ev, fmt.Errorf("faultinject: event %q: want kind:node@at", part)
+	}
+	kind, ok := parseKinds[kindStr]
+	if !ok {
+		return ev, fmt.Errorf("faultinject: event %q: unknown kind %q", part, kindStr)
+	}
+	ev.Kind = kind
+	nodeStr, rest, ok := strings.Cut(rest, "@")
+	if !ok {
+		return ev, fmt.Errorf("faultinject: event %q: missing @at", part)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return ev, fmt.Errorf("faultinject: event %q: bad node %q", part, nodeStr)
+	}
+	ev.Node = node
+
+	// Peel optional suffixes right to left: #block, /dur, +latency.
+	if body, blockStr, ok := cutLast(rest, "#"); ok {
+		id, err := strconv.ParseInt(blockStr, 10, 64)
+		if err != nil {
+			return ev, fmt.Errorf("faultinject: event %q: bad block %q", part, blockStr)
+		}
+		ev.Block = proto.BlockID(id)
+		rest = body
+	}
+	if body, durStr, ok := cutLast(rest, "/"); ok {
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return ev, fmt.Errorf("faultinject: event %q: bad dur %q", part, durStr)
+		}
+		ev.Dur = d
+		rest = body
+	}
+	if body, latStr, ok := cutLast(rest, "+"); ok {
+		d, err := time.ParseDuration(latStr)
+		if err != nil {
+			return ev, fmt.Errorf("faultinject: event %q: bad latency %q", part, latStr)
+		}
+		ev.Latency = d
+		rest = body
+	}
+	at, err := time.ParseDuration(rest)
+	if err != nil {
+		return ev, fmt.Errorf("faultinject: event %q: bad offset %q", part, rest)
+	}
+	ev.At = at
+	// Surface missing fields (e.g. slow without /dur) at parse time.
+	if err := (Schedule{ev}).Validate(node + 1); err != nil {
+		return ev, fmt.Errorf("faultinject: event %q: %v", part, err)
+	}
+	return ev, nil
+}
+
+// cutLast splits s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}

@@ -1,0 +1,126 @@
+package retrypolicy
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Delay(0); got != 0 {
+		t.Errorf("Delay(0) = %v, want 0", got)
+	}
+	if got := (Policy{}).Delay(3); got != 0 {
+		t.Errorf("zero policy Delay(3) = %v, want 0", got)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		Multiplier:  2,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2 (%v)", len(slept), slept)
+	}
+}
+
+func TestDoExhaustsAndWraps(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	retries := 0
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		OnRetry:     func(int, error, time.Duration) { retries++ },
+	}
+	err := p.Do(func() error { calls++; return boom })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if retries != 2 {
+		t.Errorf("OnRetry fired %d times, want 2", retries)
+	}
+	if !errors.Is(err, ErrAttemptsExhausted) || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want ErrAttemptsExhausted wrapping boom", err)
+	}
+}
+
+func TestDoPermanentErrorStopsImmediately(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		Retryable:   func(err error) bool { return !errors.Is(err, perm) },
+	}
+	err := p.Do(func() error { calls++; return perm })
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, perm) || errors.Is(err, ErrAttemptsExhausted) {
+		t.Errorf("err = %v, want bare permanent error", err)
+	}
+}
+
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := (Policy{}).Do(func() error { calls++; return boom })
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, boom) || errors.Is(err, ErrAttemptsExhausted) {
+		t.Errorf("err = %v, want bare error without exhaustion wrap", err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := Policy{
+		BaseDelay: 100 * time.Millisecond,
+		Jitter:    0.5,
+	}
+	// Sweep the jitter sample space: factor must stay in [0.75, 1.25).
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		p.Rand = func() float64 { return r }
+		got := p.jittered(p.Delay(1))
+		lo := 75 * time.Millisecond
+		hi := 125 * time.Millisecond
+		if got < lo || got > hi {
+			t.Errorf("jittered delay %v outside [%v, %v] for r=%v", got, lo, hi, r)
+		}
+	}
+}

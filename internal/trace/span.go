@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Span support: alongside the workload-trace generator, this file
+// provides a minimal operation-span recorder the DFS layer annotates
+// under fault injection. Spans carry a name, ordered key=value
+// annotations, and logical begin/end timestamps drawn from a
+// per-recorder sequence counter — not the wall clock — so a serialized
+// run produces an identical span log every time. This is observability
+// for tests and the chaos harness, not a distributed tracer: there is
+// no propagation, sampling, or export beyond Render.
+
+// SpanLog records operation spans. The zero value is not usable; call
+// NewSpanLog. A nil *SpanLog is a valid sink: Start returns a no-op
+// span, so instrumented code does not need nil checks.
+type SpanLog struct {
+	mu    sync.Mutex
+	seq   int64
+	spans []Span
+}
+
+// Span is one finished (or still-open) operation.
+type Span struct {
+	ID    int64 // 1-based creation order
+	Name  string
+	Begin int64    // logical timestamp at Start
+	End   int64    // logical timestamp at End; 0 while open
+	Attrs []string // "key=value" in annotation order
+}
+
+// ActiveSpan is a span under construction.
+type ActiveSpan struct {
+	log *SpanLog
+	idx int // index into log.spans
+}
+
+// NewSpanLog creates an empty recorder.
+func NewSpanLog() *SpanLog { return &SpanLog{} }
+
+// Start opens a span. Safe on a nil receiver (returns a no-op span).
+func (l *SpanLog) Start(name string) *ActiveSpan {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.spans = append(l.spans, Span{ID: int64(len(l.spans) + 1), Name: name, Begin: l.seq})
+	return &ActiveSpan{log: l, idx: len(l.spans) - 1}
+}
+
+// Annotate appends one key=value attribute. Safe on a nil receiver.
+func (s *ActiveSpan) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	sp := &s.log.spans[s.idx]
+	sp.Attrs = append(sp.Attrs, key+"="+value)
+}
+
+// End closes the span at the next logical timestamp. Safe on a nil
+// receiver; closing twice keeps the first end time.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	sp := &s.log.spans[s.idx]
+	if sp.End == 0 {
+		s.log.seq++
+		sp.End = s.log.seq
+	}
+}
+
+// Spans returns a copy of every recorded span in creation order.
+func (l *SpanLog) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	for i := range out {
+		attrs := make([]string, len(out[i].Attrs))
+		copy(attrs, out[i].Attrs)
+		out[i].Attrs = attrs
+	}
+	return out
+}
+
+// Render formats the log one span per line for test output and the CLI.
+func (l *SpanLog) Render() string {
+	var b strings.Builder
+	for _, sp := range l.Spans() {
+		fmt.Fprintf(&b, "[%d,%d] %s", sp.Begin, sp.End, sp.Name)
+		if len(sp.Attrs) > 0 {
+			fmt.Fprintf(&b, " %s", strings.Join(sp.Attrs, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
