@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench chaos ci
+.PHONY: all build test vet lint lint-baseline lint-sarif race bench chaos ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column.
@@ -21,10 +21,23 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The project-specific analyzer: guarded-by, mutex copies, determinism,
-# float comparison discipline, discarded errors. See DESIGN.md §8.
+# The project-specific analyzer: one typed whole-module pass running the
+# per-file rules (guarded-by, mutex copies, determinism, float
+# comparison, discarded errors) plus the cross-package analyzers
+# (lock-order, deadline propagation, rng taint, error wrapping). Gated
+# against the committed baseline; see DESIGN.md §11.
 lint: vet
-	$(GO) run ./cmd/aurora-lint ./...
+	$(GO) run ./cmd/aurora-lint -baseline lint.baseline ./...
+
+# Regenerate the accepted-findings baseline. Run deliberately and review
+# the diff: every entry grandfathers a finding the gate will then skip.
+lint-baseline:
+	$(GO) run ./cmd/aurora-lint -baseline lint.baseline -write-baseline ./...
+
+# Machine-readable findings for the CI artifact. Always writes
+# lint.sarif; the exit code still reflects non-baseline findings.
+lint-sarif:
+	$(GO) run ./cmd/aurora-lint -format sarif -baseline lint.baseline ./... > lint.sarif
 
 # Race detector with invariant assertions compiled in, so every
 # optimizer period in the stress tests also checks the paper invariants.

@@ -1,19 +1,27 @@
 // Command aurora-lint is the project's static analyzer: a dependency-free
-// correctness gate built on go/parser and go/types that enforces the
-// conventions the Aurora codebase relies on but the compiler cannot
-// check:
+// correctness gate built on the typed whole-module analysis core in
+// internal/analysis. One parse/type-check pass feeds every rule:
 //
 //   - guardedby:   fields declared after a sync.Mutex/RWMutex in the same
 //     field group must not be touched by exported methods without the
 //     lock held; see DESIGN.md "Correctness tooling".
 //   - mutexcopy:   mutex-bearing structs must never be copied by value.
-//   - determinism: packages marked //lint:deterministic (internal/core,
-//     internal/sim, internal/loadindex, internal/par,
-//     internal/experiments) may not use global math/rand or read the
-//     wall clock, directly or via timers.
-//   - floatcmp:    packages marked //lint:strictfloat (internal/core) may
-//     not compare floats with ==/!=.
-//   - errcheck:    error results may not be silently discarded.
+//   - determinism: packages marked //lint:deterministic may not use
+//     global math/rand or read the wall clock, directly or via timers.
+//   - floatcmp:    packages marked //lint:strictfloat may not compare
+//     floats with ==/!=.
+//   - errcheck:    error results may not be silently discarded — as bare
+//     statements, blank assignments, or a deferred Close on a file
+//     opened for writing.
+//   - pkgdoc:      every package carries a godoc package comment.
+//   - lockorder:   the module-wide mutex acquisition graph must be
+//     acyclic (potential-deadlock detection).
+//   - ctxdeadline: RPCs must run under retrypolicy or handle their
+//     error; fire-and-forget calls are flagged.
+//   - rngtaint:    wall-clock/unseeded-RNG values must not flow into
+//     deterministic packages or fault-schedule generation.
+//   - wrapcheck:   errors formatted into fmt.Errorf must use %w so
+//     errors.Is/As and retry classification keep working.
 //
 // Intentional exceptions are annotated in place:
 //
@@ -21,10 +29,13 @@
 //
 // Usage:
 //
-//	aurora-lint [./...]           # lint the whole module (default)
-//	aurora-lint ./internal/core   # lint specific package directories
+//	aurora-lint [./...]                      # text findings, exit 1 if any
+//	aurora-lint -format sarif ./...          # SARIF 2.1.0 on stdout
+//	aurora-lint -baseline lint.baseline ./...   # fail only on non-baseline findings
+//	aurora-lint -baseline lint.baseline -write-baseline ./...  # regenerate deliberately
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// Exit status: 0 clean (or fully baselined), 1 findings, 2 usage or
+// load failure.
 package main
 
 import (
@@ -33,6 +44,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"aurora/internal/analysis"
 )
 
 func main() {
@@ -43,7 +56,18 @@ func run(args []string, stdout, stderr *os.File) int {
 	flags := flag.NewFlagSet("aurora-lint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	root := flags.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	format := flags.String("format", "text", "output format: text or sarif")
+	baselinePath := flags.String("baseline", "", "baseline file; listed findings are grandfathered, new ones fail")
+	writeBaseline := flags.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit 0")
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "aurora-lint: unknown -format %q (want text or sarif)\n", *format)
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "aurora-lint: -write-baseline needs -baseline FILE")
 		return 2
 	}
 	patterns := flags.Args()
@@ -58,7 +82,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		*root = r
 	}
-	mod, err := LoadModule(*root)
+	mod, err := analysis.LoadModule(*root)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -68,22 +92,63 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	runner := NewRunner(mod.Fset)
+	// The whole module is always loaded — the cross-package analyzers
+	// need the full call graph — and the patterns only filter which
+	// packages findings are reported for.
+	runner, err := analysis.NewRunner(mod)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	runner.Run()
+	keep := make(map[string]bool, len(rels))
 	for _, rel := range rels {
-		pkg, err := mod.Load(rel)
+		keep[rel] = true
+	}
+	diags := runner.Diagnostics(keep)
+
+	if *writeBaseline {
+		data := analysis.FormatBaseline(diags, mod.Root)
+		if err := os.WriteFile(*baselinePath, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "aurora-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "aurora-lint: wrote %s (%d finding(s) grandfathered)\n", *baselinePath, len(diags))
+		return 0
+	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "aurora-lint:", err)
+			return 2
+		}
+		base, err := analysis.ParseBaseline(data)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		runner.Check(pkg)
+		diags, suppressed = analysis.FilterBaseline(diags, base, mod.Root)
 	}
-	diags := runner.Diagnostics()
-	for _, d := range diags {
-		rel, err := filepath.Rel(mod.Root, d.Pos.Filename)
-		if err == nil {
-			d.Pos.Filename = rel
+
+	switch *format {
+	case "sarif":
+		if err := analysis.WriteSARIF(stdout, diags, mod.Root); err != nil {
+			fmt.Fprintln(stderr, "aurora-lint:", err)
+			return 2
 		}
-		fmt.Fprintln(stdout, d)
+	default:
+		for _, d := range diags {
+			rel, err := filepath.Rel(mod.Root, d.Pos.Filename)
+			if err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "aurora-lint: %d baselined finding(s) suppressed\n", suppressed)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "aurora-lint: %d finding(s)\n", len(diags))
@@ -114,7 +179,7 @@ func findModuleRoot() (string, error) {
 // resolvePatterns expands the command-line package patterns into
 // root-relative package directories. Supported forms: "./...",
 // "dir/...", and plain directories.
-func resolvePatterns(mod *Module, patterns []string) ([]string, error) {
+func resolvePatterns(mod *analysis.Module, patterns []string) ([]string, error) {
 	all, err := mod.PackageDirs()
 	if err != nil {
 		return nil, err
@@ -162,7 +227,7 @@ func resolvePatterns(mod *Module, patterns []string) ([]string, error) {
 // first (so `aurora-lint ./internal/core` works from the repo root),
 // then against the module root (so `aurora-lint -root DIR pkg` works
 // from anywhere).
-func toModuleRel(mod *Module, pat string) (string, error) {
+func toModuleRel(mod *analysis.Module, pat string) (string, error) {
 	p := pat
 	if !filepath.IsAbs(p) {
 		cwd, err := os.Getwd()

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+
+	"aurora/internal/analysis"
 )
 
 // finding is one expected diagnostic: file is root-relative with
@@ -16,23 +20,45 @@ type finding struct {
 	msg  string
 }
 
-// fixtureModule loads the fixture module under testdata/src once per
-// test that needs it.
-func fixtureModule(t *testing.T) (*Module, string) {
+var (
+	fixtureOnce   sync.Once
+	fixtureRoot   string
+	fixtureRunner *analysis.Runner
+	fixtureErr    error
+)
+
+// fixture loads the fixture module and runs every analyzer exactly once
+// for the whole test binary — the same single-load model the CLI uses.
+func fixture(t *testing.T) (*analysis.Runner, string) {
 	t.Helper()
-	root, err := filepath.Abs(filepath.Join("testdata", "src"))
-	if err != nil {
-		t.Fatalf("abs: %v", err)
+	fixtureOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("testdata", "src"))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureRoot = root
+		mod, err := analysis.LoadModule(root)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		r, err := analysis.NewRunner(mod)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		r.Run()
+		fixtureRunner = r
+	})
+	if fixtureErr != nil {
+		t.Fatalf("fixture: %v", fixtureErr)
 	}
-	mod, err := LoadModule(root)
-	if err != nil {
-		t.Fatalf("LoadModule(%s): %v", root, err)
-	}
-	return mod, root
+	return fixtureRunner, fixtureRoot
 }
 
 func TestRulesOnFixtures(t *testing.T) {
-	mod, root := fixtureModule(t)
+	r, root := fixture(t)
 
 	tests := []struct {
 		pkg  string
@@ -41,42 +67,42 @@ func TestRulesOnFixtures(t *testing.T) {
 		{
 			pkg: "guarded",
 			want: []finding{
-				{"guarded/guarded.go", 25, RuleGuardedBy,
+				{"guarded/guarded.go", 25, analysis.RuleGuardedBy,
 					`Counter.Bad accesses "n" without holding mu (guarded fields follow their mutex in the struct; see DESIGN.md)`},
-				{"guarded/guarded.go", 30, RuleGuardedBy,
+				{"guarded/guarded.go", 30, analysis.RuleGuardedBy,
 					`Counter.Early accesses "n" (guarded by mu) before acquiring the lock`},
 			},
 		},
 		{
 			pkg: "copies",
 			want: []finding{
-				{"copies/copies.go", 13, RuleMutexCopy,
+				{"copies/copies.go", 13, analysis.RuleMutexCopy,
 					"method receiver of ByValue passes fixture/copies.Store by value, copying its mutex; use a pointer"},
-				{"copies/copies.go", 14, RuleGuardedBy,
+				{"copies/copies.go", 14, analysis.RuleGuardedBy,
 					`Store.ByValue accesses "m" without holding mu (guarded fields follow their mutex in the struct; see DESIGN.md)`},
-				{"copies/copies.go", 18, RuleMutexCopy,
+				{"copies/copies.go", 18, analysis.RuleMutexCopy,
 					"Snapshot passes fixture/copies.Store by value, copying its mutex; use a pointer"},
-				{"copies/copies.go", 19, RuleMutexCopy,
+				{"copies/copies.go", 19, analysis.RuleMutexCopy,
 					"dereference copies fixture/copies.Store including its mutex; keep the pointer"},
 			},
 		},
 		{
 			pkg: "determ",
 			want: []finding{
-				{"determ/determ.go", 13, RuleDeterminism,
+				{"determ/determ.go", 13, analysis.RuleDeterminism,
 					"global rand.Intn in a deterministic package; thread a seeded *rand.Rand instead"},
-				{"determ/determ.go", 13, RuleDeterminism,
+				{"determ/determ.go", 13, analysis.RuleDeterminism,
 					"time.Now reads the wall clock in a deterministic package; thread an explicit clock"},
-				{"determ/determ.go", 28, RuleDeterminism,
+				{"determ/determ.go", 28, analysis.RuleDeterminism,
 					"time.After reads the wall clock in a deterministic package; thread an explicit clock"},
-				{"determ/determ.go", 29, RuleDeterminism,
+				{"determ/determ.go", 29, analysis.RuleDeterminism,
 					"time.NewTicker reads the wall clock in a deterministic package; thread an explicit clock"},
 			},
 		},
 		{
 			pkg: "floats",
 			want: []finding{
-				{"floats/floats.go", 8, RuleFloatCmp,
+				{"floats/floats.go", 8, analysis.RuleFloatCmp,
 					"exact float comparison (==) in a strict-float package; use the epsilon helper (floatEq) or //lint:ignore floatcmp <why>"},
 				// line 14's != is suppressed by the //lint:ignore above it.
 			},
@@ -84,44 +110,86 @@ func TestRulesOnFixtures(t *testing.T) {
 		{
 			pkg: "errs",
 			want: []finding{
-				{"errs/errs.go", 12, RuleErrCheck,
+				{"errs/errs.go", 13, analysis.RuleErrCheck,
 					"error returned by os.Remove is discarded; handle it or assign to _ explicitly"},
+				{"errs/errs.go", 18, analysis.RuleErrCheck,
+					"error returned by os.Remove is discarded by assignment to _; handle it or annotate //lint:ignore errcheck <why>"},
+				// Annotated's discard on line 24 is suppressed.
+				{"errs/errs.go", 33, analysis.RuleErrCheck,
+					"deferred Close on writable file f discards the flush error; close explicitly on the success path and check it"},
+				// ReadIn's deferred Close (os.Open) is exempt.
 			},
 		},
 		{
 			pkg: "directives",
 			want: []finding{
-				{"directives/directives.go", 4, RuleDirective,
+				{"directives/directives.go", 4, analysis.RuleDirective,
 					`unknown //lint: directive "nonsense"`},
-				{"directives/directives.go", 6, RuleDirective,
+				{"directives/directives.go", 6, analysis.RuleDirective,
 					"//lint:ignore needs a rule and a reason: //lint:ignore <rule> <why>"},
-				{"directives/directives.go", 8, RuleDirective,
+				{"directives/directives.go", 8, analysis.RuleDirective,
 					`unknown rule "badrule" in //lint:ignore`},
 			},
 		},
 		{
 			pkg: "nodoc",
 			want: []finding{
-				{"nodoc/nodoc.go", 1, RulePkgDoc,
+				{"nodoc/nodoc.go", 1, analysis.RulePkgDoc,
 					`package nodoc lacks a doc comment; start one file with "// Package nodoc ..."`},
 			},
 		},
 		{
-			pkg:  "clean",
-			want: nil,
+			pkg: "lockorder",
+			want: []finding{
+				{"lockorder/lockorder.go", 30, analysis.RuleLockOrder,
+					"inconsistent lock order: lockorder.B.mu acquired while holding lockorder.A.mu here, but the reverse order at lockorder.go:39; pick one global acquisition order"},
+			},
 		},
+		{
+			pkg: "ctxdeadline",
+			want: []finding{
+				{"ctxdeadline/ctxdeadline.go", 45, analysis.RuleCtxDeadline,
+					"fire-and-forget RPC: n.call discards its error outside any retrypolicy context; run it under Policy.Do (or a wrapper like retryDo) or handle the error"},
+				{"ctxdeadline/ctxdeadline.go", 51, analysis.RuleCtxDeadline,
+					"fire-and-forget RPC: n.call discards its error outside any retrypolicy context; run it under Policy.Do (or a wrapper like retryDo) or handle the error"},
+			},
+		},
+		{
+			pkg: "rngtaint",
+			want: []finding{
+				{"rngtaint/rngtaint.go", 19, analysis.RuleRngTaint,
+					"nondeterministic value (time.Now) flows into det.Place, which must be replayable from a seed; derive it from the experiment seed or an explicit clock"},
+				{"rngtaint/rngtaint.go", 24, analysis.RuleRngTaint,
+					"nondeterministic value (tainted call seedFromClock) flows into det.Place, which must be replayable from a seed; derive it from the experiment seed or an explicit clock"},
+				{"rngtaint/rngtaint.go", 29, analysis.RuleRngTaint,
+					"nondeterministic value (global rand.Int63) flows into det.Place, which must be replayable from a seed; derive it from the experiment seed or an explicit clock"},
+			},
+		},
+		{
+			pkg: "rngtaint/det",
+			want: []finding{
+				{"rngtaint/det/det.go", 18, analysis.RuleRngTaint,
+					`map iteration order leaks into "out" (append under range over a map, never sorted in this function); sort the keys or the result`},
+			},
+		},
+		{
+			pkg: "wrapcheck",
+			want: []finding{
+				{"wrapcheck/wrapcheck.go", 15, analysis.RuleWrapCheck,
+					"error flattened by %v in fmt.Errorf; use %w (or return a typed error) so errors.Is/As and retry classification keep seeing the chain"},
+				{"wrapcheck/wrapcheck.go", 20, analysis.RuleWrapCheck,
+					"error flattened by %v in fmt.Errorf; use %w (or return a typed error) so errors.Is/As and retry classification keep seeing the chain"},
+			},
+		},
+		{pkg: "internal/dfs/proto", want: nil},
+		{pkg: "internal/retrypolicy", want: nil},
+		{pkg: "clean", want: nil},
 	}
 
 	for _, tc := range tests {
 		t.Run(tc.pkg, func(t *testing.T) {
-			pkg, err := mod.Load(tc.pkg)
-			if err != nil {
-				t.Fatalf("Load(%q): %v", tc.pkg, err)
-			}
-			r := NewRunner(mod.Fset)
-			r.Check(pkg)
 			var got []finding
-			for _, d := range r.Diagnostics() {
+			for _, d := range r.Diagnostics(map[string]bool{tc.pkg: true}) {
 				rel, err := filepath.Rel(root, d.Pos.Filename)
 				if err != nil {
 					rel = d.Pos.Filename
@@ -140,33 +208,33 @@ func TestRulesOnFixtures(t *testing.T) {
 	}
 }
 
-// TestRunEndToEnd drives the CLI entry point against the fixture
-// module: findings mean exit 1, a clean package exits 0, and a bad
-// root exits 2.
-func TestRunEndToEnd(t *testing.T) {
-	_, root := fixtureModule(t)
-
-	capture := func(t *testing.T, args []string) (int, string, string) {
-		t.Helper()
-		outF, err := os.CreateTemp(t.TempDir(), "out")
-		if err != nil {
-			t.Fatalf("temp: %v", err)
-		}
-		errF, err := os.CreateTemp(t.TempDir(), "err")
-		if err != nil {
-			t.Fatalf("temp: %v", err)
-		}
-		code := run(args, outF, errF)
-		outB, err := os.ReadFile(outF.Name())
-		if err != nil {
-			t.Fatalf("read stdout: %v", err)
-		}
-		errB, err := os.ReadFile(errF.Name())
-		if err != nil {
-			t.Fatalf("read stderr: %v", err)
-		}
-		return code, string(outB), string(errB)
+// capture runs the CLI entry point with temp stdout/stderr files.
+func capture(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatalf("temp: %v", err)
 	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatalf("temp: %v", err)
+	}
+	code := run(args, outF, errF)
+	outB, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatalf("read stdout: %v", err)
+	}
+	errB, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatalf("read stderr: %v", err)
+	}
+	return code, string(outB), string(errB)
+}
+
+// TestRunEndToEnd drives the CLI against the fixture module: findings
+// mean exit 1, a clean package exits 0, and a bad root exits 2.
+func TestRunEndToEnd(t *testing.T) {
+	_, root := fixture(t)
 
 	t.Run("findings exit 1", func(t *testing.T) {
 		code, out, errOut := capture(t, []string{"-root", root, "./..."})
@@ -175,9 +243,13 @@ func TestRunEndToEnd(t *testing.T) {
 		}
 		for _, want := range []string{
 			"guarded/guarded.go:25:",
-			"errs/errs.go:12:",
+			"errs/errs.go:13:",
 			"determ/determ.go:13:",
 			"floats/floats.go:8:",
+			"lockorder/lockorder.go:30:",
+			"ctxdeadline/ctxdeadline.go:45:",
+			"rngtaint/rngtaint.go:19:",
+			"wrapcheck/wrapcheck.go:15:",
 		} {
 			if !strings.Contains(out, want) {
 				t.Errorf("stdout missing %q:\n%s", want, out)
@@ -204,30 +276,103 @@ func TestRunEndToEnd(t *testing.T) {
 			t.Fatalf("exit code = %d, want 2", code)
 		}
 	})
+
+	t.Run("sarif output", func(t *testing.T) {
+		code, out, _ := capture(t, []string{"-root", root, "-format", "sarif", "wrapcheck"})
+		if code != 1 {
+			t.Fatalf("exit code = %d, want 1", code)
+		}
+		var log struct {
+			Version string `json:"version"`
+			Runs    []struct {
+				Results []struct {
+					RuleID string `json:"ruleId"`
+				} `json:"results"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(out), &log); err != nil {
+			t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+		}
+		if log.Version != "2.1.0" || len(log.Runs) != 1 {
+			t.Fatalf("unexpected SARIF shape: %+v", log)
+		}
+		if n := len(log.Runs[0].Results); n != 2 {
+			t.Fatalf("got %d results, want 2", n)
+		}
+		for _, res := range log.Runs[0].Results {
+			if res.RuleID != analysis.RuleWrapCheck {
+				t.Errorf("ruleId = %q, want wrapcheck", res.RuleID)
+			}
+		}
+	})
+}
+
+// TestBaselineGate is the negative fixture for baseline gating: a
+// baseline generated from one package suppresses its (grandfathered)
+// findings but does not mask findings from elsewhere.
+func TestBaselineGate(t *testing.T) {
+	_, root := fixture(t)
+	baseline := filepath.Join(t.TempDir(), "lint.baseline")
+
+	code, _, errOut := capture(t, []string{"-root", root, "-baseline", baseline, "-write-baseline", "errs"})
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr:\n%s", code, errOut)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(data), "errcheck\terrs/errs.go") {
+		t.Fatalf("baseline missing errcheck entry:\n%s", data)
+	}
+
+	t.Run("grandfathered findings suppressed", func(t *testing.T) {
+		code, out, errOut := capture(t, []string{"-root", root, "-baseline", baseline, "errs"})
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+		}
+		if strings.TrimSpace(out) != "" {
+			t.Errorf("stdout not empty: %q", out)
+		}
+		if !strings.Contains(errOut, "baselined finding(s) suppressed") {
+			t.Errorf("stderr missing suppression note: %q", errOut)
+		}
+	})
+
+	t.Run("new findings still fail", func(t *testing.T) {
+		code, out, _ := capture(t, []string{"-root", root, "-baseline", baseline, "errs", "wrapcheck"})
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, out)
+		}
+		if strings.Contains(out, "errs/errs.go") {
+			t.Errorf("baselined errs findings leaked:\n%s", out)
+		}
+		if !strings.Contains(out, "wrapcheck/wrapcheck.go:15:") {
+			t.Errorf("new wrapcheck finding missing:\n%s", out)
+		}
+	})
 }
 
 // TestSelfLint keeps the repository itself clean: aurora-lint run on
-// the aurora module must report nothing. This is the same gate CI
-// runs, expressed as a plain test so `go test ./...` catches
-// regressions without the Makefile.
+// the aurora module (including cmd/aurora-lint and internal/analysis)
+// must report nothing. This is the same gate CI runs, expressed as a
+// plain test so `go test ./...` catches regressions without the
+// Makefile.
 func TestSelfLint(t *testing.T) {
 	root, err := findModuleRoot()
 	if err != nil {
 		t.Fatalf("findModuleRoot: %v", err)
 	}
-	mod, err := LoadModule(root)
+	mod, err := analysis.LoadModule(root)
 	if err != nil {
 		t.Fatalf("LoadModule(%s): %v", root, err)
 	}
-	pkgs, err := mod.LoadAll()
+	r, err := analysis.NewRunner(mod)
 	if err != nil {
-		t.Fatalf("LoadAll: %v", err)
+		t.Fatalf("NewRunner: %v", err)
 	}
-	r := NewRunner(mod.Fset)
-	for _, pkg := range pkgs {
-		r.Check(pkg)
-	}
-	for _, d := range r.Diagnostics() {
+	r.Run()
+	for _, d := range r.Diagnostics(nil) {
 		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,52 @@
+// Package ctxdeadline exercises the ctxdeadline analyzer: RPCs must
+// run under retrypolicy or handle their error; fire-and-forget sites
+// are flagged.
+package ctxdeadline
+
+import (
+	"fixture/internal/dfs/proto"
+	"fixture/internal/retrypolicy"
+)
+
+// Node holds an injectable RPC function like the real datanode.
+type Node struct {
+	call  proto.CallFunc
+	retry retrypolicy.Policy
+}
+
+// Covered runs its RPC under the retry policy.
+func (n *Node) Covered(addr string) error {
+	return n.retry.Do(func() error {
+		_, _, err := n.call(addr, &proto.Message{}, nil, 0)
+		return err
+	})
+}
+
+// retryDo forwards op to the policy like datanode.retryDo.
+func (n *Node) retryDo(op func() error) error { return n.retry.Do(op) }
+
+// CoveredViaWrapper reaches the policy through the wrapper.
+func (n *Node) CoveredViaWrapper(addr string) error {
+	return n.retryDo(func() error {
+		_, _, err := n.call(addr, &proto.Message{}, nil, 0)
+		return err
+	})
+}
+
+// Handled checks the error itself (the heartbeat pattern).
+func (n *Node) Handled(addr string) bool {
+	_, _, err := n.call(addr, &proto.Message{}, nil, 0)
+	return err == nil
+}
+
+// FireAndForget drops the RPC error on the floor.
+func (n *Node) FireAndForget(addr string) {
+	//lint:ignore errcheck the fixture pins the ctxdeadline finding
+	_, _, _ = n.call(addr, &proto.Message{}, nil, 0)
+}
+
+// Bare drops the whole result as a statement.
+func Bare(n *Node, addr string) {
+	//lint:ignore errcheck the fixture pins the ctxdeadline finding
+	n.call(addr, &proto.Message{}, nil, 0)
+}

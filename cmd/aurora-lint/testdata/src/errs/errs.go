@@ -1,4 +1,5 @@
-// Package errs exercises the errcheck rule.
+// Package errs exercises the errcheck rule: bare discards, blank
+// assignments, and deferred Close on writable files.
 package errs
 
 import (
@@ -12,9 +13,38 @@ func Drop(path string) {
 	os.Remove(path)
 }
 
-// Explicit acknowledges the error with a blank assignment.
-func Explicit(path string) {
+// Blank hides the discard behind a blank assignment.
+func Blank(path string) {
 	_ = os.Remove(path)
+}
+
+// Annotated documents why the error is dropped.
+func Annotated(path string) {
+	//lint:ignore errcheck removal is best-effort cleanup
+	_ = os.Remove(path)
+}
+
+// WriteOut creates a file and defers Close, losing the flush error.
+func WriteOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}
+
+// ReadIn opens read-only; the deferred Close is fine.
+func ReadIn(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
 }
 
 // Print uses the exempt fmt family and in-memory builders.

@@ -1,0 +1,18 @@
+// Package proto mirrors the real RPC surface (analyzers match it by
+// path suffix) for the ctxdeadline fixtures.
+package proto
+
+import "time"
+
+// Message is the RPC envelope.
+type Message struct {
+	Type int
+}
+
+// CallFunc is the injectable RPC signature.
+type CallFunc func(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error)
+
+// Call performs one exchange (stub).
+func Call(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error) {
+	return &Message{Type: 1}, nil, nil
+}

@@ -1,0 +1,19 @@
+// Package retrypolicy mirrors the real retry surface (analyzers match
+// it by path suffix) for the ctxdeadline fixtures.
+package retrypolicy
+
+// Policy retries an operation with bounded attempts.
+type Policy struct {
+	MaxAttempts int
+}
+
+// Do runs op until success or attempts exhaust.
+func (p Policy) Do(op func() error) error {
+	var err error
+	for i := 0; i < p.MaxAttempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

@@ -1,0 +1,46 @@
+// Package lockorder exercises the lockorder analyzer: Forward takes
+// A.mu then B.mu while Backward reaches A.mu under B.mu through a
+// helper — an inversion the acquisition graph reports once.
+package lockorder
+
+import "sync"
+
+// A guards a with mu.
+type A struct {
+	mu sync.Mutex
+	a  int
+}
+
+// B guards b with mu.
+type B struct {
+	mu sync.Mutex
+	b  int
+}
+
+// Pair owns one instance of each lock class.
+type Pair struct {
+	x *A
+	y *B
+}
+
+// Forward nests B.mu under A.mu.
+func (p *Pair) Forward() int {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	return p.x.a + p.y.b
+}
+
+// Backward nests A.mu (through readA) under B.mu.
+func (p *Pair) Backward() int {
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	return p.readA() + p.y.b
+}
+
+func (p *Pair) readA() int {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	return p.x.a
+}

@@ -1,0 +1,31 @@
+// Package det mirrors a deterministic placement package: decisions
+// must be derivable from seeded inputs only.
+package det
+
+//lint:deterministic
+
+import "sort"
+
+// Place deterministically maps a seed-derived key to a slot.
+func Place(key int64) int {
+	return int(key % 7)
+}
+
+// Order collects keys in map iteration order — nondeterministic.
+func Order(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorted collects keys and fixes the order before returning.
+func Sorted(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

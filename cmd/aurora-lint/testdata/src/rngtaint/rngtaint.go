@@ -1,0 +1,35 @@
+// Package rngtaint exercises the taint analyzer: wall-clock and
+// global-rand values must not flow into deterministic packages.
+package rngtaint
+
+import (
+	"math/rand"
+	"time"
+
+	"fixture/rngtaint/det"
+)
+
+// seedFromClock derives a seed from the wall clock (tainted result).
+func seedFromClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Direct passes the wall clock straight into a placement decision.
+func Direct() int {
+	return det.Place(time.Now().UnixNano())
+}
+
+// Indirect launders the clock through a helper first.
+func Indirect() int {
+	return det.Place(seedFromClock())
+}
+
+// Global feeds the unseeded global generator in.
+func Global() int {
+	return det.Place(rand.Int63())
+}
+
+// Seeded threads an explicit seed; no taint.
+func Seeded(seed int64) int {
+	return det.Place(seed)
+}

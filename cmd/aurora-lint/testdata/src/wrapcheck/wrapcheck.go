@@ -1,0 +1,31 @@
+// Package wrapcheck exercises the wrapcheck analyzer: error values
+// formatted into fmt.Errorf must use %w to keep the chain.
+package wrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBase is a sentinel other packages classify with errors.Is.
+var ErrBase = errors.New("base")
+
+// Flattened formats err with %v, breaking the chain.
+func Flattened(err error) error {
+	return fmt.Errorf("doing thing: %v", err)
+}
+
+// HalfWrapped wraps the sentinel but flattens the cause.
+func HalfWrapped(err error) error {
+	return fmt.Errorf("%w: %v", ErrBase, err)
+}
+
+// Wrapped keeps the whole chain intact.
+func Wrapped(err error) error {
+	return fmt.Errorf("doing thing: %w", err)
+}
+
+// Text formats a non-error value; %v is fine there.
+func Text(n int) error {
+	return fmt.Errorf("bad count: %v", n)
+}

@@ -54,16 +54,22 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		w := out
+		var f *os.File
 		if *outPath != "" {
-			f, err := os.Create(*outPath)
+			f, err = os.Create(*outPath)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			w = f
 		}
 		if err := trace.Write(w, tr); err != nil {
 			return err
+		}
+		// Close explicitly: the flush error is the write's success signal.
+		if f != nil {
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 		if *outPath != "" {
 			fmt.Fprintf(out, "wrote %s: %d files, %d blocks, %d jobs over %d hours\n",

@@ -69,13 +69,13 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
 		}
 		res := Result{Iterations: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+				return nil, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
 			}
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
@@ -111,7 +111,7 @@ func loadLedger(path string) (*Ledger, error) {
 	}
 	var l Ledger
 	if err := json.Unmarshal(data, &l); err != nil {
-		return nil, fmt.Errorf("parse %s: %v", path, err)
+		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
 	if l.Format != formatID {
 		return nil, fmt.Errorf("%s: unknown format %q (want %q)", path, l.Format, formatID)

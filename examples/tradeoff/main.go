@@ -53,6 +53,7 @@ func run() error {
 					continue
 				}
 			}
+			//lint:ignore errcheck scatter loop; full machines are simply skipped
 			_ = base.AddReplica(s.ID, m)
 		}
 	}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline gating: a committed lint.baseline file grandfathers known
+// findings so CI fails only on NEW ones. Entries are keyed by
+// (rule, root-relative file, message) — deliberately without line
+// numbers, so unrelated edits that shift a grandfathered finding do not
+// break the gate — with a count per key so adding a second identical
+// finding in the same file still fails. The file is regenerated only by
+// an explicit `make lint-baseline`, never implicitly in CI.
+
+// BaselineKey identifies one grandfathered finding class.
+type BaselineKey struct {
+	Rule    string
+	File    string // module-root-relative, forward slashes
+	Message string
+}
+
+// Baseline maps each key to how many findings of it are tolerated.
+type Baseline map[BaselineKey]int
+
+// ParseBaseline reads the lint.baseline format: one tab-separated
+// `rule<TAB>file<TAB>count<TAB>message` entry per line; blank lines and
+// #-comments are skipped.
+func ParseBaseline(data []byte) (Baseline, error) {
+	b := make(Baseline)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("aurora-lint: baseline line %d: want rule<TAB>file<TAB>count<TAB>message", i+1)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("aurora-lint: baseline line %d: bad count %q", i+1, parts[2])
+		}
+		b[BaselineKey{Rule: parts[0], File: parts[1], Message: parts[3]}] += n
+	}
+	return b, nil
+}
+
+// FormatBaseline renders diagnostics as a baseline file, sorted for
+// stable diffs.
+func FormatBaseline(diags []Diagnostic, root string) []byte {
+	counts := make(map[BaselineKey]int)
+	for _, d := range diags {
+		counts[baselineKeyOf(d, root)]++
+	}
+	keys := make([]BaselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	var sb strings.Builder
+	sb.WriteString("# aurora-lint baseline: grandfathered findings, keyed rule/file/message (no line\n")
+	sb.WriteString("# numbers, so edits that move a finding do not break the gate). Regenerate only\n")
+	sb.WriteString("# deliberately with `make lint-baseline`; new findings must be fixed or ignored\n")
+	sb.WriteString("# in place with //lint:ignore <rule> <why>.\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s\t%s\t%d\t%s\n", k.Rule, k.File, counts[k], k.Message)
+	}
+	return []byte(sb.String())
+}
+
+// FilterBaseline splits diagnostics into those covered by the baseline
+// (up to each key's count) and the new ones that must fail the gate.
+func FilterBaseline(diags []Diagnostic, b Baseline, root string) (fresh []Diagnostic, suppressed int) {
+	remaining := make(Baseline, len(b))
+	for k, n := range b {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKeyOf(d, root)
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}
+
+func baselineKeyOf(d Diagnostic, root string) BaselineKey {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return BaselineKey{Rule: d.Rule, File: filepath.ToSlash(file), Message: d.Message}
+}

@@ -1,4 +1,4 @@
-package main
+package analysis
 
 import (
 	"go/ast"
@@ -91,16 +91,16 @@ func (r *Runner) groupStructFields(pkg *Package, st *ast.StructType) *guardedStr
 	var cur *mutexGroup
 	var prevEnd int
 	for i, field := range st.Fields.List {
-		start := r.fset.Position(field.Pos()).Line
+		start := r.mod.Fset.Position(field.Pos()).Line
 		if field.Doc != nil {
-			start = r.fset.Position(field.Doc.Pos()).Line
+			start = r.mod.Fset.Position(field.Doc.Pos()).Line
 		}
 		if i > 0 && start > prevEnd+1 {
 			cur = nil // blank line: the guarded group ends here
 		}
-		prevEnd = r.fset.Position(field.End()).Line
+		prevEnd = r.mod.Fset.Position(field.End()).Line
 		if field.Comment != nil {
-			prevEnd = r.fset.Position(field.Comment.End()).Line
+			prevEnd = r.mod.Fset.Position(field.Comment.End()).Line
 		}
 		ft := pkg.Info.TypeOf(field.Type)
 		if ft != nil {

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The lockorder analyzer: potential-deadlock detection by lock-set
+// reasoning (RacerD-style, see PAPERS.md). A lock class is a mutex
+// identified by its declaration site — the struct type that holds it
+// and the field name — so every instance of namenode.NameNode.mu is one
+// class. The analyzer walks each function body in source order tracking
+// the lexically-held set (Lock acquires, Unlock releases, deferred
+// Unlock holds to the end), records an edge L→M whenever M is acquired
+// — directly or through the static call graph — while L is held, and
+// reports any cycle in the resulting acquisition graph as an
+// inconsistent lock order.
+//
+// Deliberate incompleteness (documented in DESIGN.md §11): function
+// literal and go-statement bodies are skipped (a goroutine does not
+// inherit its spawner's lock set; a closure may run anywhere), branch
+// structure is flattened to source order, and calls through function
+// values are unresolved. Self-edges (L→L) are ignored: re-acquiring
+// the same class is almost always a different instance here.
+
+// lockClass identifies one mutex by declaration: the struct type
+// holding it and the field name ("" for an embedded sync.Mutex).
+type lockClass struct {
+	typ   *types.Named
+	field string
+}
+
+func (c lockClass) String() string {
+	name := c.field
+	if name == "" {
+		name = "(embedded mutex)"
+	}
+	obj := c.typ.Obj()
+	return fmt.Sprintf("%s.%s.%s", obj.Pkg().Name(), obj.Name(), name)
+}
+
+// lockEdge is one observed acquisition order: to was acquired while
+// from was held, first seen at pos.
+type lockEdge struct {
+	from, to lockClass
+	pos      token.Pos
+}
+
+// lockCall is a call made while at least one lock was held.
+type lockCall struct {
+	callees []*types.Func
+	held    []lockClass
+	pos     token.Pos
+}
+
+// lockSummary is the per-function result of the body walk.
+type lockSummary struct {
+	acquires map[lockClass]bool // locks this body takes directly
+	edges    []lockEdge         // direct held→acquire orderings
+	calls    []lockCall         // calls under a held lock
+	allCalls []*types.Func      // every synchronous static callee (closure propagation)
+}
+
+// checkLockOrder builds the module-wide acquisition graph and reports
+// cycles.
+func (r *Runner) checkLockOrder() {
+	sums := make(map[*types.Func]*lockSummary)
+	for _, fi := range r.facts.FuncList {
+		sums[fi.Obj] = r.lockWalk(fi)
+	}
+
+	// Transitive acquisition sets over the call graph (fixpoint).
+	trans := make(map[*types.Func]map[lockClass]bool)
+	for fn, s := range sums {
+		set := make(map[lockClass]bool, len(s.acquires))
+		for c := range s.acquires {
+			set[c] = true
+		}
+		trans[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range r.facts.FuncList {
+			set := trans[fi.Obj]
+			for _, callee := range sums[fi.Obj].allCalls {
+				for c := range trans[callee] {
+					if !set[c] {
+						set[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge set: direct edges plus call edges L→(everything the callee
+	// may acquire). Keep the lexically first witness per ordered pair.
+	first := make(map[[2]lockClass]token.Pos)
+	addEdge := func(from, to lockClass, pos token.Pos) {
+		if from == to {
+			return
+		}
+		key := [2]lockClass{from, to}
+		if at, ok := first[key]; !ok || pos < at {
+			first[key] = pos
+		}
+	}
+	for _, fi := range r.facts.FuncList {
+		s := sums[fi.Obj]
+		for _, e := range s.edges {
+			addEdge(e.from, e.to, e.pos)
+		}
+		for _, call := range s.calls {
+			for _, callee := range call.callees {
+				for c := range trans[callee] {
+					for _, held := range call.held {
+						addEdge(held, c, call.pos)
+					}
+				}
+			}
+		}
+	}
+
+	// Report every inverted pair (a cycle of length two; longer cycles
+	// always contain one once call edges are transitive) exactly once,
+	// anchored at the lexically first witness.
+	type inversion struct {
+		a, b       lockClass
+		aPos, bPos token.Pos
+	}
+	var found []inversion
+	for key, pos := range first {
+		rev := [2]lockClass{key[1], key[0]}
+		revPos, ok := first[rev]
+		if !ok {
+			continue
+		}
+		if pos < revPos || (pos == revPos && key[0].String() < key[1].String()) {
+			found = append(found, inversion{a: key[0], b: key[1], aPos: pos, bPos: revPos})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].aPos < found[j].aPos })
+	for _, inv := range found {
+		other := r.mod.Fset.Position(inv.bPos)
+		r.report(inv.aPos, RuleLockOrder,
+			"inconsistent lock order: %s acquired while holding %s here, but the reverse order at %s:%d; pick one global acquisition order",
+			inv.b, inv.a, shortFile(other.Filename), other.Line)
+	}
+}
+
+// shortFile trims a path to its final element for stable cross-file
+// references in messages.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// lockWalk scans one function body in source order, tracking the held
+// lock set and recording acquisitions and calls made under it.
+func (r *Runner) lockWalk(fi *FuncInfo) *lockSummary {
+	s := &lockSummary{acquires: make(map[lockClass]bool)}
+	var held []lockClass
+	pkg := fi.Pkg
+
+	release := func(c lockClass) {
+		for i, h := range held {
+			if h == c {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// Different execution context: no lock inheritance.
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held to the end of the
+			// body; other deferred calls are treated as ordinary calls
+			// under the current held set.
+			if _, op, ok := r.mutexOp(pkg, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if c, op, ok := r.mutexOp(pkg, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					s.acquires[c] = true
+					for _, h := range held {
+						s.edges = append(s.edges, lockEdge{from: h, to: c, pos: n.Pos()})
+					}
+					held = append(held, c)
+				case "Unlock", "RUnlock":
+					release(c)
+				}
+				return false
+			}
+			callees := r.facts.resolveCallees(pkg, n)
+			if len(callees) > 0 {
+				s.allCalls = append(s.allCalls, callees...)
+				if len(held) > 0 {
+					s.calls = append(s.calls, lockCall{
+						callees: callees,
+						held:    append([]lockClass(nil), held...),
+						pos:     n.Pos(),
+					})
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, walk)
+	return s
+}
+
+// mutexOp recognizes a Lock/RLock/Unlock/RUnlock call on a struct-field
+// or embedded mutex and returns its lock class.
+func (r *Runner) mutexOp(pkg *Package, call *ast.CallExpr) (lockClass, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockClass{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockClass{}, "", false
+	}
+	// The method must come from sync.Mutex / sync.RWMutex.
+	obj, ok := pkg.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockClass{}, "", false
+	}
+	switch x := unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// base.field.Lock(): the class is (type of base, field), when
+		// the field really is the mutex.
+		if _, ok := isMutexType(pkg.Info.TypeOf(x)); ok {
+			if named := namedOf(pkg.Info.TypeOf(x.X)); named != nil {
+				return lockClass{typ: named, field: x.Sel.Name}, op, true
+			}
+		}
+		// base.Lock() where base is itself a field of struct type with
+		// an embedded mutex: class is (type of base, embedded).
+		if named := namedOf(pkg.Info.TypeOf(x)); named != nil && hasEmbeddedMutex(named) {
+			return lockClass{typ: named, field: ""}, op, true
+		}
+	case *ast.Ident:
+		// recv.Lock() via an embedded mutex.
+		if named := namedOf(pkg.Info.TypeOf(x)); named != nil && hasEmbeddedMutex(named) {
+			return lockClass{typ: named, field: ""}, op, true
+		}
+	}
+	return lockClass{}, "", false
+}
+
+// namedOf strips one level of pointer and returns the named type, if
+// any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// hasEmbeddedMutex reports whether the named struct type embeds
+// sync.Mutex / sync.RWMutex directly.
+func hasEmbeddedMutex(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Embedded() {
+			continue
+		}
+		if _, ok := isMutexType(f.Type()); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Minimal SARIF 2.1.0 output so CI systems and editors can ingest
+// aurora-lint findings as a standard artifact. Only the fields the
+// format requires (plus regions) are emitted; the schema subset is
+// hand-rolled because the module is dependency-free.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ruleDescriptions gives each rule its one-line SARIF description.
+var ruleDescriptions = map[string]string{
+	RuleGuardedBy:   "guarded field accessed without its mutex",
+	RuleMutexCopy:   "mutex-bearing struct copied by value",
+	RuleDeterminism: "global rand or wall clock in a deterministic package",
+	RuleFloatCmp:    "exact float comparison in a strict-float package",
+	RuleErrCheck:    "error result silently discarded",
+	RuleDirective:   "malformed //lint: directive",
+	RulePkgDoc:      "package without a godoc package comment",
+	RuleLockOrder:   "inconsistent cross-package lock acquisition order",
+	RuleCtxDeadline: "fire-and-forget RPC outside any retrypolicy context",
+	RuleRngTaint:    "wall-clock/RNG taint reaching deterministic code",
+	RuleWrapCheck:   "error chain broken at a package boundary",
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. File URIs are
+// made root-relative with forward slashes.
+func WriteSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	rules := make([]sarifRule, 0, len(KnownRules))
+	for _, id := range KnownRules {
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: ruleDescriptions[id]},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "aurora-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

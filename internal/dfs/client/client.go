@@ -112,6 +112,13 @@ func New(namenodeAddr string, opts ...Option) *Client {
 // and are permanent, except the namenode's startup not-ready state,
 // which clears once registration completes.
 func TransientRPC(err error) bool {
+	// An exhausted read carries the last replica's error in its chain;
+	// classify on the whole-read outcome, not that inner error — the
+	// location set can change between attempts (recovery,
+	// re-replication), so the read is always worth retrying.
+	if errors.Is(err, ErrNoReplica) {
+		return true
+	}
 	var re *proto.RemoteError
 	if errors.As(err, &re) {
 		return strings.Contains(re.Msg, "not ready")
@@ -290,7 +297,7 @@ func (c *Client) readBlock(loc proto.BlockLocation) ([]byte, error) {
 		}
 		return data, nil
 	}
-	return nil, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrNoReplica, lastErr)
 }
 
 // SetReplication changes the file's replication factor at run time — the

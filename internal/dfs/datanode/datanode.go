@@ -151,7 +151,8 @@ func Start(cfg Config) (*DataNode, error) {
 		return callErr
 	})
 	if err != nil {
-		_ = dn.server.Close() // best effort: the register error is what matters
+		//lint:ignore errcheck best effort: the register error is what matters
+		_ = dn.server.Close()
 		return nil, fmt.Errorf("datanode: register: %w", err)
 	}
 	dn.id = resp.Node
@@ -290,11 +291,24 @@ func (dn *DataNode) handleRead(req *proto.Message) (*proto.Message, []byte) {
 func (dn *DataNode) evictCorrupt(id proto.BlockID) {
 	if dn.store.Delete(id) {
 		metrics.Default.Counter("dfs.datanode.corrupt_evicted").Inc()
-		_, _, _ = dn.call(dn.cfg.NameNodeAddr, &proto.Message{
+		dn.reportDeleted(id)
+	}
+}
+
+// reportDeleted tells the namenode a local replica is gone, retrying
+// under the node's policy. On terminal failure the drop is counted and
+// the next heartbeat's full block report repairs the divergence.
+func (dn *DataNode) reportDeleted(id proto.BlockID) {
+	err := dn.retryDo("dfs.datanode.report_retries", func() error {
+		_, _, callErr := dn.call(dn.cfg.NameNodeAddr, &proto.Message{
 			Type:  proto.MsgBlockDeleted,
 			Node:  dn.id,
 			Block: id,
 		}, nil, dn.cfg.Timeout)
+		return callErr
+	})
+	if err != nil {
+		metrics.Default.Counter("dfs.datanode.report_dropped").Inc()
 	}
 }
 
@@ -358,27 +372,31 @@ func (dn *DataNode) execute(cmd proto.Command) {
 		// Bounded retry: the target may be inside a latency spike or just
 		// recovering. If all attempts fail the namenode re-issues the
 		// command after its inflight TTL.
-		_ = dn.retryDo("dfs.datanode.replicate_retries", func() error {
+		err = dn.retryDo("dfs.datanode.replicate_retries", func() error {
 			_, _, callErr := dn.call(cmd.Target, msg, wire, dn.cfg.Timeout)
 			return callErr
 		})
+		if err != nil {
+			metrics.Default.Counter("dfs.datanode.replicate_dropped").Inc()
+		}
 		// The receiving node reports MsgBlockReceived itself.
 	case proto.CmdDelete:
 		if dn.store.Delete(cmd.Block) {
-			_, _, _ = dn.call(dn.cfg.NameNodeAddr, &proto.Message{
-				Type:  proto.MsgBlockDeleted,
-				Node:  dn.id,
-				Block: cmd.Block,
-			}, nil, dn.cfg.Timeout)
+			dn.reportDeleted(cmd.Block)
 		}
 	}
 }
 
-// reportReceived tells the namenode a block replica landed here.
+// reportReceived tells the namenode a block replica landed here. One
+// attempt only — it runs on the write path, where retry backoff would
+// stall the pipeline ack; a lost report is counted and repaired by the
+// next heartbeat's full block report.
 func (dn *DataNode) reportReceived(id proto.BlockID) {
-	_, _, _ = dn.call(dn.cfg.NameNodeAddr, &proto.Message{
+	if _, _, err := dn.call(dn.cfg.NameNodeAddr, &proto.Message{
 		Type:  proto.MsgBlockReceived,
 		Node:  dn.id,
 		Block: id,
-	}, nil, dn.cfg.Timeout)
+	}, nil, dn.cfg.Timeout); err != nil {
+		metrics.Default.Counter("dfs.datanode.report_dropped").Inc()
+	}
 }

@@ -244,6 +244,7 @@ func (s *diskStore) Delete(id proto.BlockID) bool {
 		return false
 	}
 	delete(s.index, id)
+	//lint:ignore errcheck best effort: an orphaned file is rewritten on the next Put
 	_ = os.Remove(s.path(id))
 	return true
 }

@@ -128,6 +128,7 @@ func (nn *NameNode) drainBlockLocked(id core.BlockID, node *nodeState) {
 		// spread is short). chooseAliveTargetLocked skips draining
 		// nodes, so replacements never land on a departing machine.
 		if t, ok := nn.chooseAliveTargetLocked(id); ok {
+			//lint:ignore errcheck best effort: the next reconcile tick retries if the add fails
 			_ = nn.placement.AddReplica(id, t)
 		}
 		return
@@ -137,6 +138,7 @@ func (nn *NameNode) drainBlockLocked(id core.BlockID, node *nodeState) {
 	}
 	// Safe: release the draining replica from the desired state. The
 	// convergence pass deletes the physical copy.
+	//lint:ignore errcheck the draining replica provably exists; removal cannot fail
 	_ = nn.placement.RemoveReplica(id, m)
 }
 

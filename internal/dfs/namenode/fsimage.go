@@ -144,7 +144,7 @@ func (nn *NameNode) loadFsImage(path string) error {
 	}
 	var img fsImage
 	if err := json.Unmarshal(raw, &img); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadFsImage, err)
+		return fmt.Errorf("%w: %w", ErrBadFsImage, err)
 	}
 	if img.Version != fsImageVersion {
 		return fmt.Errorf("%w: version %d, want %d", ErrBadFsImage, img.Version, fsImageVersion)
@@ -183,11 +183,11 @@ func (nn *NameNode) loadFsImage(path string) error {
 			MinReplicas: fb.MinReplicas,
 			MinRacks:    fb.MinRacks,
 		}); err != nil {
-			return fmt.Errorf("%w: block %d: %v", ErrBadFsImage, fb.ID, err)
+			return fmt.Errorf("%w: block %d: %w", ErrBadFsImage, fb.ID, err)
 		}
 		for _, n := range fb.Desired {
 			if err := nn.placement.AddReplica(core.BlockID(fb.ID), topology.MachineID(n)); err != nil {
-				return fmt.Errorf("%w: replica of %d on %d: %v", ErrBadFsImage, fb.ID, n, err)
+				return fmt.Errorf("%w: replica of %d on %d: %w", ErrBadFsImage, fb.ID, n, err)
 			}
 		}
 	}

@@ -36,7 +36,7 @@ func (nn *NameNode) reconcileLoop() {
 			nn.ReconcileOnce()
 		case <-checkpoint:
 			if nn.Ready() {
-				// Best effort: the Close-time save is authoritative.
+				//lint:ignore errcheck best effort: the Close-time save is authoritative
 				_ = nn.SaveFsImage(nn.cfg.FsImagePath)
 			}
 		}
@@ -72,6 +72,7 @@ func (nn *NameNode) detectDeadLocked() {
 		metrics.Default.Counter("dfs.namenode.dead_detected").Inc()
 		m := topology.MachineID(node.id)
 		for _, id := range nn.placement.BlocksOn(m) {
+			//lint:ignore errcheck the replica was just enumerated from BlocksOn; removal cannot fail
 			_ = nn.placement.RemoveReplica(id, m)
 		}
 		for _, holders := range nn.confirmed {
@@ -99,6 +100,7 @@ func (nn *NameNode) detectDeadLocked() {
 func (nn *NameNode) ensureAliveDesiredLocked(id core.BlockID, k int) {
 	for _, m := range nn.placement.Replicas(id) {
 		if !nn.nodes[m].alive {
+			//lint:ignore errcheck the replica was just enumerated; removal cannot fail
 			_ = nn.placement.RemoveReplica(id, m)
 		}
 	}

@@ -237,7 +237,7 @@ func ReadFrame(r io.Reader) (*Message, []byte, error) {
 	}
 	var msg Message
 	if err := json.Unmarshal(header, &msg); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrBadFrame, err)
 	}
 	var payload []byte
 	if payloadLen > 0 {

@@ -101,5 +101,6 @@ func (s *Server) serveConn(conn net.Conn, h Handler) {
 	if resp == nil {
 		resp = &Message{Type: MsgOK}
 	}
-	_ = WriteFrame(conn, resp, respPayload) // best effort; peer may be gone
+	//lint:ignore errcheck best effort; peer may be gone
+	_ = WriteFrame(conn, resp, respPayload)
 }

@@ -108,7 +108,7 @@ func Fig6(s TestbedSetup) (*Fig6Result, error) {
 		return nil, fmt.Errorf("%w: %+v", ErrBadSetup, s)
 	}
 	if err := s.FaultSchedule.Validate(s.Nodes); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadSetup, err)
 	}
 	hours := int(float64(s.Jobs)/s.JobsPerHour) + 1
 	cfg := trace.SWIMLike(s.Seed, s.Files, hours, s.JobsPerHour)
@@ -245,6 +245,7 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 	var dns []*datanode.DataNode
 	defer func() {
 		for _, dn := range dns {
+			//lint:ignore errcheck teardown; nodes may already be stopped by fault injection
 			_ = dn.Close()
 		}
 	}()

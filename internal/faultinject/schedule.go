@@ -216,7 +216,7 @@ func parseEvent(part string) (Event, error) {
 	ev.At = at
 	// Surface missing fields (e.g. slow without /dur) at parse time.
 	if err := (Schedule{ev}).Validate(node + 1); err != nil {
-		return ev, fmt.Errorf("faultinject: event %q: %v", part, err)
+		return ev, fmt.Errorf("faultinject: event %q: %w", part, err)
 	}
 	return ev, nil
 }

@@ -56,7 +56,7 @@ func CheckPlacement(p *core.Placement) error {
 	for _, id := range ids {
 		spec, err := p.Spec(id)
 		if err != nil {
-			return fmt.Errorf("%w: block %d has no spec: %v", ErrViolation, id, err)
+			return fmt.Errorf("%w: block %d has no spec: %w", ErrViolation, id, err)
 		}
 		replicaBuf = p.AppendReplicas(id, replicaBuf[:0])
 		replicas := replicaBuf
@@ -129,7 +129,7 @@ func CheckPlacement(p *core.Placement) error {
 	// Finally, core's own incremental bookkeeping must agree with a
 	// from-scratch recomputation.
 	if err := p.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrViolation, err)
+		return fmt.Errorf("%w: %w", ErrViolation, err)
 	}
 	return nil
 }

@@ -73,7 +73,7 @@ func Read(r io.Reader) (*Trace, error) {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadFormat, err)
 		}
 		switch rec.Type {
 		case "header":
