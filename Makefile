@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-sarif race bench chaos ci
+.PHONY: all build test vet lint lint-baseline lint-sarif race bench chaos telemetry-smoke ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column.
@@ -50,6 +50,12 @@ race:
 # same fault log. See DESIGN.md §10.
 chaos:
 	$(GO) test -race -tags invariantdebug -run '^TestChaosCrashRecoverNoDataLoss$$' -v ./internal/dfs/
+
+# Boot the testbed with a live telemetry endpoint, scrape /metrics once
+# and assert the optimizer SOL series, machine-load gauges and RPC
+# latency histograms are exposed. See DESIGN.md §12.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # Run the core hot-path benchmarks and merge the numbers into
 # BENCH_core.json under $(BENCH_LABEL). The intermediate file keeps a

@@ -105,9 +105,18 @@ func runNameNode(args []string) error {
 		epsilon = fs.Float64("epsilon", 0.1, "optimizer epsilon")
 		extra   = fs.Int("budget-extra", 0, "replica budget beyond the dataset minimum (0 disables dynamic replication)")
 		fsimage = fs.String("fsimage", "", "metadata checkpoint path (load on start, save periodically and on shutdown)")
+		telem   = fs.String("telemetry-addr", "", "serve /metrics and pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telem != "" {
+		ts, err := aurora.StartTelemetry(*telem)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry listening on %s\n", ts.Addr())
 	}
 	cfg := aurora.NameNodeConfig{
 		ExpectedNodes:      *nodes,
@@ -200,12 +209,21 @@ func runDataNode(args []string) error {
 		dir      = fs.String("dir", "", "data directory (empty = in-memory)")
 		listen   = fs.String("listen", "127.0.0.1:0", "data listen address")
 		compress = fs.Bool("compress", true, "gzip replication transfers")
+		telem    = fs.String("telemetry-addr", "", "serve /metrics and pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nnAddr == "" {
 		return fmt.Errorf("-namenode is required")
+	}
+	if *telem != "" {
+		ts, err := aurora.StartTelemetry(*telem)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry listening on %s\n", ts.Addr())
 	}
 	dn, err := aurora.StartDataNode(aurora.DataNodeConfig{
 		NameNodeAddr:      *nnAddr,

@@ -14,6 +14,7 @@ import (
 	"aurora/internal/experiments"
 	"aurora/internal/faultinject"
 	"aurora/internal/metrics"
+	"aurora/internal/telemetry"
 )
 
 func main() {
@@ -33,9 +34,21 @@ func run(args []string) error {
 		epsilon   = fs.Float64("epsilon", 0.8, "Aurora epsilon (paper: 0.8)")
 		faultSpec = fs.String("fault-schedule", "", `fault schedule: "random" for a seeded crash/slow mix, or an explicit spec like "crash:2@500ms;recover:2@1.5s" (see internal/faultinject)`)
 		faultSeed = fs.Uint64("fault-seed", 1, `seed for -fault-schedule=random`)
+		telemAddr = fs.String("telemetry-addr", "", "serve /metrics and pprof on this address for the duration of the run (empty = off, port 0 = pick a free port)")
+		linger    = fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run finishes (so one-shot scrapers can read final metrics)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telemAddr != "" {
+		ts, err := telemetry.Start(*telemAddr, metrics.Default)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		// The resolved address line is parsed by scripts/telemetry_smoke.sh;
+		// keep the format stable.
+		fmt.Printf("telemetry listening on %s\n", ts.Addr())
 	}
 	setup := experiments.DefaultTestbedSetup(*seed)
 	setup.Nodes = *nodes
@@ -68,6 +81,12 @@ func run(args []string) error {
 		fmt.Print(metrics.Default.String())
 	}
 	fmt.Printf("\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if *telemAddr != "" && *linger > 0 {
+		// metrics.Default is process-global, so the final gauges and
+		// histograms stay scrapeable after the cluster shuts down.
+		fmt.Printf("telemetry lingering for %v\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
 }
 

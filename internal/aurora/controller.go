@@ -16,6 +16,7 @@ import (
 	"aurora/internal/metrics"
 	"aurora/internal/popularity"
 	"aurora/internal/retrypolicy"
+	"aurora/internal/telemetry"
 )
 
 // Target is anything the periodic controller can optimize: the mini-DFS
@@ -222,7 +223,13 @@ func (t *StandaloneTarget) OptimizeNow(opts core.OptimizerOptions) (core.Optimiz
 		}
 	}
 	assertAfter := invariant.Enabled && t.placement.CheckFeasible() == nil
+	start := time.Now()
 	res, err := core.Optimize(t.placement, opts)
+	if err == nil {
+		telemetry.ExportOptimizePeriod(metrics.Default, res, time.Since(start))
+		telemetry.ExportMachineLoads(metrics.Default, t.placement.Loads())
+		telemetry.ExportHotspots(metrics.Default, snap)
+	}
 	if err == nil && assertAfter {
 		if verr := invariant.CheckPlacement(t.placement); verr != nil {
 			return res, fmt.Errorf("aurora: post-optimize %w", verr)

@@ -94,6 +94,13 @@ type SearchResult struct {
 	Movements   int     // physical block movements (swaps count twice)
 	InitialCost float64 // λ before the search
 	FinalCost   float64 // λ after the search
+	// Per-kind operation counts; they sum to Iterations. The telemetry
+	// layer exports them so a live run shows which of the paper's four
+	// operations the search is spending its movement budget on.
+	Moves     int
+	Swaps     int
+	RackMoves int
+	RackSwaps int
 }
 
 // minImprovement is the relative floor below which a float "improvement"
@@ -340,6 +347,16 @@ func applyCandidate(p *Placement, c candidate, opts *SearchOptions, res *SearchR
 	}
 	res.Iterations++
 	res.Movements += c.op.BlockMovements()
+	switch c.op.Kind {
+	case OpMove:
+		res.Moves++
+	case OpSwap:
+		res.Swaps++
+	case OpRackMove:
+		res.RackMoves++
+	case OpRackSwap:
+		res.RackSwaps++
+	}
 	if opts.OnOp != nil {
 		opts.OnOp(c.op)
 	}

@@ -15,6 +15,7 @@ import (
 	"aurora/internal/dfs/proto"
 	"aurora/internal/faultinject"
 	"aurora/internal/invariant"
+	"aurora/internal/metrics"
 	"aurora/internal/retrypolicy"
 )
 
@@ -202,6 +203,21 @@ func chaosRun(t *testing.T, seed uint64) []string {
 	if err := invariant.CheckPlacement(p); err != nil {
 		t.Fatalf("post-recovery invariant: %v", err)
 	}
+
+	// The injected faults must be visible in live telemetry: the injector
+	// counts every applied event, and the namenode's optimizer period
+	// mid-churn publishes its SOL series into the process registry.
+	counters := metrics.Default.CounterValues()
+	if counters["faultinject.crash"] == 0 {
+		t.Errorf("telemetry: faultinject.crash counter is zero after a crash schedule; counters=%v", counters)
+	}
+	if counters["aurora_optimizer_periods"] == 0 {
+		t.Error("telemetry: aurora_optimizer_periods is zero after OptimizeNow ran")
+	}
+	if sol := metrics.Default.Gauge("aurora_optimizer_sol").Value(); sol <= 0 {
+		t.Errorf("telemetry: aurora_optimizer_sol = %v after an optimizer period, want > 0", sol)
+	}
+
 	for _, dn := range dns {
 		_ = dn.Close()
 	}

@@ -9,6 +9,7 @@ import (
 	"aurora/internal/dfs/proto"
 	"aurora/internal/invariant"
 	"aurora/internal/metrics"
+	"aurora/internal/telemetry"
 	"aurora/internal/topology"
 )
 
@@ -56,6 +57,32 @@ func (nn *NameNode) ReconcileOnce() {
 	nn.drainLocked()
 	nn.reapTombstonesLocked()
 	nn.driveConvergenceLocked()
+	nn.exportLoadTelemetryLocked()
+}
+
+// exportLoadTelemetryLocked publishes per-machine load and hotspot
+// gauges from the usage monitor's current counts. Loads are computed on
+// the side (Σ popularity_i/k_i over each machine's replicas, the
+// paper's load definition) rather than via SetPopularity, so refreshing
+// telemetry never perturbs the placement state the optimizer and
+// reconcile decisions read.
+func (nn *NameNode) exportLoadTelemetryLocked() {
+	snap := nn.monitor.Snapshot(nn.clock().UnixNano())
+	loads := make([]float64, nn.cluster.NumMachines())
+	for _, id := range nn.placement.Blocks() {
+		k := nn.placement.ReplicaCount(id)
+		if k == 0 {
+			continue
+		}
+		share := float64(snap[id]) / float64(k)
+		for _, m := range nn.placement.Replicas(id) {
+			if int(m) < len(loads) {
+				loads[int(m)] += share
+			}
+		}
+	}
+	telemetry.ExportMachineLoads(metrics.Default, loads)
+	telemetry.ExportHotspots(metrics.Default, snap)
 }
 
 // detectDeadLocked marks silent datanodes dead and removes their
@@ -325,10 +352,14 @@ func (nn *NameNode) OptimizeNow(opts core.OptimizerOptions) (core.OptimizeResult
 	// In debug builds, a feasible placement must stay feasible through
 	// the optimizer: assert the paper invariants after the run.
 	assertAfter := invariant.Enabled && nn.placement.CheckFeasible() == nil
+	start := time.Now()
 	res, err := core.Optimize(nn.placement, opts)
 	if err != nil {
 		return res, fmt.Errorf("namenode: optimize: %w", err)
 	}
+	telemetry.ExportOptimizePeriod(metrics.Default, res, time.Since(start))
+	telemetry.ExportMachineLoads(metrics.Default, nn.placement.Loads())
+	telemetry.ExportHotspots(metrics.Default, snap)
 	nn.repairDeadDesiredLocked()
 	if assertAfter {
 		if verr := invariant.CheckPlacement(nn.placement); verr != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"aurora/internal/metrics"
 )
 
 // DefaultTimeout bounds a whole request/response exchange.
@@ -14,19 +16,47 @@ const DefaultTimeout = 10 * time.Second
 // value of any config falls back to Call.
 type CallFunc func(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error)
 
+// dialTimeout is the connect primitive, a seam so the deadline-budget
+// regression test can simulate a slow connect deterministically.
+var dialTimeout = net.DialTimeout
+
 // Call dials addr, sends one request frame and reads one response frame.
 // A non-nil error is returned for transport failures and for MsgError
-// responses (as *RemoteError).
+// responses (as *RemoteError). The timeout bounds the whole exchange,
+// dial included. Every call records per-RPC-type latency and payload
+// size histograms and an in-flight gauge into metrics.Default.
 func Call(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error) {
+	typ := metrics.L("type", string(req.Type))
+	inflight := metrics.Default.Gauge("aurora_rpc_client_inflight")
+	inflight.Inc()
+	start := time.Now()
+	resp, respPayload, err := callConn(addr, req, payload, timeout)
+	metrics.Default.Histogram("aurora_rpc_latency_seconds", typ).Observe(time.Since(start).Seconds())
+	inflight.Dec()
+	if err != nil {
+		metrics.Default.Counter("aurora_rpc_errors", typ).Inc()
+		return resp, respPayload, err
+	}
+	metrics.Default.Histogram("aurora_rpc_request_bytes", typ).Observe(float64(len(payload)))
+	metrics.Default.Histogram("aurora_rpc_response_bytes", typ).Observe(float64(len(respPayload)))
+	return resp, respPayload, nil
+}
+
+// callConn is the uninstrumented transport. A single deadline computed
+// up front bounds dial, write and read together: time spent connecting
+// is charged against the same budget as the request/response round
+// trip, so one call can never take ~2x its timeout (the bug the
+// regression test in rpc_test.go pins).
+func callConn(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	deadline := time.Now().Add(timeout)
+	conn, err := dialTimeout("tcp", addr, time.Until(deadline))
 	if err != nil {
 		return nil, nil, fmt.Errorf("proto: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(timeout)
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, nil, fmt.Errorf("proto: set deadline: %w", err)
 	}
@@ -90,6 +120,9 @@ func (s *Server) acceptLoop(h Handler) {
 
 func (s *Server) serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
+	inflight := metrics.Default.Gauge("aurora_rpc_server_inflight")
+	inflight.Inc()
+	defer inflight.Dec()
 	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
 		return
 	}
@@ -97,7 +130,10 @@ func (s *Server) serveConn(conn net.Conn, h Handler) {
 	if err != nil {
 		return // peer vanished or sent garbage; nothing to answer
 	}
+	start := time.Now()
 	resp, respPayload := h(req, payload)
+	metrics.Default.Histogram("aurora_rpc_server_seconds",
+		metrics.L("type", string(req.Type))).Observe(time.Since(start).Seconds())
 	if resp == nil {
 		resp = &Message{Type: MsgOK}
 	}

@@ -1,0 +1,143 @@
+package proto
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"aurora/internal/metrics"
+)
+
+// blackHoleListener accepts connections, drains whatever arrives and
+// never responds — the shape of a peer that connects slowly or hangs
+// mid-exchange.
+func blackHoleListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				//lint:ignore errcheck draining until the peer gives up
+				_, _ = io.Copy(io.Discard, c)
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// Regression for the RPC timeout budget: Call used to spend up to the
+// full timeout dialing and then set a fresh whole-exchange deadline, so
+// one call against a slow-to-connect peer could take ~2x its budget.
+// With a 250ms simulated connect delay and a 400ms timeout against a
+// server that never responds, the buggy code takes ~650ms; the single
+// up-front deadline caps the whole call at ~400ms.
+func TestCallTimeoutCoversDialAndExchange(t *testing.T) {
+	ln := blackHoleListener(t)
+
+	const dialDelay = 250 * time.Millisecond
+	const timeout = 400 * time.Millisecond
+	orig := dialTimeout
+	dialTimeout = func(network, addr string, d time.Duration) (net.Conn, error) {
+		time.Sleep(dialDelay)
+		return orig(network, addr, d)
+	}
+	t.Cleanup(func() { dialTimeout = orig })
+
+	start := time.Now()
+	_, _, err := Call(ln.Addr().String(), &Message{Type: MsgListFiles}, nil, timeout)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected timeout error against a never-responding server")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	// Generous slack for CI jitter, but well under dialDelay+timeout.
+	if elapsed > timeout+200*time.Millisecond {
+		t.Fatalf("call took %v; the dial delay was not charged against the %v budget", elapsed, timeout)
+	}
+}
+
+// A slow dial must also be bounded by the budget even when the dial
+// itself eats the whole timeout: the remaining dial allowance shrinks to
+// nothing rather than resetting.
+func TestCallTimeoutExpiredByDial(t *testing.T) {
+	ln := blackHoleListener(t)
+
+	const timeout = 150 * time.Millisecond
+	orig := dialTimeout
+	dialTimeout = func(network, addr string, d time.Duration) (net.Conn, error) {
+		if d > timeout {
+			t.Errorf("dial allowance %v exceeds the whole-call budget %v", d, timeout)
+		}
+		time.Sleep(timeout) // consume the entire budget connecting
+		return orig(network, addr, d)
+	}
+	t.Cleanup(func() { dialTimeout = orig })
+
+	start := time.Now()
+	_, _, err := Call(ln.Addr().String(), &Message{Type: MsgListFiles}, nil, timeout)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed > timeout+200*time.Millisecond {
+		t.Fatalf("call took %v, want ~%v", elapsed, timeout)
+	}
+}
+
+// The RPC boundary feeds metrics.Default: a successful exchange must
+// grow the per-type latency histogram and the byte-size histograms, and
+// a failed one the per-type error counter.
+func TestCallRecordsTelemetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, func(req *Message, payload []byte) (*Message, []byte) {
+		return &Message{Type: MsgOK}, payload
+	}, time.Second)
+	defer srv.Close()
+
+	lbl := metrics.L("type", string(MsgListFiles))
+	lat := metrics.Default.Histogram("aurora_rpc_latency_seconds", lbl)
+	reqBytes := metrics.Default.Histogram("aurora_rpc_request_bytes", lbl)
+	errCount := metrics.Default.Counter("aurora_rpc_errors", lbl)
+	latBefore, bytesBefore, errBefore := lat.Count(), reqBytes.Count(), errCount.Value()
+
+	if _, _, err := Call(srv.Addr(), &Message{Type: MsgListFiles}, []byte("abc"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if lat.Count() <= latBefore {
+		t.Fatal("latency histogram did not grow after a successful call")
+	}
+	if reqBytes.Count() <= bytesBefore {
+		t.Fatal("request-bytes histogram did not grow after a successful call")
+	}
+
+	// Dial failure: unroutable port on a closed listener.
+	closed, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := closed.Addr().String()
+	closed.Close()
+	if _, _, err := Call(addr, &Message{Type: MsgListFiles}, nil, 200*time.Millisecond); err == nil {
+		t.Fatal("expected dial error")
+	}
+	if errCount.Value() <= errBefore {
+		t.Fatal("error counter did not grow after a failed call")
+	}
+}

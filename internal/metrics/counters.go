@@ -91,7 +91,10 @@ func (s *CounterSet) String() string {
 	return b.String()
 }
 
-// Default is the process-wide counter registry the DFS layer reports
-// into. Names are dot-separated, lowest-level component first, e.g.
-// "dfs.client.retries" or "faultinject.crash".
-var Default = NewCounterSet()
+// Default is the process-wide registry the DFS layer and the telemetry
+// endpoint report into. Legacy counter names are dot-separated, lowest
+// component first, e.g. "dfs.client.retries" or "faultinject.crash";
+// series added for the live telemetry subsystem use Prometheus-style
+// names ("aurora_rpc_latency_seconds"). The exposition layer
+// (internal/telemetry) sanitizes both into valid metric names.
+var Default = NewRegistry()

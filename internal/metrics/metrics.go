@@ -40,17 +40,23 @@ func Summarize(xs []float64) (Summary, error) {
 	copy(sorted, xs)
 	sort.Float64s(sorted)
 
-	var sum, sumSq float64
+	// Two-pass variance: the textbook E[X²]−E[X]² form cancels
+	// catastrophically when the mean dwarfs the spread (nanosecond
+	// latencies around 1e8 with microsecond jitter lose every
+	// significant digit of the variance), so sum squared deviations from
+	// the mean instead.
+	var sum float64
 	for _, x := range sorted {
 		sum += x
-		sumSq += x * x
 	}
 	n := float64(len(sorted))
 	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if variance < 0 { // numerical noise
-		variance = 0
+	var sumSqDev float64
+	for _, x := range sorted {
+		d := x - mean
+		sumSqDev += d * d
 	}
+	variance := sumSqDev / n
 	return Summary{
 		N:      len(sorted),
 		Min:    sorted[0],

@@ -259,6 +259,13 @@ func (e *EWMA[K]) Observe(snapshot map[K]int64) {
 	}
 }
 
+// Len reports the number of keys currently estimated. It is the
+// observable for the bounded-memory guarantee: keys absent from
+// snapshots decay toward zero and are dropped below a small threshold,
+// so the estimate map tracks the live working set instead of every key
+// ever observed.
+func (e *EWMA[K]) Len() int { return len(e.est) }
+
 // Predict implements Predictor.
 func (e *EWMA[K]) Predict() map[K]float64 {
 	out := make(map[K]float64, len(e.est))

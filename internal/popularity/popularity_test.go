@@ -255,3 +255,35 @@ func TestEWMAAlphaOneTracksExactly(t *testing.T) {
 		t.Errorf("alpha=1 estimate = %v, want 9", got)
 	}
 }
+
+// Regression for EWMA memory growth: keys that stop appearing in
+// snapshots must decay below the prune threshold and be dropped, so the
+// estimate map shrinks back to the live working set instead of retaining
+// every key ever observed.
+func TestEWMAMapShrinksAfterKeysDisappear(t *testing.T) {
+	e, err := NewEWMA[int](0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := make(map[int]int64, 200)
+	for i := 0; i < 200; i++ {
+		wide[i] = 10
+	}
+	e.Observe(wide)
+	if got := e.Len(); got != 200 {
+		t.Fatalf("Len after wide snapshot = %d, want 200", got)
+	}
+	// Only key 0 stays hot; 10*0.5^n drops below the 1e-6 prune
+	// threshold after ~24 periods, so 40 is comfortably past it.
+	hot := map[int]int64{0: 10}
+	for i := 0; i < 40; i++ {
+		e.Observe(hot)
+	}
+	if got := e.Len(); got != 1 {
+		t.Fatalf("Len after cold keys decayed = %d, want 1 (map did not shrink)", got)
+	}
+	pred := e.Predict()
+	if v, ok := pred[0]; !ok || math.Abs(v-10) > 1e-3 {
+		t.Fatalf("hot key estimate = %v (present %v), want ~10", v, ok)
+	}
+}

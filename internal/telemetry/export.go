@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/metrics"
+)
+
+// HotspotRanks is how many of the hottest blocks get a per-rank gauge.
+const HotspotRanks = 5
+
+// ExportOptimizePeriod publishes one optimizer period into the
+// registry. The series map onto the paper's quantities: SOL is the
+// solution cost λ = max_m Σ_i p_i·x_im/k_i (InitialCost before the
+// local search, FinalCost after ε-admissible termination), Iterations
+// is how many operations Algorithm 1/2 performed before no admissible
+// operation remained, and the per-kind counters split those into
+// Move/Swap/RackMove/RackSwap.
+func ExportOptimizePeriod(reg *metrics.Registry, res core.OptimizeResult, wall time.Duration) {
+	reg.Counter("aurora_optimizer_periods").Inc()
+	reg.Gauge("aurora_optimizer_sol").Set(res.Search.FinalCost)
+	reg.Gauge("aurora_optimizer_sol_before").Set(res.Search.InitialCost)
+	reg.Gauge("aurora_optimizer_iterations").Set(float64(res.Search.Iterations))
+	reg.Counter("aurora_optimizer_ops", metrics.L("kind", "move")).Add(int64(res.Search.Moves))
+	reg.Counter("aurora_optimizer_ops", metrics.L("kind", "swap")).Add(int64(res.Search.Swaps))
+	reg.Counter("aurora_optimizer_ops", metrics.L("kind", "rack_move")).Add(int64(res.Search.RackMoves))
+	reg.Counter("aurora_optimizer_ops", metrics.L("kind", "rack_swap")).Add(int64(res.Search.RackSwaps))
+	reg.Counter("aurora_optimizer_movements").Add(int64(res.Search.Movements))
+	reg.Counter("aurora_optimizer_replications").Add(int64(res.Replications))
+	reg.Counter("aurora_optimizer_evictions").Add(int64(res.Evictions))
+	reg.Histogram("aurora_optimizer_wall_seconds").Observe(wall.Seconds())
+}
+
+// ExportMachineLoads publishes per-machine load gauges (index =
+// MachineID) plus the λ objective, the cluster-wide maximum.
+func ExportMachineLoads(reg *metrics.Registry, loads []float64) {
+	maxLoad := 0.0
+	for m, load := range loads {
+		reg.Gauge("aurora_machine_load", metrics.L("machine", strconv.Itoa(m))).Set(load)
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	reg.Gauge("aurora_machine_load_max").Set(maxLoad)
+}
+
+// ExportHotspots publishes the HotspotRanks most popular blocks from a
+// usage-monitor snapshot as rank-indexed gauges: the popularity value
+// and the block it belongs to. Ranks beyond the number of live keys are
+// zeroed so stale hotspots don't linger after blocks are deleted.
+// Ordering is deterministic: popularity descending, block ID ascending.
+func ExportHotspots(reg *metrics.Registry, pops map[core.BlockID]int64) {
+	type kv struct {
+		id  core.BlockID
+		pop int64
+	}
+	top := make([]kv, 0, len(pops))
+	for id, p := range pops {
+		top = append(top, kv{id: id, pop: p})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].pop != top[j].pop {
+			return top[i].pop > top[j].pop
+		}
+		return top[i].id < top[j].id
+	})
+	for rank := 0; rank < HotspotRanks; rank++ {
+		label := metrics.L("rank", strconv.Itoa(rank))
+		if rank < len(top) {
+			reg.Gauge("aurora_hotspot_popularity", label).Set(float64(top[rank].pop))
+			reg.Gauge("aurora_hotspot_block", label).Set(float64(top[rank].id))
+		} else {
+			reg.Gauge("aurora_hotspot_popularity", label).Set(0)
+			reg.Gauge("aurora_hotspot_block", label).Set(0)
+		}
+	}
+}

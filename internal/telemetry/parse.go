@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseProm parses Prometheus text-format exposition into a map from
+// series (name plus rendered label set, exactly as exposed) to value.
+// Comment and type lines are skipped. The exposition tests and the
+// telemetry-smoke harness use it to assert on scraped output; it
+// understands the subset WriteProm emits plus arbitrary label order.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// The value is the field after the series; labels may contain
+		// spaces inside quotes, so split at the last space outside '}'.
+		cut := strings.LastIndexByte(text, ' ')
+		if brace := strings.LastIndexByte(text, '}'); brace >= 0 && cut < brace {
+			return nil, fmt.Errorf("telemetry: malformed exposition line %q", text)
+		}
+		if cut < 0 {
+			return nil, fmt.Errorf("telemetry: malformed exposition line %q", text)
+		}
+		series := strings.TrimSpace(text[:cut])
+		v, err := strconv.ParseFloat(strings.TrimSpace(text[cut+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: bad value in line %q: %w", text, err)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: scan exposition: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+// Package telemetry serves live metrics over HTTP: a Prometheus
+// text-format /metrics endpoint backed by a metrics.Registry, a
+// /healthz probe, and the net/http/pprof profiling handlers. The
+// namenode, datanode and the testbed/operator daemons mount it behind a
+// -telemetry-addr flag, making machine load λ, the optimizer's SOL
+// trajectory and per-RPC latency observable on a running cluster (see
+// DESIGN.md §12).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"aurora/internal/metrics"
+)
+
+// PromName sanitizes an internal series name into a valid Prometheus
+// metric name: every character outside [a-zA-Z0-9_:] becomes '_', so the
+// legacy dot-separated counters ("dfs.client.retries") expose as
+// "dfs_client_retries".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromCounterName is PromName plus the conventional _total suffix for
+// counters.
+func PromCounterName(name string) string {
+	n := PromName(name)
+	if strings.HasSuffix(n, "_total") {
+		return n
+	}
+	return n + "_total"
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promLabels renders a sorted label set as {k="v",...}; empty labels
+// render as the empty string. extra, when non-empty, is appended last
+// (the histogram "le" label).
+func promLabels(labels []metrics.Label, extra ...metrics.Label) string {
+	all := append(append([]metrics.Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, PromName(l.Key), escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format, grouped per metric family with a # TYPE header,
+// families and series in deterministic (sorted) order.
+func WriteProm(w io.Writer, snap metrics.Snapshot) error {
+	type line struct {
+		series string
+		value  string
+	}
+	families := make(map[string][]line)
+	types := make(map[string]string)
+	add := func(family, typ, series, value string) {
+		if _, ok := types[family]; !ok {
+			types[family] = typ
+		}
+		families[family] = append(families[family], line{series: series, value: value})
+	}
+	for _, c := range snap.Counters {
+		name := PromCounterName(c.Name)
+		add(name, "counter", name+promLabels(c.Labels), strconv.FormatInt(c.Value, 10))
+	}
+	for _, g := range snap.Gauges {
+		name := PromName(g.Name)
+		add(name, "gauge", name+promLabels(g.Labels), formatValue(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		name := PromName(h.Name)
+		for _, b := range h.Hist.Buckets {
+			le := metrics.L("le", formatValue(b.UpperBound))
+			add(name, "histogram", name+"_bucket"+promLabels(h.Labels, le), strconv.FormatInt(b.Count, 10))
+		}
+		add(name, "histogram", name+"_sum"+promLabels(h.Labels), formatValue(h.Hist.Sum))
+		add(name, "histogram", name+"_count"+promLabels(h.Labels), strconv.FormatInt(h.Hist.Count, 10))
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, types[name]); err != nil {
+			return err
+		}
+		for _, l := range families[name] {
+			if _, err := fmt.Fprintf(w, "%s %s\n", l.series, l.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NewHandler builds the telemetry HTTP handler for a registry: /metrics
+// (Prometheus text format), /healthz, and the /debug/pprof/* profiling
+// endpoints.
+func NewHandler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore errcheck best effort; the scraper may hang up mid-response
+		_ = WriteProm(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		//lint:ignore errcheck best effort; the prober may hang up
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start serves the registry's telemetry on addr (host:port; port 0
+// picks a free one — read the resolved address back with Addr).
+func Start(addr string, reg *metrics.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: NewHandler(reg), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() {
+		//lint:ignore errcheck Serve always returns non-nil on Close; nothing to report
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server; in-flight scrapes are aborted.
+func (s *Server) Close() error { return s.srv.Close() }

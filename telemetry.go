@@ -1,0 +1,19 @@
+package aurora
+
+import (
+	"aurora/internal/metrics"
+	"aurora/internal/telemetry"
+)
+
+// TelemetryServer is a running /metrics + /debug/pprof HTTP endpoint.
+type TelemetryServer = telemetry.Server
+
+// StartTelemetry serves the process-wide metrics registry (per-RPC
+// latency histograms, per-machine load gauges, the optimizer's SOL
+// series) on addr in the Prometheus text format, plus /healthz and the
+// pprof profiling handlers. Port 0 picks a free port; read it back with
+// Addr. See DESIGN.md §12 and the README's "Observing a running
+// cluster" section.
+func StartTelemetry(addr string) (*TelemetryServer, error) {
+	return telemetry.Start(addr, metrics.Default)
+}
