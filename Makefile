@@ -1,10 +1,13 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-sarif race bench chaos telemetry-smoke ci
+.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos telemetry-smoke ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
-# "Benchmark ledger"). BENCH_LABEL picks the ledger column.
+# "Benchmark ledger"). BENCH_LABEL picks the ledger column. The metrics
+# record path (//lint:hotpath roots) is benched separately so its
+# allocs/op rows — expected 0 — sit in the same ledger.
 BENCH_PATTERN ?= ^(BenchmarkLocalSearchNode|BenchmarkLocalSearchRack|BenchmarkOptimizePeriod)$$
+BENCH_METRICS_PATTERN ?= ^(BenchmarkLogHistogramObserve|BenchmarkGaugeAdd|BenchmarkRegistryCounterLookupInc)$$
 BENCH_LABEL ?= after
 
 all: build test
@@ -27,7 +30,7 @@ vet:
 # (lock-order, deadline propagation, rng taint, error wrapping). Gated
 # against the committed baseline; see DESIGN.md §11.
 lint: vet
-	$(GO) run ./cmd/aurora-lint -baseline lint.baseline ./...
+	$(GO) run ./cmd/aurora-lint -baseline lint.baseline -timing -budget 10s -stats lint-stats.json ./...
 
 # Regenerate the accepted-findings baseline. Run deliberately and review
 # the diff: every entry grandfathers a finding the gate will then skip.
@@ -62,7 +65,17 @@ telemetry-smoke:
 # failed bench run from feeding partial output into the ledger.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2x -benchmem . > bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_METRICS_PATTERN)' -benchtime 100x -benchmem ./internal/metrics >> bench.out
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -in bench.out -out BENCH_core.json
+	@rm -f bench.out
+
+# Alloc ratchet: re-run the hot-path benchmarks and fail if any
+# allocs/op regressed against the committed ledger (10% + 2 allocs
+# tolerance; ns/op is not gated — timing noise is not a regression).
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2x -benchmem . > bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_METRICS_PATTERN)' -benchtime 100x -benchmem ./internal/metrics >> bench.out
+	$(GO) run ./cmd/benchjson -check $(BENCH_LABEL) -in bench.out -out BENCH_core.json
 	@rm -f bench.out
 
 ci: build lint test race

@@ -266,49 +266,52 @@ func clientFlags(name string, args []string, extra func(*flag.FlagSet)) (*aurora
 	return c, fs, nil
 }
 
-var pathFlag *string
-
-func withPath(fs *flag.FlagSet) { pathFlag = fs.String("path", "", "DFS path") }
+// withPath registers the shared -path flag on a subcommand's flag set
+// and returns the destination, so each subcommand owns its own copy
+// instead of funneling through package-level state.
+func withPath(fs *flag.FlagSet) *string { return fs.String("path", "", "DFS path") }
 
 func runPut(args []string) error {
+	var path *string
 	var k *int
 	c, fs, err := clientFlags("put", args, func(fs *flag.FlagSet) {
-		withPath(fs)
+		path = withPath(fs)
 		k = fs.Int("k", 0, "replication factor (0 = cluster default)")
 	})
 	if err != nil {
 		return err
 	}
-	if *pathFlag == "" || fs.NArg() != 1 {
+	if *path == "" || fs.NArg() != 1 {
 		return fmt.Errorf("usage: put -namenode <addr> -path </dfs/path> <local file>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	if err := c.Create(*pathFlag, data, *k); err != nil {
+	if err := c.Create(*path, data, *k); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d bytes\n", *pathFlag, len(data))
+	fmt.Printf("wrote %s: %d bytes\n", *path, len(data))
 	return nil
 }
 
 func runGet(args []string) error {
-	c, fs, err := clientFlags("get", args, withPath)
+	var path *string
+	c, fs, err := clientFlags("get", args, func(fs *flag.FlagSet) { path = withPath(fs) })
 	if err != nil {
 		return err
 	}
-	if *pathFlag == "" || fs.NArg() != 1 {
+	if *path == "" || fs.NArg() != 1 {
 		return fmt.Errorf("usage: get -namenode <addr> -path </dfs/path> <local file>")
 	}
-	data, err := c.Read(*pathFlag)
+	data, err := c.Read(*path)
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(fs.Arg(0), data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("read %s: %d bytes -> %s\n", *pathFlag, len(data), fs.Arg(0))
+	fmt.Printf("read %s: %d bytes -> %s\n", *path, len(data), fs.Arg(0))
 	return nil
 }
 
@@ -330,20 +333,21 @@ func runLs(args []string) error {
 }
 
 func runStat(args []string) error {
-	c, _, err := clientFlags("stat", args, withPath)
+	var path *string
+	c, _, err := clientFlags("stat", args, func(fs *flag.FlagSet) { path = withPath(fs) })
 	if err != nil {
 		return err
 	}
-	if *pathFlag == "" {
+	if *path == "" {
 		return fmt.Errorf("-path is required")
 	}
-	f, err := c.Stat(*pathFlag)
+	f, err := c.Stat(*path)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d bytes in %d blocks, replication %d, complete %v\n",
 		f.Path, f.Length, f.Blocks, f.Replication, f.Complete)
-	locs, err := c.Locations(*pathFlag)
+	locs, err := c.Locations(*path)
 	if err != nil {
 		return err
 	}
@@ -354,36 +358,38 @@ func runStat(args []string) error {
 }
 
 func runSetRep(args []string) error {
+	var path *string
 	var k *int
 	c, _, err := clientFlags("setrep", args, func(fs *flag.FlagSet) {
-		withPath(fs)
+		path = withPath(fs)
 		k = fs.Int("k", 3, "new replication factor")
 	})
 	if err != nil {
 		return err
 	}
-	if *pathFlag == "" {
+	if *path == "" {
 		return fmt.Errorf("-path is required")
 	}
-	if err := c.SetReplication(*pathFlag, *k); err != nil {
+	if err := c.SetReplication(*path, *k); err != nil {
 		return err
 	}
-	fmt.Printf("replication of %s set to %d\n", *pathFlag, *k)
+	fmt.Printf("replication of %s set to %d\n", *path, *k)
 	return nil
 }
 
 func runRm(args []string) error {
-	c, _, err := clientFlags("rm", args, withPath)
+	var path *string
+	c, _, err := clientFlags("rm", args, func(fs *flag.FlagSet) { path = withPath(fs) })
 	if err != nil {
 		return err
 	}
-	if *pathFlag == "" {
+	if *path == "" {
 		return fmt.Errorf("-path is required")
 	}
-	if err := c.Delete(*pathFlag); err != nil {
+	if err := c.Delete(*path); err != nil {
 		return err
 	}
-	fmt.Printf("deleted %s\n", *pathFlag)
+	fmt.Printf("deleted %s\n", *path)
 	return nil
 }
 

@@ -23,6 +23,21 @@
 //   - wrapcheck:   errors formatted into fmt.Errorf must use %w so
 //     errors.Is/As and retry classification keep working.
 //
+// Four analyzers run on the interprocedural dataflow layer
+// (internal/analysis/flow), which propagates per-function summaries —
+// allocation effects, goroutines spawned, termination signals, atomics
+// touched, escaping parameters — across packages to a fixpoint:
+//
+//   - allochot:  functions reachable from a //lint:hotpath-annotated
+//     root may not heap-allocate; //lint:coldpath <why> prunes
+//     deliberately cold helpers out of reachability.
+//   - atomicmix: a field updated via sync/atomic anywhere may never be
+//     read or written plainly elsewhere.
+//   - goroleak:  every go statement needs a provable termination signal
+//     (context, done channel, WaitGroup, or internal/par).
+//   - globalmut: package-level variables mutated after initialization
+//     are reported as namenode-sharding blockers (ROADMAP #1).
+//
 // Intentional exceptions are annotated in place:
 //
 //	//lint:ignore <rule>[,<rule>] <reason>
@@ -33,17 +48,22 @@
 //	aurora-lint -format sarif ./...          # SARIF 2.1.0 on stdout
 //	aurora-lint -baseline lint.baseline ./...   # fail only on non-baseline findings
 //	aurora-lint -baseline lint.baseline -write-baseline ./...  # regenerate deliberately
+//	aurora-lint -timing ./...                # per-analyzer wall time on stderr
+//	aurora-lint -budget 10s ./...            # fail if the run exceeds the budget
+//	aurora-lint -stats lint-stats.json ./... # per-rule finding counts as JSON
 //
-// Exit status: 0 clean (or fully baselined), 1 findings, 2 usage or
-// load failure.
+// Exit status: 0 clean (or fully baselined), 1 findings or budget
+// exceeded, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"aurora/internal/analysis"
 )
@@ -59,9 +79,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	format := flags.String("format", "text", "output format: text or sarif")
 	baselinePath := flags.String("baseline", "", "baseline file; listed findings are grandfathered, new ones fail")
 	writeBaseline := flags.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit 0")
+	timing := flags.Bool("timing", false, "print per-pass wall time to stderr")
+	budget := flags.Duration("budget", 0, "fail if the whole run (load through output) exceeds this duration; 0 disables")
+	statsPath := flags.String("stats", "", "write per-rule finding counts as JSON to FILE")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
+	start := time.Now()
 	if *format != "text" && *format != "sarif" {
 		fmt.Fprintf(stderr, "aurora-lint: unknown -format %q (want text or sarif)\n", *format)
 		return 2
@@ -95,12 +119,22 @@ func run(args []string, stdout, stderr *os.File) int {
 	// The whole module is always loaded — the cross-package analyzers
 	// need the full call graph — and the patterns only filter which
 	// packages findings are reported for.
+	loadStart := time.Now()
 	runner, err := analysis.NewRunner(mod)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	runner.Run()
+	if *timing {
+		fmt.Fprintf(stderr, "aurora-lint: %-12s %9.1fms\n", "load+facts", ms(time.Since(loadStart)))
+	}
+	for _, p := range runner.Passes() {
+		passStart := time.Now()
+		p.Run()
+		if *timing {
+			fmt.Fprintf(stderr, "aurora-lint: %-12s %9.1fms\n", p.Name, ms(time.Since(passStart)))
+		}
+	}
 	keep := make(map[string]bool, len(rels))
 	for _, rel := range rels {
 		keep[rel] = true
@@ -132,6 +166,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		diags, suppressed = analysis.FilterBaseline(diags, base, mod.Root)
 	}
 
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, diags, suppressed); err != nil {
+			fmt.Fprintln(stderr, "aurora-lint:", err)
+			return 2
+		}
+	}
+
 	switch *format {
 	case "sarif":
 		if err := analysis.WriteSARIF(stdout, diags, mod.Root); err != nil {
@@ -154,7 +195,43 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "aurora-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
+	if elapsed := time.Since(start); *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "aurora-lint: run took %s, over the -budget of %s\n",
+			elapsed.Round(time.Millisecond), *budget)
+		return 1
+	}
 	return 0
+}
+
+// ms renders a duration as fractional milliseconds for -timing output.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// lintStats is the -stats JSON artifact: the per-rule finding counts CI
+// uploads so the ratchet trajectory is visible across PRs. Every known
+// rule is present, zero or not, so downstream diffs are stable.
+type lintStats struct {
+	Total     int            `json:"total"`
+	Baselined int            `json:"baselined"`
+	Rules     map[string]int `json:"rules"`
+}
+
+func writeStats(path string, diags []analysis.Diagnostic, baselined int) error {
+	stats := lintStats{
+		Total:     len(diags),
+		Baselined: baselined,
+		Rules:     make(map[string]int, len(analysis.KnownRules)),
+	}
+	for _, rule := range analysis.KnownRules {
+		stats.Rules[rule] = 0
+	}
+	for _, d := range diags {
+		stats.Rules[d.Rule]++
+	}
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // findModuleRoot walks up from the working directory to the nearest

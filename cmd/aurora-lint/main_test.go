@@ -129,6 +129,10 @@ func TestRulesOnFixtures(t *testing.T) {
 					"//lint:ignore needs a rule and a reason: //lint:ignore <rule> <why>"},
 				{"directives/directives.go", 8, analysis.RuleDirective,
 					`unknown rule "badrule" in //lint:ignore`},
+				{"directives/directives.go", 13, analysis.RuleDirective,
+					"//lint:coldpath needs a reason: //lint:coldpath <why>"},
+				{"directives/directives.go", 15, analysis.RuleDirective,
+					"//lint:hotpath must be in the doc comment of a function declaration"},
 			},
 		},
 		{
@@ -179,6 +183,56 @@ func TestRulesOnFixtures(t *testing.T) {
 					"error flattened by %v in fmt.Errorf; use %w (or return a typed error) so errors.Is/As and retry classification keep seeing the chain"},
 				{"wrapcheck/wrapcheck.go", 20, analysis.RuleWrapCheck,
 					"error flattened by %v in fmt.Errorf; use %w (or return a typed error) so errors.Is/As and retry classification keep seeing the chain"},
+			},
+		},
+		{
+			pkg: "allochot",
+			want: []finding{
+				{"allochot/allochot.go", 12, analysis.RuleAllocHot,
+					"make heap-allocates in Hot on a hot path (reachable from //lint:hotpath root Hot)"},
+				{"allochot/allochot.go", 21, analysis.RuleAllocHot,
+					"append may grow its backing array in grow on a hot path (reachable from //lint:hotpath root Hot)"},
+				{"allochot/allochot.go", 27, analysis.RuleAllocHot,
+					"value of type int is boxed into an interface in boxed on a hot path (reachable from //lint:hotpath root Hot)"},
+				// cold's fmt.Sprintf is pruned by //lint:coldpath.
+			},
+		},
+		{
+			pkg: "atomicmix",
+			want: []finding{
+				{"atomicmix/atomicmix.go", 22, analysis.RuleAtomicMix,
+					"field hits is updated atomically (atomic.AddInt64 at atomicmix.go:15) but read plainly here"},
+				{"atomicmix/atomicmix.go", 27, analysis.RuleAtomicMix,
+					"field misses is updated atomically (atomic.AddInt64 at atomicmix.go:18) but written plainly here"},
+				{"atomicmix/atomicmix.go", 32, analysis.RuleAtomicMix,
+					"field hits is updated atomically (atomic.AddInt64 at atomicmix.go:15) but written plainly here"},
+				// Load's atomic.LoadInt64(&s.hits) is address-taken, exempt.
+			},
+		},
+		{
+			pkg: "goroleak",
+			want: []finding{
+				{"goroleak/goroleak.go", 12, analysis.RuleGoroLeak,
+					"goroutine spawned by SpinLit (go func literal) has no provable termination signal (context, done channel, WaitGroup, or internal/par)"},
+				{"goroleak/goroleak.go", 26, analysis.RuleGoroLeak,
+					"goroutine spawned by SpinNamed (go goroleak.spin) has no provable termination signal (context, done channel, WaitGroup, or internal/par)"},
+				{"goroleak/goroleak.go", 34, analysis.RuleGoroLeak,
+					"goroutine spawned by SpinTransitive (go goroleak.relay) has no provable termination signal (context, done channel, WaitGroup, or internal/par)"},
+				// WaitDone/Tracked/WatchCtx carry done-channel, WaitGroup
+				// and (transitive) context signals — all clean.
+			},
+		},
+		{
+			pkg: "globalmut",
+			want: []finding{
+				{"globalmut/globalmut.go", 9, analysis.RuleGlobalMut,
+					"package-level variable hits is mutated (incremented at globalmut.go:36); mutable global state blocks namenode sharding (ROADMAP #1)"},
+				{"globalmut/globalmut.go", 12, analysis.RuleGlobalMut,
+					"package-level variable cache is mutated (written through at globalmut.go:41); mutable global state blocks namenode sharding (ROADMAP #1)"},
+				{"globalmut/globalmut.go", 20, analysis.RuleGlobalMut,
+					"package-level variable shared is mutated (pointer-method call (*globalmut.box).bump at globalmut.go:46); mutable global state blocks namenode sharding (ROADMAP #1)"},
+				// registry is //lint:ignore'd; pattern (immutable receiver)
+				// and limit (read-only) are never reported.
 			},
 		},
 		{pkg: "internal/dfs/proto", want: nil},

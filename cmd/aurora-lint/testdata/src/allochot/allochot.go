@@ -1,0 +1,39 @@
+// Package allochot exercises the hot-path allocation analyzer:
+// functions reachable from a //lint:hotpath root may not heap-allocate,
+// and //lint:coldpath prunes deliberately cold branches.
+package allochot
+
+import "fmt"
+
+// Hot is a hot-path root: it allocates directly and through helpers.
+//
+//lint:hotpath
+func Hot(xs []int) int {
+	m := make(map[int]int, len(xs))
+	for i, x := range xs {
+		m[x] = i
+	}
+	return len(m) + grow(xs) + boxed(7) + cold(xs)
+}
+
+// grow is reached transitively from Hot and may grow its argument.
+func grow(xs []int) int {
+	xs = append(xs, 1)
+	return len(xs)
+}
+
+// boxed stores its argument in an interface.
+func boxed(v int) int {
+	var i interface{} = v
+	n, _ := i.(int)
+	return n
+}
+
+// cold formats an error message; it is deliberately off the hot path,
+// so its allocations must not be reported.
+//
+//lint:coldpath validation-only branch, measured cold in the profile
+func cold(xs []int) int {
+	out := fmt.Sprintf("%d", len(xs))
+	return len(out)
+}

@@ -1,0 +1,37 @@
+// Package atomicmix exercises the mixed atomic/plain access analyzer: a
+// field updated through sync/atomic anywhere may never be read or
+// written plainly elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats counts events; hits and misses are updated atomically.
+type Stats struct {
+	hits   int64
+	misses int64
+}
+
+// Hit records a hit.
+func (s *Stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+
+// Miss records a miss.
+func (s *Stats) Miss() { atomic.AddInt64(&s.misses, 1) }
+
+// Snapshot reads hits plainly — a torn read while Hit runs.
+func (s *Stats) Snapshot() int64 {
+	return s.hits
+}
+
+// Reset writes misses plainly, racing Miss.
+func (s *Stats) Reset() {
+	s.misses = 0
+}
+
+// Bump increments hits plainly, losing updates against Hit.
+func (s *Stats) Bump() {
+	s.hits++
+}
+
+// Load is the correct read and must not be flagged: the address-taken
+// use is how the atomic calls themselves are built.
+func (s *Stats) Load() int64 { return atomic.LoadInt64(&s.hits) }

@@ -9,3 +9,8 @@ package directives
 
 // Nothing anchors the package.
 func Nothing() {}
+
+//lint:coldpath
+
+//lint:hotpath
+var notAFunc = 0

@@ -1,0 +1,54 @@
+// Package globalmut exercises the mutable-global-state analyzer:
+// package-level variables written after initialization are sharding
+// blockers; read-only and deliberately-exempted globals are not.
+package globalmut
+
+import "regexp"
+
+// hits counts lookups; Get increments it.
+var hits int
+
+// cache memoizes results; Get stores into it.
+var cache = map[string]string{}
+
+// box is a tiny mutable holder for the pointer-method case.
+type box struct{ n int }
+
+func (b *box) bump() { b.n++ }
+
+// shared is mutated through its pointer method.
+var shared = &box{}
+
+// pattern is compiled once and only matched against; *regexp.Regexp is
+// immutable after construction, so this is never reported.
+var pattern = regexp.MustCompile(`^a+`)
+
+// registry is a deliberate exception, annotated at the declaration.
+//
+//lint:ignore globalmut fixture: deliberately exempted registry
+var registry = map[string]int{}
+
+// limit is read-only after init and must not be reported.
+var limit = 16
+
+// Get looks up k, counting and memoizing.
+func Get(k string) string {
+	hits++
+	if v, ok := cache[k]; ok {
+		return v
+	}
+	v := k + "!"
+	cache[k] = v
+	return v
+}
+
+// Bump mutates shared through its pointer method.
+func Bump() { shared.bump() }
+
+// Register mutates the exempted registry.
+func Register(k string) { registry[k] = len(registry) }
+
+// Match reads pattern and limit without mutating either.
+func Match(s string) bool {
+	return pattern.MatchString(s) && len(s) < limit
+}

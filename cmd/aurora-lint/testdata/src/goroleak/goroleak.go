@@ -1,0 +1,59 @@
+// Package goroleak exercises the goroutine-lifecycle analyzer: every go
+// statement needs a provable termination signal.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// SpinLit spawns an anonymous goroutine with no termination signal.
+func SpinLit() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// spin loops forever and observes nothing.
+func spin() {
+	for {
+	}
+}
+
+// SpinNamed spawns spin, which never observes a signal.
+func SpinNamed() {
+	go spin()
+}
+
+// relay only forwards to spin — still no signal anywhere on the path.
+func relay() { spin() }
+
+// SpinTransitive leaks through one level of indirection.
+func SpinTransitive() {
+	go relay()
+}
+
+// WaitDone is clean: the goroutine blocks on a done channel.
+func WaitDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// Tracked is clean: the goroutine signals a WaitGroup.
+func Tracked(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// watch blocks until the context is cancelled.
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// WatchCtx is clean transitively: the signal sits one call down.
+func WatchCtx(ctx context.Context) {
+	go watch(ctx)
+}

@@ -8,8 +8,13 @@
 //
 //	go test -run '^$' -bench <pattern> -benchmem . > bench.out
 //	go run ./cmd/benchjson -label after -in bench.out -out BENCH_core.json
+//	go run ./cmd/benchjson -check after -in bench.out -out BENCH_core.json
 //
-// The output format is documented in README.md ("Benchmark ledger").
+// With -check LABEL the ledger is not modified: instead, each parsed
+// benchmark's allocs/op is compared against the ledger's LABEL column
+// and the run fails if any regressed beyond the tolerance (the alloc
+// ratchet gating bench-smoke CI). The output format is documented in
+// README.md ("Benchmark ledger").
 package main
 
 import (
@@ -143,17 +148,70 @@ func writeLedger(path string, l *Ledger) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// allocTolerance decides the alloc ratchet limit for a recorded
+// allocs/op value: 10% headroom plus two allocations, absorbing
+// iteration-count jitter (map growth, pool warm-up) while still
+// catching a lost optimization. Zero-alloc rows stay pinned near zero.
+func allocTolerance(old float64) float64 { return old*1.10 + 2 }
+
+// checkAllocs compares freshly parsed results against the ledger's
+// label column and reports every regression. Benchmarks absent from
+// the ledger are noted and skipped — new benchmarks enter the ratchet
+// once recorded — but comparing nothing at all fails, so a pattern typo
+// cannot silently disable the gate.
+func checkAllocs(l *Ledger, label string, results map[string]Result, stderr io.Writer) int {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	compared, regressions := 0, 0
+	for _, name := range names {
+		res := results[name]
+		old, ok := l.Benchmarks[name][label]
+		if !ok {
+			fmt.Fprintf(stderr, "benchjson: %s has no %q entry in the ledger; skipping (record it with -label %s)\n",
+				name, label, label)
+			continue
+		}
+		compared++
+		limit := allocTolerance(old.AllocsPerOp)
+		if res.AllocsPerOp > limit {
+			fmt.Fprintf(stderr, "benchjson: ALLOC REGRESSION %s: %.1f allocs/op, ledger %q has %.1f (limit %.1f)\n",
+				name, res.AllocsPerOp, label, old.AllocsPerOp, limit)
+			regressions++
+			continue
+		}
+		fmt.Fprintf(stderr, "benchjson: %s: %.1f allocs/op vs %.1f recorded — ok\n",
+			name, res.AllocsPerOp, old.AllocsPerOp)
+	}
+	if compared == 0 {
+		fmt.Fprintf(stderr, "benchjson: no benchmark matched a %q ledger entry; alloc check is vacuous\n", label)
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d alloc regression(s)\n", regressions)
+		return 1
+	}
+	return 0
+}
+
 func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	label := fs.String("label", "", "label to file these results under (e.g. before, after)")
+	check := fs.String("check", "", "compare allocs/op against this ledger label and fail on regression (no write)")
 	in := fs.String("in", "", "benchmark output file (default stdin)")
 	out := fs.String("out", "BENCH_core.json", "ledger file to merge into")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *label == "" {
-		fmt.Fprintln(stderr, "benchjson: -label is required")
+	if *label == "" && *check == "" {
+		fmt.Fprintln(stderr, "benchjson: -label (record) or -check (ratchet) is required")
+		return 2
+	}
+	if *label != "" && *check != "" {
+		fmt.Fprintln(stderr, "benchjson: -label and -check are mutually exclusive")
 		return 2
 	}
 	var src io.Reader = os.Stdin
@@ -179,6 +237,9 @@ func run(args []string, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
 		return 1
+	}
+	if *check != "" {
+		return checkAllocs(ledger, *check, results, stderr)
 	}
 	ledger.merge(*label, results)
 	if err := writeLedger(*out, ledger); err != nil {

@@ -111,4 +111,72 @@ func TestRunRequiresLabel(t *testing.T) {
 	if code := run([]string{"-in", "whatever"}, os.Stderr); code != 2 {
 		t.Errorf("missing -label exit %d, want 2", code)
 	}
+	if code := run([]string{"-label", "a", "-check", "b", "-in", "x"}, os.Stderr); code != 2 {
+		t.Errorf("-label with -check exit %d, want 2", code)
+	}
+}
+
+// The alloc ratchet: -check compares allocs/op against the ledger
+// without writing, tolerates 10%+2, fails on regression, skips
+// unrecorded benchmarks, and refuses a vacuous (nothing-compared) run.
+func TestCheckAllocs(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "BENCH_core.json")
+	record := filepath.Join(dir, "record.out")
+	if err := os.WriteFile(record, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-label", "after", "-in", record, "-out", ledger}, os.Stderr); code != 0 {
+		t.Fatalf("recording failed")
+	}
+	before, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writeOut := func(content string) string {
+		p := filepath.Join(dir, "check.out")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		// 28958 recorded; 29000 is under 28958*1.10+2.
+		in := writeOut("BenchmarkLocalSearchNode/40x2k 2 120308935 ns/op 13763528 B/op 29000 allocs/op\n")
+		if code := run([]string{"-check", "after", "-in", in, "-out", ledger}, os.Stderr); code != 0 {
+			t.Errorf("exit %d, want 0", code)
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		in := writeOut("BenchmarkLocalSearchNode/40x2k 2 120308935 ns/op 13763528 B/op 40000 allocs/op\n")
+		if code := run([]string{"-check", "after", "-in", in, "-out", ledger}, os.Stderr); code != 1 {
+			t.Errorf("exit %d, want 1", code)
+		}
+	})
+
+	t.Run("unrecorded benchmark skipped", func(t *testing.T) {
+		in := writeOut("BenchmarkLocalSearchNode/40x2k 2 1 ns/op 0 B/op 28958 allocs/op\n" +
+			"BenchmarkBrandNew 2 1 ns/op 0 B/op 999999 allocs/op\n")
+		if code := run([]string{"-check", "after", "-in", in, "-out", ledger}, os.Stderr); code != 0 {
+			t.Errorf("exit %d, want 0 (new benchmark must not gate)", code)
+		}
+	})
+
+	t.Run("vacuous check fails", func(t *testing.T) {
+		in := writeOut("BenchmarkBrandNew 2 1 ns/op 0 B/op 1 allocs/op\n")
+		if code := run([]string{"-check", "after", "-in", in, "-out", ledger}, os.Stderr); code != 1 {
+			t.Errorf("exit %d, want 1 (nothing compared)", code)
+		}
+	})
+
+	after, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("-check modified the ledger:\nbefore: %s\nafter: %s", before, after)
+	}
 }

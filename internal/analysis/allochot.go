@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+
+	"aurora/internal/analysis/flow"
+)
+
+// allochot: functions reachable from a //lint:hotpath-annotated root may
+// not heap-allocate. The roots are the paths whose budgets the repo has
+// fought for — the Algorithm-5 inner loop (bestPairOpSwap /
+// bestSwapCounterpart), the loadindex segment trees, and the lock-free
+// metrics record path — and the rule walks the static call graph from
+// them, charging every allocation class the flow layer records: make /
+// new / heap composites, append growth, interface boxing, escaping
+// closures, map iteration, fmt-family calls, string building, go/defer
+// statements, and calls through opaque function values (whose effects
+// cannot be proven). //lint:coldpath <why> on a callee prunes a
+// deliberately cold branch out of reachability; a single finding is
+// silenced in place with //lint:ignore allochot <why>.
+
+// checkAllocHot runs the rule over the whole module.
+func (r *Runner) checkAllocHot() {
+	roots, cold, attached := r.hotpathRoots()
+
+	// Every //lint:hotpath or //lint:coldpath directive must sit in the
+	// doc comment of a function declaration; anywhere else it silently
+	// does nothing, which is exactly the failure mode directives exist to
+	// avoid.
+	for pos, name := range r.funcDirs {
+		if !attached[pos] {
+			r.report(pos, RuleDirective,
+				"//lint:%s must be in the doc comment of a function declaration", name)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	reachedFrom := r.hotReachability(roots, cold)
+	fl := r.Flow()
+	for _, fi := range r.facts.FuncList {
+		root := reachedFrom[fi.Obj]
+		if root == nil || cold[fi.Obj] {
+			continue
+		}
+		sum := fl.Summary(fi.Obj)
+		if sum == nil {
+			continue
+		}
+		for _, a := range sum.Allocs {
+			r.report(a.Pos, RuleAllocHot, "%s in %s on a hot path (reachable from //lint:hotpath root %s)",
+				allocDesc(a), fi.Obj.Name(), root.Obj.Name())
+		}
+	}
+}
+
+// hotpathRoots scans function doc comments for the hotpath/coldpath
+// directives, returning the root set, the cold set, and the directive
+// comment positions that found a function to attach to.
+func (r *Runner) hotpathRoots() (roots []*FuncInfo, cold map[*types.Func]bool, attached map[token.Pos]bool) {
+	cold = make(map[*types.Func]bool)
+	attached = make(map[token.Pos]bool)
+	for _, fi := range r.facts.FuncList {
+		if fi.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range fi.Decl.Doc.List {
+			switch funcDirName(c.Text) {
+			case "hotpath":
+				roots = append(roots, fi)
+				attached[c.Pos()] = true
+			case "coldpath":
+				cold[fi.Obj] = true
+				attached[c.Pos()] = true
+			}
+		}
+	}
+	return roots, cold, attached
+}
+
+// funcDirName extracts the directive name of a //lint:hotpath or
+// //lint:coldpath comment, or "".
+func funcDirName(text string) string {
+	rest, ok := strings.CutPrefix(text, "//lint:")
+	if !ok {
+		return ""
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ""
+	}
+	if fields[0] == "hotpath" || fields[0] == "coldpath" {
+		return fields[0]
+	}
+	return ""
+}
+
+// hotReachability walks the call graph breadth-first from the roots,
+// recording for each reached function the first root that reaches it
+// (for the diagnostic). Calls under go statements are skipped — work on
+// another goroutine is not on the caller's critical path (the go
+// statement itself is already charged) — and //lint:coldpath functions
+// stop the walk.
+func (r *Runner) hotReachability(roots []*FuncInfo, cold map[*types.Func]bool) map[*types.Func]*FuncInfo {
+	reachedFrom := make(map[*types.Func]*FuncInfo)
+	var queue []*FuncInfo
+	for _, root := range roots {
+		if reachedFrom[root.Obj] == nil {
+			reachedFrom[root.Obj] = root
+			queue = append(queue, root)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		root := reachedFrom[fi.Obj]
+		for _, site := range fi.Sites {
+			if site.InGo {
+				continue
+			}
+			for _, callee := range site.Callees {
+				ci := r.facts.Funcs[callee]
+				if ci == nil || cold[callee] || reachedFrom[callee] != nil {
+					continue
+				}
+				reachedFrom[callee] = root
+				queue = append(queue, ci)
+			}
+		}
+	}
+	return reachedFrom
+}
+
+// allocDesc renders one flow.Alloc for a diagnostic.
+func allocDesc(a flow.Alloc) string {
+	switch a.Kind {
+	case flow.AllocMake:
+		return "make heap-allocates"
+	case flow.AllocNew:
+		return "new heap-allocates"
+	case flow.AllocComposite:
+		if a.What != "" {
+			return "composite literal " + a.What + " heap-allocates"
+		}
+		return "composite literal heap-allocates"
+	case flow.AllocAppend:
+		return "append may grow its backing array"
+	case flow.AllocCall:
+		return "call to allocating " + a.What
+	case flow.AllocConvert:
+		return "conversion to " + a.What + " copies memory"
+	case flow.AllocBoxing:
+		return "value of type " + a.What + " is boxed into an interface"
+	case flow.AllocClosure:
+		return "closure captures escape to the heap"
+	case flow.AllocMapRange:
+		return "map iteration allocates its iterator"
+	case flow.AllocGoStmt:
+		return "go statement allocates a goroutine"
+	case flow.AllocDefer:
+		return "defer may allocate its frame"
+	case flow.AllocStringConcat:
+		return "string concatenation allocates"
+	case flow.AllocOpaqueCall:
+		return "call through opaque function value " + a.What + " may allocate"
+	default:
+		return "allocation"
+	}
+}

@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+
+	"aurora/internal/analysis/flow"
 )
 
 // The rules aurora-lint enforces. Each diagnostic names the rule that
@@ -37,6 +40,10 @@ const (
 	RuleCtxDeadline = "ctxdeadline" // RPC without retry policy or deadline propagation
 	RuleRngTaint    = "rngtaint"    // wall-clock/RNG taint reaching deterministic code
 	RuleWrapCheck   = "wrapcheck"   // error chain broken at a package boundary
+	RuleAllocHot    = "allochot"    // heap allocation reachable from a //lint:hotpath root
+	RuleAtomicMix   = "atomicmix"   // field mixes sync/atomic with plain access
+	RuleGoroLeak    = "goroleak"    // go statement without a provable termination signal
+	RuleGlobalMut   = "globalmut"   // mutable package-level state (sharding blocker)
 )
 
 // KnownRules is the registry of valid rule names, used to validate
@@ -45,6 +52,7 @@ var KnownRules = []string{
 	RuleGuardedBy, RuleMutexCopy, RuleDeterminism, RuleFloatCmp,
 	RuleErrCheck, RuleDirective, RulePkgDoc,
 	RuleLockOrder, RuleCtxDeadline, RuleRngTaint, RuleWrapCheck,
+	RuleAllocHot, RuleAtomicMix, RuleGoroLeak, RuleGlobalMut,
 }
 
 func knownRule(name string) bool {
@@ -85,6 +93,8 @@ type Runner struct {
 	diags      []Diagnostic
 	suppressed map[suppressKey]bool
 	modes      map[*Package]pkgModes
+	funcDirs   map[token.Pos]string // //lint:hotpath and //lint:coldpath comment positions
+	flowSet    *flow.Set
 }
 
 // pkgModes is what the //lint: comments of one package declare.
@@ -107,6 +117,7 @@ func NewRunner(mod *Module) (*Runner, error) {
 		pkgs:       pkgs,
 		suppressed: make(map[suppressKey]bool),
 		modes:      make(map[*Package]pkgModes),
+		funcDirs:   make(map[token.Pos]string),
 	}
 	for _, pkg := range pkgs {
 		r.modes[pkg] = r.scanDirectives(pkg)
@@ -121,26 +132,82 @@ func (r *Runner) Facts() *Facts { return r.facts }
 // Packages returns every loaded package, sorted by import path.
 func (r *Runner) Packages() []*Package { return r.pkgs }
 
+// Pass is one named analyzer pass, exposed so the CLI can time each
+// analyzer individually (-timing).
+type Pass struct {
+	Name string
+	run  func()
+}
+
+// Run executes the pass.
+func (p Pass) Run() { p.run() }
+
+// perPkg lifts a per-package rule (optionally gated on a package mode)
+// into a whole-module pass.
+func (r *Runner) perPkg(check func(*Package), gate func(pkgModes) bool) func() {
+	return func() {
+		for _, pkg := range r.pkgs {
+			if gate == nil || gate(r.modes[pkg]) {
+				check(pkg)
+			}
+		}
+	}
+}
+
+// Passes returns every analyzer as a named pass, in execution order. The
+// "flow" pass builds the interprocedural dataflow summaries the three
+// passes after it consume; keeping it explicit makes its cost visible
+// under -timing.
+func (r *Runner) Passes() []Pass {
+	return []Pass{
+		{Name: "guardedby", run: r.perPkg(r.checkGuardedBy, nil)},
+		{Name: "mutexcopy", run: r.perPkg(r.checkMutexCopy, nil)},
+		{Name: "determinism", run: r.perPkg(r.checkDeterminism, func(m pkgModes) bool { return m.deterministic })},
+		{Name: "floatcmp", run: r.perPkg(r.checkFloatCmp, func(m pkgModes) bool { return m.strictfloat })},
+		{Name: "errcheck", run: r.perPkg(r.checkErrCheck, nil)},
+		{Name: "pkgdoc", run: r.perPkg(r.checkPkgDoc, nil)},
+		{Name: "wrapcheck", run: r.perPkg(r.checkWrapCheck, nil)},
+		{Name: "lockorder", run: r.checkLockOrder},
+		{Name: "ctxdeadline", run: r.checkCtxDeadline},
+		{Name: "rngtaint", run: r.checkRngTaint},
+		{Name: "flow", run: func() { r.Flow() }},
+		{Name: "allochot", run: r.checkAllocHot},
+		{Name: "atomicmix", run: r.checkAtomicMix},
+		{Name: "goroleak", run: r.checkGoroLeak},
+		{Name: "globalmut", run: r.checkGlobalMut},
+	}
+}
+
 // Run executes every analyzer. Per-package rules run over each package;
 // whole-module analyzers run once off the fact store.
 func (r *Runner) Run() {
-	for _, pkg := range r.pkgs {
-		modes := r.modes[pkg]
-		r.checkGuardedBy(pkg)
-		r.checkMutexCopy(pkg)
-		if modes.deterministic {
-			r.checkDeterminism(pkg)
-		}
-		if modes.strictfloat {
-			r.checkFloatCmp(pkg)
-		}
-		r.checkErrCheck(pkg)
-		r.checkPkgDoc(pkg)
-		r.checkWrapCheck(pkg)
+	for _, p := range r.Passes() {
+		p.Run()
 	}
-	r.checkLockOrder()
-	r.checkCtxDeadline()
-	r.checkRngTaint()
+}
+
+// Flow builds (once) and returns the interprocedural dataflow summaries
+// for every function in the module.
+func (r *Runner) Flow() *flow.Set {
+	if r.flowSet != nil {
+		return r.flowSet
+	}
+	byInfo := make(map[*types.Info]*Package, len(r.pkgs))
+	for _, pkg := range r.pkgs {
+		byInfo[pkg.Info] = pkg
+	}
+	funcs := make([]flow.Func, 0, len(r.facts.FuncList))
+	for _, fi := range r.facts.FuncList {
+		funcs = append(funcs, flow.Func{Obj: fi.Obj, Decl: fi.Decl, Info: fi.Pkg.Info})
+	}
+	r.flowSet = flow.Build(funcs, func(fn flow.Func, call *ast.CallExpr) []*types.Func {
+		pkg := byInfo[fn.Info]
+		if pkg == nil {
+			return nil
+		}
+		return r.facts.resolveCallees(pkg, call)
+	})
+	return r.flowSet
 }
 
 // Diagnostics returns the surviving findings sorted by position,
@@ -214,6 +281,19 @@ func (r *Runner) scanDirectives(pkg *Package) pkgModes {
 					modes.deterministic = true
 				case "strictfloat":
 					modes.strictfloat = true
+				case "hotpath":
+					// Marks an allocation-free root for allochot. Validated
+					// against function doc comments by checkAllocHot.
+					r.funcDirs[c.Pos()] = "hotpath"
+				case "coldpath":
+					// Prunes a deliberately-cold helper out of hot-path
+					// reachability. A justification is required.
+					if len(fields) < 2 {
+						r.report(c.Pos(), RuleDirective,
+							"//lint:coldpath needs a reason: //lint:coldpath <why>")
+						continue
+					}
+					r.funcDirs[c.Pos()] = "coldpath"
 				case "ignore":
 					if len(fields) < 3 {
 						r.report(c.Pos(), RuleDirective,

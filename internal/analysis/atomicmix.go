@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+
+	"aurora/internal/analysis/flow"
+)
+
+// atomicmix: a struct field updated through sync/atomic anywhere in the
+// module may never be read or written plainly elsewhere — mixing the
+// regimes silently forfeits the atomicity both sides paid for, and is
+// exactly the bug class the lock-free Gauge/LogHistogram CAS paths
+// invite. The atomic side of the fact comes from the flow summaries
+// (old-style atomic.AddInt64(&s.f, ...) address calls; fields of type
+// atomic.Int64 and friends cannot be accessed plainly at all, so they
+// need no rule). The plain side is any other mention of the field:
+// reads, assignments, ++/--. Taking the field's address is not flagged —
+// that is how the atomic calls themselves and their wrappers are built.
+
+// checkAtomicMix runs the rule over the whole module.
+func (r *Runner) checkAtomicMix() {
+	fl := r.Flow()
+
+	// Phase 1: every field with an address-style sync/atomic call,
+	// mapped to its first such call (for the diagnostic).
+	first := make(map[*types.Var]flow.AtomicOp)
+	for _, sum := range fl.Summaries() {
+		for _, op := range sum.Atomics {
+			if !op.ByAddress {
+				continue
+			}
+			prev, ok := first[op.Field]
+			if !ok || op.Pos < prev.Pos {
+				first[op.Field] = op
+			}
+		}
+	}
+	if len(first) == 0 {
+		return
+	}
+
+	// Phase 2: every plain (non-address) access of those fields.
+	for _, fi := range r.facts.FuncList {
+		r.plainAccesses(fi, first)
+	}
+}
+
+// plainAccesses reports plain reads/writes of atomically-updated fields
+// inside one function body.
+func (r *Runner) plainAccesses(fi *FuncInfo, atomic map[*types.Var]flow.AtomicOp) {
+	pkg := fi.Pkg
+	var stack []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		op, tracked := atomic[field]
+		if !tracked {
+			return true
+		}
+		access := classifyAccess(sel, stack)
+		if access == "" {
+			return true // address-taken: the atomic call itself, or a wrapper
+		}
+		r.report(sel.Pos(), RuleAtomicMix,
+			"field %s is updated atomically (%s at %s) but %s plainly here",
+			field.Name(), op.Op, r.shortPos(op.Pos), access)
+		return true
+	})
+}
+
+// classifyAccess decides how a selected field is touched: "" for
+// address-taken (exempt), "written" for assignment/++/--, "read"
+// otherwise.
+func classifyAccess(sel *ast.SelectorExpr, stack []ast.Node) string {
+	// stack[len-1] == sel; walk outward through parens.
+	node := ast.Node(sel)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			node = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND && p.X == node {
+				return ""
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == node {
+					return "written"
+				}
+			}
+		case *ast.IncDecStmt:
+			if p.X == node {
+				return "written"
+			}
+		}
+		break
+	}
+	return "read"
+}
+
+// shortPos renders a position as "file.go:NN" for embedding in messages
+// (full paths would make fixture expectations machine-specific).
+func (r *Runner) shortPos(pos token.Pos) string {
+	p := r.mod.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}

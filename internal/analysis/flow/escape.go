@@ -1,0 +1,588 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file computes the ParamEscapes facts: a per-function alias graph
+// whose nodes are the function's parameters and local variables, with
+// "flows-to" edges for assignments, sink marks for stores that outlive
+// the frame (returns, channel sends, writes through caller-visible
+// memory, captures by escaping closures, go/defer arguments), and
+// call-argument constraints resolved against callee summaries during a
+// module-wide fixpoint. The model is deliberately coarse — any aliasing
+// mention of a variable in a sink context escapes it — trading precision
+// for a few hundred lines; DESIGN.md §13 records the known
+// over-approximations.
+
+// litFacts classifies the function literals of one declaration: which
+// escape (their captures outlive the frame) and which locals are bound
+// to a literal used only in call position (the `consider := func(...)`
+// pattern the compiler keeps on the stack).
+type litFacts struct {
+	escaping map[*ast.FuncLit]bool
+	callOnly map[*types.Var]bool
+}
+
+// lits returns the (cached) literal classification for fn's declaration.
+func (s *Set) lits(fn Func) *litFacts {
+	if f, ok := s.lit[fn.Decl]; ok {
+		return f
+	}
+	f := computeLitFacts(fn)
+	s.lit[fn.Decl] = f
+	return f
+}
+
+func computeLitFacts(fn Func) *litFacts {
+	f := &litFacts{
+		escaping: make(map[*ast.FuncLit]bool),
+		callOnly: make(map[*types.Var]bool),
+	}
+	parent := make(map[ast.Node]ast.Node)
+	var lits []*ast.FuncLit
+	var stack []ast.Node
+	ast.Inspect(fn.Decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	for _, lit := range lits {
+		f.escaping[lit] = true
+		p := parent[lit]
+		if call, ok := p.(*ast.CallExpr); ok && call.Fun == lit {
+			// Immediately invoked: the frame is live for the whole call,
+			// so captures stay on the stack — unless the invocation rides
+			// a new goroutine.
+			if _, onGoroutine := parent[call].(*ast.GoStmt); !onGoroutine {
+				f.escaping[lit] = false
+			}
+			continue
+		}
+		if v := boundLocal(fn, lit, p); v != nil && callOnlyUses(fn, v, parent) {
+			f.escaping[lit] = false
+			f.callOnly[v] = true
+		}
+	}
+	return f
+}
+
+// boundLocal returns the local variable a literal is bound to by its
+// parent statement (`v := func(){}`, `v = func(){}`, `var v = func(){}`),
+// or nil.
+func boundLocal(fn Func, lit *ast.FuncLit, parent ast.Node) *types.Var {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return nil
+		}
+		for i, rhs := range p.Rhs {
+			if rhs != lit {
+				continue
+			}
+			id, ok := p.Lhs[i].(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			v, _ := objOf(fn, id).(*types.Var)
+			return v
+		}
+	case *ast.ValueSpec:
+		for i, rhs := range p.Values {
+			if rhs != lit || i >= len(p.Names) {
+				continue
+			}
+			v, _ := fn.Info.Defs[p.Names[i]].(*types.Var)
+			return v
+		}
+	}
+	return nil
+}
+
+// callOnlyUses reports whether every use of v inside fn is as the
+// function being called (or as the left-hand side of a literal
+// rebinding) — the shape that keeps a closure non-escaping.
+func callOnlyUses(fn Func, v *types.Var, parent map[ast.Node]ast.Node) bool {
+	ok := true
+	ast.Inspect(fn.Decl, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || !ok {
+			return ok
+		}
+		if fn.Info.Uses[id] != v && fn.Info.Defs[id] != types.Object(v) {
+			return true
+		}
+		switch p := parent[id].(type) {
+		case *ast.CallExpr:
+			if p.Fun == id {
+				return true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range p.Lhs {
+				if lhs == id && i < len(p.Rhs) {
+					if _, isLit := p.Rhs[i].(*ast.FuncLit); isLit {
+						return true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			return true // the declaration itself
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// --- escape graph construction ---
+
+// escCall is a "this variable was passed as callee's idx-th parameter"
+// constraint, resolved against the callee's ParamEscapes during the
+// fixpoint. idx counts the receiver first for methods.
+type escCall struct {
+	callee *types.Func
+	idx    int
+}
+
+type escNode struct {
+	sink    bool
+	flowsTo []types.Object
+	calls   []escCall
+}
+
+// buildEscapes constructs fn's escape graph onto sum. The fixpoint that
+// fills ParamEscapes runs later, once every function has a graph.
+func buildEscapes(fn Func, sum *Summary, set *Set, resolve func(Func, *ast.CallExpr) []*types.Func) {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if r := sig.Recv(); r != nil {
+		sum.escParams = append(sum.escParams, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		sum.escParams = append(sum.escParams, sig.Params().At(i))
+	}
+	sum.ParamEscapes = make([]bool, len(sum.escParams))
+	sum.escNodes = make(map[types.Object]*escNode)
+	b := &escBuilder{fn: fn, sum: sum, resolve: resolve, facts: set.lits(fn)}
+	b.calls()
+	b.statements()
+	b.closures()
+}
+
+type escBuilder struct {
+	fn      Func
+	sum     *Summary
+	resolve func(Func, *ast.CallExpr) []*types.Func
+	facts   *litFacts
+}
+
+func (b *escBuilder) node(obj types.Object) *escNode {
+	n := b.sum.escNodes[obj]
+	if n == nil {
+		n = &escNode{}
+		b.sum.escNodes[obj] = n
+	}
+	return n
+}
+
+func (b *escBuilder) sinkAll(expr ast.Expr) {
+	// A value whose type carries no references (an int from `return *p`,
+	// a len() result) cannot leak what it was read from, so aliases
+	// under it stay local.
+	if tv, ok := b.fn.Info.Types[expr]; ok && tv.Type != nil && !pointerLike(tv.Type) {
+		return
+	}
+	for _, obj := range b.aliasing(expr) {
+		b.node(obj).sink = true
+	}
+}
+
+func (b *escBuilder) edgeAll(expr ast.Expr, target types.Object) {
+	for _, obj := range b.aliasing(expr) {
+		if obj == target {
+			continue
+		}
+		b.node(obj).flowsTo = append(b.node(obj).flowsTo, target)
+	}
+}
+
+// calls is pass A: every call expression contributes either callee
+// parameter constraints (resolved callees) or outright sinks (calls
+// through opaque function values).
+func (b *escBuilder) calls() {
+	ast.Inspect(b.fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		if tv, ok := b.fn.Info.Types[fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := fun.(*ast.Ident); ok {
+			if _, ok := b.fn.Info.Uses[id].(*types.Builtin); ok {
+				return true // append/copy alias into their result; pass B covers it
+			}
+		}
+		callees := b.resolve(b.fn, call)
+		if len(callees) == 0 {
+			if _, isSig := typeOfIn(b.fn, fun).(*types.Signature); isSig {
+				for _, arg := range call.Args {
+					b.sinkAll(arg)
+				}
+			}
+			return true
+		}
+		for _, callee := range callees {
+			b.constrain(call, fun, callee)
+		}
+		return true
+	})
+}
+
+// constrain adds the (callee, index) constraints for one resolved call.
+func (b *escBuilder) constrain(call *ast.CallExpr, fun ast.Expr, callee *types.Func) {
+	if safeCallee(callee) {
+		return
+	}
+	csig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	recvOff := 0
+	if csig.Recv() != nil {
+		recvOff = 1
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			b.constrainExpr(sel.X, callee, 0)
+		}
+	}
+	total := recvOff + csig.Params().Len()
+	for i, arg := range call.Args {
+		idx := recvOff + i
+		if csig.Variadic() && idx >= total-1 {
+			idx = total - 1
+		}
+		if idx < total {
+			b.constrainExpr(arg, callee, idx)
+		}
+	}
+}
+
+func (b *escBuilder) constrainExpr(expr ast.Expr, callee *types.Func, idx int) {
+	for _, obj := range b.aliasing(expr) {
+		b.node(obj).calls = append(b.node(obj).calls, escCall{callee: callee, idx: idx})
+	}
+}
+
+// statements is pass B: assignments build flow edges, returns/sends and
+// stores through caller-visible memory are sinks, go/defer arguments
+// outlive the statement.
+func (b *escBuilder) statements() {
+	ast.Inspect(b.fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				b.assign(lhs, rhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					if obj := b.fn.Info.Defs[name]; obj != nil && name.Name != "_" {
+						b.edgeAll(n.Values[i], obj)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				b.sinkAll(res)
+			}
+		case *ast.SendStmt:
+			b.sinkAll(n.Value)
+		case *ast.GoStmt:
+			b.lateCall(n.Call)
+		case *ast.DeferStmt:
+			b.lateCall(n.Call)
+		}
+		return true
+	})
+}
+
+// lateCall sinks the arguments (and method receiver) of a call that runs
+// after the statement completes — go and defer.
+func (b *escBuilder) lateCall(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		b.sinkAll(sel.X)
+	}
+	for _, arg := range call.Args {
+		b.sinkAll(arg)
+	}
+}
+
+// assign classifies one lhs := rhs pair.
+func (b *escBuilder) assign(lhs, rhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := objOf(b.fn, id)
+		if b.isLocalOrParam(obj) {
+			b.edgeAll(rhs, obj)
+			return
+		}
+		// Package-level (or unresolved) variable: the value outlives us.
+		b.sinkAll(rhs)
+		return
+	}
+	// Store through a selector/index/star chain: if the chain is rooted
+	// at a local, the value lives exactly as long as that local does; any
+	// other root (parameter memory, globals, unresolvable) is
+	// caller-visible, so the value escapes.
+	root := rootObj(b.fn, lhs)
+	if b.isLocalOrParam(root) && !b.isParam(root) {
+		b.edgeAll(rhs, root)
+		return
+	}
+	b.sinkAll(rhs)
+}
+
+// closures is pass C: every variable an escaping literal captures is
+// retained by the closure and escapes with it.
+func (b *escBuilder) closures() {
+	ast.Inspect(b.fn.Decl.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || !b.facts.escaping[lit] {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := b.fn.Info.Uses[id]; b.isLocalOrParam(obj) && obj.Pos() < lit.Pos() {
+					b.node(obj).sink = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// aliasing collects the local/param variables an expression may alias:
+// identifiers outside call subtrees (call retention is pass A's job),
+// descending into conversions, append/copy, composite literals and
+// address-of, skipping function literal bodies.
+func (b *escBuilder) aliasing(expr ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			if tv, ok := b.fn.Info.Types[fun]; ok && tv.IsType() {
+				return true // conversion: result aliases the operand
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if bi, ok := b.fn.Info.Uses[id].(*types.Builtin); ok {
+					if bi.Name() == "append" || bi.Name() == "copy" {
+						return true // result/dst aliases the arguments
+					}
+				}
+			}
+			return false
+		case *ast.Ident:
+			if obj := objOf(b.fn, n); b.isLocalOrParam(obj) {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (b *escBuilder) isLocalOrParam(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() >= b.fn.Decl.Pos() && v.Pos() <= b.fn.Decl.End()
+}
+
+func (b *escBuilder) isParam(obj types.Object) bool {
+	for _, p := range b.sum.escParams {
+		if p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// --- fixpoint ---
+
+// escapeFixpoint re-evaluates one function's escape set against the
+// current global state, returning whether its ParamEscapes changed.
+func escapeFixpoint(s *Set, sum *Summary) bool {
+	if sum.escaped == nil {
+		sum.escaped = make(map[types.Object]bool)
+	}
+	for again := true; again; {
+		again = false
+		for obj, n := range sum.escNodes {
+			if sum.escaped[obj] {
+				continue
+			}
+			if escapes(s, sum, n) {
+				sum.escaped[obj] = true
+				again = true
+			}
+		}
+	}
+	changed := false
+	for i, p := range sum.escParams {
+		v := pointerLike(p.Type()) && sum.escaped[p]
+		if v != sum.ParamEscapes[i] {
+			sum.ParamEscapes[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func escapes(s *Set, sum *Summary, n *escNode) bool {
+	if n.sink {
+		return true
+	}
+	for _, t := range n.flowsTo {
+		if sum.escaped[t] {
+			return true
+		}
+	}
+	for _, c := range n.calls {
+		cs := s.summaries[c.callee]
+		if cs == nil {
+			return true // outside the module: assume it retains
+		}
+		if c.idx < len(cs.ParamEscapes) && cs.ParamEscapes[c.idx] {
+			return true
+		}
+	}
+	return false
+}
+
+// propagateEscapes iterates every function's escape fixpoint until the
+// module is globally stable. Escape bits only ever turn on, so the loop
+// terminates.
+func propagateEscapes(s *Set) {
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range s.order {
+			if escapeFixpoint(s, sum) {
+				changed = true
+			}
+		}
+	}
+}
+
+// --- helpers ---
+
+func objOf(fn Func, id *ast.Ident) types.Object {
+	if o := fn.Info.Uses[id]; o != nil {
+		return o
+	}
+	return fn.Info.Defs[id]
+}
+
+func typeOfIn(fn Func, e ast.Expr) types.Type {
+	if tv, ok := fn.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// rootObj peels selector/index/star/slice chains down to the root
+// identifier's object, or nil.
+func rootObj(fn Func, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.Ident:
+			return objOf(fn, x)
+		default:
+			return nil
+		}
+	}
+}
+
+// pointerLike reports whether values of type t carry references whose
+// pointees can outlive a frame. Strings are immutable and excluded.
+func pointerLike(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// safeCallee is the audited allowlist of external functions known not to
+// retain their arguments; everything else outside the module is assumed
+// to.
+func safeCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math", "math/bits":
+		return true
+	case "sort":
+		return strings.HasPrefix(fn.Name(), "Search") || strings.HasSuffix(fn.Name(), "AreSorted") ||
+			strings.HasPrefix(fn.Name(), "IsSorted") || fn.Name() == "SliceIsSorted"
+	case "strings":
+		switch fn.Name() {
+		case "HasPrefix", "HasSuffix", "Contains", "Compare", "EqualFold",
+			"Index", "IndexByte", "LastIndex", "Count":
+			return true
+		}
+	case "bytes":
+		return fn.Name() == "Equal" || fn.Name() == "Compare" || fn.Name() == "Contains"
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch recvTypeName(sig.Recv().Type()) {
+		case "sync.Mutex", "sync.RWMutex", "sync.WaitGroup", "sync.Once":
+			return true
+		}
+		if strings.HasPrefix(recvTypeName(sig.Recv().Type()), "atomic.") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// globalmut: mutable package-level state is a sharding blocker. ROADMAP
+// item 1 wants the namenode partitioned into independently-locked
+// shards; every package-level variable that is written after
+// initialization is ambient state those shards would silently share, so
+// the rule surfaces each one at its declaration with the first mutation
+// as evidence. A mutation is an assignment or ++/-- of the variable, a
+// store through it (field, element, delete), or a pointer-receiver
+// method call on it or on what it points to — except methods of stdlib
+// types that are immutable after construction (regexp.Regexp,
+// strings.Replacer) or that implement the variable's own synchronization
+// (sync.Mutex and friends: the lock is mutable by design; what it
+// guards is what the guardedby rule audits). Writes inside func init()
+// are initialization, not mutation, and are exempt. Deliberate globals
+// — a default metrics registry, a seeded jitter source — are annotated
+// at the declaration with //lint:ignore globalmut <why>.
+
+// globalMutation is one mutating use of a package-level variable.
+type globalMutation struct {
+	obj  *types.Var
+	pos  token.Pos
+	kind string
+}
+
+// checkGlobalMut runs the rule over the whole module.
+func (r *Runner) checkGlobalMut() {
+	// Every package-level variable of the module.
+	globals := make(map[*types.Var]bool)
+	for _, pkg := range r.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if v, ok := scope.Lookup(name).(*types.Var); ok {
+				globals[v] = true
+			}
+		}
+	}
+
+	var muts []globalMutation
+	for _, pkg := range r.pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Name.Name == "init" && fd.Recv == nil {
+					continue // initialization, not mutation
+				}
+				muts = append(muts, r.mutationsIn(pkg, fd, globals)...)
+			}
+		}
+	}
+
+	// One finding per variable, citing the first mutation, reported at
+	// the declaration so a single //lint:ignore globalmut at the var
+	// covers every mutation site.
+	sort.Slice(muts, func(i, j int) bool {
+		a, b := r.mod.Fset.Position(muts[i].pos), r.mod.Fset.Position(muts[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	seen := make(map[*types.Var]bool)
+	for _, m := range muts {
+		if seen[m.obj] {
+			continue
+		}
+		seen[m.obj] = true
+		r.report(m.obj.Pos(), RuleGlobalMut,
+			"package-level variable %s is mutated (%s at %s); mutable global state blocks namenode sharding (ROADMAP #1)",
+			m.obj.Name(), m.kind, r.shortPos(m.pos))
+	}
+}
+
+// mutationsIn collects the mutating uses of package-level variables
+// inside one function body.
+func (r *Runner) mutationsIn(pkg *Package, fd *ast.FuncDecl, globals map[*types.Var]bool) []globalMutation {
+	var out []globalMutation
+	add := func(expr ast.Expr, pos token.Pos, kind string) {
+		if v := globalRoot(pkg, expr, globals); v != nil {
+			out = append(out, globalMutation{obj: v, pos: pos, kind: kind})
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok && globals[v] {
+						out = append(out, globalMutation{obj: v, pos: lhs.Pos(), kind: "assigned"})
+					}
+					continue
+				}
+				add(lhs, lhs.Pos(), "written through")
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if v, ok := pkg.Info.Uses[id].(*types.Var); ok && globals[v] {
+					out = append(out, globalMutation{obj: v, pos: n.Pos(), kind: "incremented"})
+				}
+				break
+			}
+			add(n.X, n.Pos(), "written through")
+		case *ast.CallExpr:
+			out = append(out, r.mutatingCall(pkg, n, globals)...)
+		}
+		return true
+	})
+	return out
+}
+
+// mutatingCall classifies one call as a mutation of a global: delete on
+// a global map, or a pointer-receiver method invoked on (or through) a
+// global whose type is not in the immutable/synchronization allowlist.
+func (r *Runner) mutatingCall(pkg *Package, call *ast.CallExpr, globals map[*types.Var]bool) []globalMutation {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(call.Args) > 0 {
+			if v := globalRoot(pkg, call.Args[0], globals); v != nil {
+				return []globalMutation{{obj: v, pos: call.Pos(), kind: "delete"}}
+			}
+		}
+		return nil
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	if _, ptrRecv := sig.Recv().Type().(*types.Pointer); !ptrRecv {
+		return nil // value receiver cannot mutate the global
+	}
+	recv := recvTypeDisplay(sig.Recv().Type())
+	if immutableReceiver(recv) {
+		return nil
+	}
+	if v := globalRoot(pkg, sel.X, globals); v != nil {
+		return []globalMutation{{obj: v, pos: call.Pos(), kind: "pointer-method call " + recv + "." + m.Name()}}
+	}
+	return nil
+}
+
+// globalRoot peels a selector/index/star chain and returns the
+// package-level variable at its root, or nil.
+func globalRoot(pkg *Package, e ast.Expr, globals map[*types.Var]bool) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// Qualified reference to another package's global (pkg.Var):
+			// the selection resolves straight to the variable. Struct
+			// fields also resolve to a *types.Var here, but fields are
+			// never in the package-scope globals set.
+			if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && globals[v] {
+				return v
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok && globals[v] {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// immutableReceiver lists pointer-receiver stdlib types whose methods do
+// not make the holder meaningfully mutable: compiled/immutable-after-
+// construction objects and the synchronization primitives themselves.
+func immutableReceiver(recv string) bool {
+	switch recv {
+	case "(*regexp.Regexp)", "(*strings.Replacer)", "(*template.Template)",
+		"(*sync.Mutex)", "(*sync.RWMutex)", "(*sync.Once)", "(*sync.WaitGroup)":
+		return true
+	}
+	return false
+}
+
+// recvTypeDisplay renders a receiver type as "(*pkg.T)" or "(pkg.T)".
+func recvTypeDisplay(t types.Type) string {
+	star := ""
+	if p, ok := t.(*types.Pointer); ok {
+		star = "*"
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "(" + star + t.String() + ")"
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "(" + star + obj.Name() + ")"
+	}
+	return "(" + star + obj.Pkg().Name() + "." + obj.Name() + ")"
+}

@@ -1,0 +1,30 @@
+package analysis
+
+// goroleak: every go statement must have a provable termination signal.
+// A goroutine whose body (or anything it transitively calls inside the
+// module) receives from or closes a channel, selects, touches a
+// sync.WaitGroup, consults a context.Context, or runs under the
+// internal/par bounded pool has an observable lifetime; one with none of
+// those can only stop by returning unobserved — the classic leaked
+// reconcile/serve loop. The proof is the flow layer's Spawn fact: the
+// signals lexically inside the spawned literal joined with the
+// transitive signal set of every function it calls, computed module-wide
+// to a fixpoint, so `go nn.reconcileLoop()` is cleared by the select on
+// nn.stop three calls down. Spawns that are provably bounded some other
+// way (a connection read deadline, a listener whose Close aborts Serve)
+// are annotated in place with //lint:ignore goroleak <why>.
+
+// checkGoroLeak runs the rule over the whole module.
+func (r *Runner) checkGoroLeak() {
+	fl := r.Flow()
+	for _, sum := range fl.Summaries() {
+		for _, sp := range sum.Spawns {
+			if sp.Signal() != 0 {
+				continue
+			}
+			r.report(sp.Pos, RuleGoroLeak,
+				"goroutine spawned by %s (go %s) has no provable termination signal (context, done channel, WaitGroup, or internal/par)",
+				sum.Fn.Name(), sp.What)
+		}
+	}
+}

@@ -80,6 +80,10 @@ var ruleDescriptions = map[string]string{
 	RuleCtxDeadline: "fire-and-forget RPC outside any retrypolicy context",
 	RuleRngTaint:    "wall-clock/RNG taint reaching deterministic code",
 	RuleWrapCheck:   "error chain broken at a package boundary",
+	RuleAllocHot:    "heap allocation reachable from a //lint:hotpath root",
+	RuleAtomicMix:   "field mixes sync/atomic access with plain reads/writes",
+	RuleGoroLeak:    "go statement without a provable termination signal",
+	RuleGlobalMut:   "mutable package-level state (namenode sharding blocker)",
 }
 
 // WriteSARIF renders diagnostics as a SARIF 2.1.0 log. File URIs are

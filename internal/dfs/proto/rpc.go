@@ -114,6 +114,7 @@ func (s *Server) acceptLoop(h Handler) {
 		if err != nil {
 			return // listener closed
 		}
+		//lint:ignore goroleak connection-scoped: serveConn exits on the per-conn read deadline or EOF, and Close tears the listener (and thus all conns) down
 		go s.serveConn(conn, h)
 	}
 }

@@ -18,9 +18,11 @@ type Counter struct {
 }
 
 // Inc adds one.
+//lint:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative deltas are ignored; counters never decrease).
+//lint:hotpath
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -97,4 +99,11 @@ func (s *CounterSet) String() string {
 // series added for the live telemetry subsystem use Prometheus-style
 // names ("aurora_rpc_latency_seconds"). The exposition layer
 // (internal/telemetry) sanitizes both into valid metric names.
+//
+// A process-global registry is the one deliberate ambient-state
+// exception: observability has to be reachable from every layer without
+// threading a handle through each constructor, and the registry is
+// internally synchronized. Namenode sharding (ROADMAP #1) shards
+// placement state, not metrics.
+//lint:ignore globalmut deliberate process-wide registry; internally synchronized, not placement state
 var Default = NewRegistry()

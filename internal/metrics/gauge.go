@@ -16,9 +16,11 @@ type Gauge struct {
 }
 
 // Set replaces the current value.
+//lint:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds delta (which may be negative) to the current value.
+//lint:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -30,9 +32,11 @@ func (g *Gauge) Add(delta float64) {
 }
 
 // Inc adds one; Dec subtracts one. Together they track in-flight counts.
+//lint:hotpath
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts one.
+//lint:hotpath
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.

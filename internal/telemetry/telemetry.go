@@ -177,6 +177,7 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 		ln:  ln,
 		srv: &http.Server{Handler: NewHandler(reg), ReadHeaderTimeout: 5 * time.Second},
 	}
+	//lint:ignore goroleak Serve returns when Close closes the listener; the goroutine cannot outlive the Server
 	go func() {
 		//lint:ignore errcheck Serve always returns non-nil on Close; nothing to report
 		_ = s.srv.Serve(ln)

@@ -153,6 +153,7 @@ func (c *Cluster) NumRacks() int { return len(c.racks) }
 // Machine returns the machine with the given ID.
 func (c *Cluster) Machine(id MachineID) (Machine, error) {
 	if int(id) < 0 || int(id) >= len(c.machines) {
+		//lint:ignore allochot cold branch: hot callers (MustMachine/RackOf) pass IDs already validated by iteration bounds
 		return Machine{}, fmt.Errorf("%w: machine %d", ErrUnknownMachine, id)
 	}
 	return c.machines[id], nil
