@@ -6,7 +6,7 @@ GO ?= go
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column. The metrics
 # record path (//lint:hotpath roots) is benched separately so its
 # allocs/op rows — expected 0 — sit in the same ledger.
-BENCH_PATTERN ?= ^(BenchmarkLocalSearchNode|BenchmarkLocalSearchRack|BenchmarkOptimizePeriod)$$
+BENCH_PATTERN ?= ^(BenchmarkLocalSearchNode|BenchmarkLocalSearchRack|BenchmarkOptimizePeriod|BenchmarkOptimizePeriodSharded)$$
 BENCH_METRICS_PATTERN ?= ^(BenchmarkLogHistogramObserve|BenchmarkGaugeAdd|BenchmarkRegistryCounterLookupInc)$$
 BENCH_LABEL ?= after
 
@@ -50,9 +50,12 @@ race:
 # Seeded chaos gate under the race detector: a third of the datanodes
 # crash mid-run (plus latency spikes, dropped heartbeats and a corrupt
 # replica); no block may be lost and the same seed must reproduce the
-# same fault log. See DESIGN.md §10.
+# same fault log. Runs twice: against the classic namenode and against a
+# 4-shard partitioned block map (recovery must be shard-count-
+# independent). See DESIGN.md §10.
 chaos:
 	$(GO) test -race -tags invariantdebug -run '^TestChaosCrashRecoverNoDataLoss$$' -v ./internal/dfs/
+	AURORA_CHAOS_SHARDS=4 $(GO) test -race -tags invariantdebug -count=1 -run '^TestChaosCrashRecoverNoDataLoss$$' -v ./internal/dfs/
 
 # Boot the testbed with a live telemetry endpoint, scrape /metrics once
 # and assert the optimizer SOL series, machine-load gauges and RPC

@@ -66,6 +66,15 @@ type (
 	OptimizeResult = core.OptimizeResult
 	// RepFactorResult reports an Algorithm 3 run.
 	RepFactorResult = core.RepFactorResult
+	// ShardedPlacement partitions the block map into hash shards, each a
+	// full Placement with its own optimizer state; distinct shards may be
+	// mutated concurrently.
+	ShardedPlacement = core.ShardedPlacement
+	// ShardedOptimizerOptions configure one sharded Algorithm 5 period.
+	ShardedOptimizerOptions = core.ShardedOptimizerOptions
+	// ShardedOptimizeResult reports one sharded period, including the
+	// cross-shard imbalance and budget shares.
+	ShardedOptimizeResult = core.ShardedOptimizeResult
 
 	// Cluster is the immutable machine/rack topology.
 	Cluster = topology.Cluster
@@ -143,6 +152,28 @@ func PlaceBlock(p *Placement, id BlockID, k int, writer MachineID) error {
 // budget followed by admissible local search.
 func Optimize(p *Placement, opts OptimizerOptions) (OptimizeResult, error) {
 	return core.Optimize(p, opts)
+}
+
+// NewShardedPlacement creates an empty sharded placement over the
+// cluster: the block map is partitioned into `shards` hash shards (1
+// reproduces the unsharded Placement bit-for-bit) and the specs are
+// routed to their shards.
+func NewShardedPlacement(cluster *Cluster, shards int, specs []BlockSpec) (*ShardedPlacement, error) {
+	return core.NewShardedPlacement(cluster, shards, specs)
+}
+
+// OptimizeSharded runs one Algorithm 5 period per shard concurrently,
+// then a cross-shard rebalance pass that migrates replication budget
+// between shards using only shard-level load summaries.
+func OptimizeSharded(sp *ShardedPlacement, opts ShardedOptimizerOptions) (ShardedOptimizeResult, error) {
+	return core.OptimizeSharded(sp, opts)
+}
+
+// ShardOf maps a block to its shard index under `shards`-way hash
+// partitioning — the routing rule shard-aware clients share with the
+// namenode.
+func ShardOf(id BlockID, shards int) int {
+	return core.ShardOf(id, shards)
 }
 
 // ExactOptimal brute-forces the optimal objective on small instances —

@@ -275,6 +275,79 @@ func BenchmarkOptimizePeriod(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizePeriodSharded measures one Algorithm 5 period at
+// namenode scale — 10000 machines, 1M blocks — through the partitioned
+// block map, with 1 shard (the classic single-map path, bit-identical
+// to Optimize) and 8 shards under the same global iteration, move and
+// budget caps. The stride start places every block on three distinct
+// racks with balanced replica counts while the Zipf head concentrates
+// popularity on low machine IDs — the contended instance each shard's
+// search must unwind. The sharded win is algorithmic, not parallel:
+// each probe walks a popularity-ordered candidate list ~1/N as long,
+// over maps and heaps ~1/N the size.
+func BenchmarkOptimizePeriodSharded(b *testing.B) {
+	const (
+		machines = 10000
+		racks    = 20
+		blocks   = 1_000_000
+		iters    = 40000
+		extra    = 2000
+	)
+	perRack := machines / racks
+	capacity := 3*blocks/machines + 60 // replica mass plus slack for replication
+	cluster, err := aurora.UniformCluster(racks, machines/racks, capacity, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]aurora.BlockSpec, blocks)
+	for i := range specs {
+		specs[i] = aurora.BlockSpec{
+			ID:          aurora.BlockID(i + 1),
+			Popularity:  1000 / float64(i+1),
+			MinReplicas: 3,
+			MinRacks:    2,
+		}
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("10000x1M/shards=%d", shards), func(b *testing.B) {
+			base, err := aurora.NewShardedPlacement(cluster, shards, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, s := range specs {
+				m1 := i % machines
+				for _, m := range []int{m1, (m1 + perRack) % machines, (m1 + 2*perRack) % machines} {
+					if err := base.AddReplica(s.ID, aurora.MachineID(m)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			budget := base.TotalReplicas() + extra
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sp := base.Clone()
+				b.StartTimer()
+				res, err := aurora.OptimizeSharded(sp, aurora.ShardedOptimizerOptions{
+					Opts: aurora.OptimizerOptions{
+						Epsilon:             0.1,
+						RackAware:           true,
+						ReplicationBudget:   budget,
+						MaxReplicationMoves: extra,
+						MaxSearchIterations: iters,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Search.Iterations), "ops")
+				b.ReportMetric(res.Imbalance, "imbalance")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationNoSwap compares the local search with and without
 // Swap operations: without Swap the capacity argument of Theorem 2
 // fails, and on tight clusters the final cost is worse.

@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		hours      = fs.Int("hours", 0, "override simulated hours (0 = scale default)")
 		files      = fs.Int("files", 0, "override file count (0 = scale default)")
 		jobsPerHr  = fs.Float64("jobs-per-hour", 0, "override job arrival rate (0 = scale default)")
+		shards     = fs.Int("shards", 1, "shard the Aurora policy's block map; each epoch optimizes shards concurrently (1 = unsharded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	if *jobsPerHr > 0 {
 		setup.JobsPerHour = *jobsPerHr
 	}
+	setup.Shards = *shards
 
 	type figFn struct {
 		name string

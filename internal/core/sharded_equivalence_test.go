@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/invariant"
+	"aurora/internal/topology"
+)
+
+// buildShardedFixture places `blocks` Zipf-popular blocks (3 replicas,
+// 2 racks) deterministically over a 4x10 cluster, once directly and once
+// through a ShardedPlacement with the given shard count. The round-robin
+// machine assignment with rack-stride offsets satisfies spread without a
+// rejection loop.
+func buildShardedFixture(t *testing.T, shards, blocks int) (*core.Placement, *core.ShardedPlacement) {
+	t.Helper()
+	const machines, racks = 40, 4
+	perRack := machines / racks
+	capacity := 3*blocks/machines + 40
+	cluster, err := topology.Uniform(racks, perRack, capacity, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]core.BlockSpec, blocks)
+	for i := range specs {
+		specs[i] = core.BlockSpec{
+			ID:          core.BlockID(i + 1),
+			Popularity:  1000 / float64(i+1),
+			MinReplicas: 3,
+			MinRacks:    2,
+		}
+	}
+	direct, err := core.NewPlacement(cluster, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := core.NewShardedPlacement(cluster, shards, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		m1 := i % machines
+		for _, m := range []int{m1, (m1 + perRack) % machines, (m1 + 2*perRack) % machines} {
+			if err := direct.AddReplica(s.ID, topology.MachineID(m)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.For(s.ID).AddReplica(s.ID, topology.MachineID(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return direct, sharded
+}
+
+// TestOptimizeShardedSingleShardByteIdentical pins the tentpole's
+// equivalence gate: with one shard, OptimizeSharded must reproduce
+// Optimize on the same instance bit-for-bit — the same operation
+// sequence through the observers and bit-identical machine loads.
+func TestOptimizeShardedSingleShardByteIdentical(t *testing.T) {
+	direct, sharded := buildShardedFixture(t, 1, 2000)
+
+	var directOps, shardedOps []core.Op
+	var directRepl, shardedRepl [][3]int64
+	budget := direct.TotalReplicas() + 200
+
+	dres, err := core.Optimize(direct, core.OptimizerOptions{
+		Epsilon:             0.1,
+		RackAware:           true,
+		ReplicationBudget:   budget,
+		MaxReplicationMoves: 200,
+		MaxSearchIterations: 500,
+		OnOp:                func(op core.Op) { directOps = append(directOps, op) },
+		OnReplicate: func(id core.BlockID, from, to topology.MachineID) {
+			directRepl = append(directRepl, [3]int64{int64(id), int64(from), int64(to)})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := core.OptimizeSharded(sharded, core.ShardedOptimizerOptions{
+		Opts: core.OptimizerOptions{
+			Epsilon:             0.1,
+			RackAware:           true,
+			ReplicationBudget:   budget,
+			MaxReplicationMoves: 200,
+			MaxSearchIterations: 500,
+			OnOp:                func(op core.Op) { shardedOps = append(shardedOps, op) },
+			OnReplicate: func(id core.BlockID, from, to topology.MachineID) {
+				shardedRepl = append(shardedRepl, [3]int64{int64(id), int64(from), int64(to)})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(directOps) != len(shardedOps) {
+		t.Fatalf("op count differs: direct %d, sharded %d", len(directOps), len(shardedOps))
+	}
+	for i := range directOps {
+		if directOps[i] != shardedOps[i] {
+			t.Fatalf("op %d differs: direct %+v, sharded %+v", i, directOps[i], shardedOps[i])
+		}
+	}
+	if len(directRepl) != len(shardedRepl) {
+		t.Fatalf("replication count differs: direct %d, sharded %d", len(directRepl), len(shardedRepl))
+	}
+	for i := range directRepl {
+		if directRepl[i] != shardedRepl[i] {
+			t.Fatalf("replication %d differs", i)
+		}
+	}
+	if dres.Replications != sres.Replications || dres.Evictions != sres.Evictions ||
+		dres.Search != sres.Search {
+		t.Fatalf("results differ: direct %+v, sharded %+v", dres, sres)
+	}
+	dLoads := direct.Loads()
+	sLoads := sharded.Shard(0).Loads()
+	for m := range dLoads {
+		if math.Float64bits(dLoads[m]) != math.Float64bits(sLoads[m]) {
+			t.Fatalf("machine %d load differs at the bit level: %v vs %v", m, dLoads[m], sLoads[m])
+		}
+	}
+}
+
+// TestOptimizeShardedProperty is the sharding correctness property test:
+// after concurrent per-shard periods plus the cross-shard rebalance,
+// every shard individually satisfies the paper invariants
+// (invariant.CheckPlacement) and replicas are conserved globally — the
+// merged view holds exactly the replicas the shards report, every block
+// still meets its fault-tolerance spec, and no block leaked into a
+// foreign shard.
+func TestOptimizeShardedProperty(t *testing.T) {
+	const shards = 4
+	_, sp := buildShardedFixture(t, shards, 2000)
+	before := sp.TotalReplicas()
+
+	totalRepl, totalEvict := 0, 0
+	var lastShares []int
+	for period := 0; period < 3; period++ {
+		res, err := core.OptimizeSharded(sp, core.ShardedOptimizerOptions{
+			Workers: shards, // genuinely concurrent periods
+			Opts: core.OptimizerOptions{
+				Epsilon:             0.1,
+				RackAware:           true,
+				ReplicationBudget:   before + 200,
+				MaxReplicationMoves: 100,
+				MaxSearchIterations: 400,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRepl += res.Replications
+		totalEvict += res.Evictions
+		if res.Imbalance < 1 {
+			t.Fatalf("imbalance %v below 1 (max/mean)", res.Imbalance)
+		}
+		sum := 0
+		for _, s := range res.Shares {
+			sum += s
+		}
+		if res.Shares != nil && sum != 200 {
+			t.Fatalf("period %d: budget shares sum to %d, want 200", period, sum)
+		}
+		lastShares = res.NextShares
+	}
+	if lastShares == nil {
+		t.Fatal("rebalance produced no shares")
+	}
+
+	// Per-shard invariants plus shard-routing invariant.
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sp.NumShards(); i++ {
+		if err := invariant.CheckPlacement(sp.Shard(i)); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	// Global replica conservation: the merged view carries exactly the
+	// per-shard replica total, which accounts for the initial placement
+	// plus replications minus evictions.
+	merged, err := sp.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.TotalReplicas(), sp.TotalReplicas(); got != want {
+		t.Fatalf("merged replicas %d, shards hold %d", got, want)
+	}
+	if got, want := sp.TotalReplicas(), before+totalRepl-totalEvict; got != want {
+		t.Fatalf("replica conservation broken: have %d, want %d (%d + %d - %d)",
+			got, want, before, totalRepl, totalEvict)
+	}
+	if err := merged.CheckFeasible(); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The aggregated load summary must equal the merged placement's
+	// loads bit-for-bit only in sum; use a tolerance since addition
+	// order differs.
+	agg := sp.AppendLoads(nil)
+	for m, l := range merged.Loads() {
+		if diff := math.Abs(l - agg[m]); diff > 1e-6*(1+math.Abs(l)) {
+			t.Fatalf("machine %d aggregated load %v, merged %v", m, agg[m], l)
+		}
+	}
+}
+
+// TestOptimizeShardedDeterministic pins that a concurrent sharded period
+// is replayable: two runs from clones produce identical per-shard
+// results and bit-identical loads regardless of worker interleaving.
+func TestOptimizeShardedDeterministic(t *testing.T) {
+	_, sp1 := buildShardedFixture(t, 4, 2000)
+	sp2 := sp1.Clone()
+	opts := core.ShardedOptimizerOptions{
+		Workers: 4,
+		Opts: core.OptimizerOptions{
+			Epsilon:             0.1,
+			RackAware:           true,
+			ReplicationBudget:   sp1.TotalReplicas() + 200,
+			MaxReplicationMoves: 100,
+			MaxSearchIterations: 400,
+		},
+	}
+	r1, err := core.OptimizeSharded(sp1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.OptimizeSharded(sp2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Search != r2.Search || r1.Replications != r2.Replications || r1.Evictions != r2.Evictions {
+		t.Fatalf("sharded period not deterministic: %+v vs %+v", r1, r2)
+	}
+	for i := 0; i < sp1.NumShards(); i++ {
+		l1, l2 := sp1.Shard(i).Loads(), sp2.Shard(i).Loads()
+		for m := range l1 {
+			if math.Float64bits(l1[m]) != math.Float64bits(l2[m]) {
+				t.Fatalf("shard %d machine %d: %v vs %v", i, m, l1[m], l2[m])
+			}
+		}
+	}
+}

@@ -3,7 +3,9 @@ package dfs_test
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -28,6 +30,18 @@ var chaosRetry = retrypolicy.Policy{
 	MaxDelay:    200 * time.Millisecond,
 	Multiplier:  2,
 	Jitter:      0.2,
+}
+
+// chaosShards reads the AURORA_CHAOS_SHARDS knob so CI can run the same
+// chaos gate against a partitioned namenode (the reconcile, recovery and
+// invariant machinery must hold shard-count-independently). Unset or
+// invalid means the classic single-map namenode.
+func chaosShards() int {
+	n, err := strconv.Atoi(os.Getenv("AURORA_CHAOS_SHARDS"))
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
 }
 
 // chaosSchedule draws the stress-test fault script: two crash-recover
@@ -78,6 +92,7 @@ func chaosRun(t *testing.T, seed uint64) []string {
 		DeadTimeout:        400 * time.Millisecond,
 		ReconcileInterval:  25 * time.Millisecond,
 		Seed:               7,
+		Shards:             chaosShards(),
 	})
 	if err != nil {
 		t.Fatalf("namenode.Start: %v", err)

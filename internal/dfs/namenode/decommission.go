@@ -49,6 +49,7 @@ func (nn *NameNode) Decommission(id proto.NodeID) error {
 		}
 	}
 	node.draining = true
+	nn.markDirtyLocked()
 	return nil
 }
 
@@ -130,6 +131,7 @@ func (nn *NameNode) drainBlockLocked(id core.BlockID, node *nodeState) {
 		if t, ok := nn.chooseAliveTargetLocked(id); ok {
 			//lint:ignore errcheck best effort: the next reconcile tick retries if the add fails
 			_ = nn.placement.AddReplica(id, t)
+			nn.markDirtyLocked()
 		}
 		return
 	}
@@ -140,6 +142,7 @@ func (nn *NameNode) drainBlockLocked(id core.BlockID, node *nodeState) {
 	// convergence pass deletes the physical copy.
 	//lint:ignore errcheck the draining replica provably exists; removal cannot fail
 	_ = nn.placement.RemoveReplica(id, m)
+	nn.markDirtyLocked()
 }
 
 // nodeHoldsAnythingLocked reports whether any confirmed replica still

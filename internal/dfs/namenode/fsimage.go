@@ -25,12 +25,16 @@ var ErrBadFsImage = errors.New("namenode: bad fsimage")
 const fsImageVersion = 1
 
 type fsImage struct {
-	Version   int            `json:"version"`
-	Racks     int            `json:"racks"`
-	NextBlock proto.BlockID  `json:"nextBlock"`
-	Nodes     []fsImageNode  `json:"nodes"`
-	Files     []fsImageFile  `json:"files"`
-	Blocks    []fsImageBlock `json:"blocks"`
+	Version   int           `json:"version"`
+	Racks     int           `json:"racks"`
+	NextBlock proto.BlockID `json:"nextBlock"`
+	// Shards records the block-map partitioning the placement was built
+	// with; a restarted namenode must shard identically. Zero (images
+	// from unsharded builds) means one shard.
+	Shards int            `json:"shards,omitempty"`
+	Nodes  []fsImageNode  `json:"nodes"`
+	Files  []fsImageFile  `json:"files"`
+	Blocks []fsImageBlock `json:"blocks"`
 }
 
 type fsImageNode struct {
@@ -59,14 +63,35 @@ type fsImageBlock struct {
 }
 
 // SaveFsImage writes the metadata checkpoint to path atomically
-// (write-then-rename).
+// (write-then-rename). A successful save clears the dirty flag —
+// mutations racing with the write re-mark it, so nothing acknowledged
+// is ever lost to coalescing — and bumps the save counter.
 func (nn *NameNode) SaveFsImage(path string) error {
 	nn.mu.Lock()
 	img, err := nn.buildFsImageLocked()
+	if err == nil {
+		// The image reflects every mutation up to this point; clear the
+		// flag now so later mutations re-mark it even while the file
+		// write below is still in flight.
+		nn.dirty = false
+	}
 	nn.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	if err := writeFsImage(path, img); err != nil {
+		nn.mu.Lock()
+		nn.dirty = true
+		nn.mu.Unlock()
+		return err
+	}
+	nn.mu.Lock()
+	nn.fsSaves++
+	nn.mu.Unlock()
+	return nil
+}
+
+func writeFsImage(path string, img *fsImage) error {
 	raw, err := json.MarshalIndent(img, "", " ")
 	if err != nil {
 		return fmt.Errorf("namenode: marshal fsimage: %w", err)
@@ -89,6 +114,11 @@ func (nn *NameNode) buildFsImageLocked() (*fsImage, error) {
 		Version:   fsImageVersion,
 		Racks:     nn.cfg.Racks,
 		NextBlock: nn.nextBlock,
+	}
+	// A single-shard image stays byte-identical to pre-sharding ones:
+	// the field is only written for genuinely partitioned namespaces.
+	if nn.cfg.Shards > 1 {
+		img.Shards = nn.cfg.Shards
 	}
 	for _, n := range nn.nodes {
 		img.Nodes = append(img.Nodes, fsImageNode{
@@ -157,6 +187,12 @@ func (nn *NameNode) loadFsImage(path string) error {
 	defer nn.mu.Unlock()
 	nn.cfg.Racks = img.Racks
 	nn.cfg.ExpectedNodes = len(img.Nodes)
+	// The image's partitioning wins over the configured one: blocks must
+	// land in the shards their hashes select against the same N.
+	nn.cfg.Shards = img.Shards
+	if nn.cfg.Shards < 1 {
+		nn.cfg.Shards = 1
+	}
 	for i, n := range img.Nodes {
 		if int(n.ID) != i {
 			return fmt.Errorf("%w: non-dense node ids", ErrBadFsImage)

@@ -60,6 +60,107 @@ func TestFsImageRoundTripUnit(t *testing.T) {
 	}
 }
 
+// TestFsImageSaveCoalescing is the regression gate for checkpoint
+// coalescing: a storm of heartbeats and block reports — the DFS steady
+// state — must produce no fsimage writes at all, because confirmed
+// replica sets are rebuilt from block reports on restart and are not
+// persisted metadata. A real metadata mutation must still reach disk
+// within a couple of checkpoint intervals, and nothing acknowledged may
+// be lost across a restart from the image.
+func TestFsImageSaveCoalescing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img.json")
+	nn, err := Start(Config{
+		ExpectedNodes:      2,
+		Racks:              2,
+		DefaultReplication: 2,
+		DefaultMinRacks:    2,
+		DeadTimeout:        2 * time.Second,
+		ReconcileInterval:  10 * time.Millisecond,
+		CheckpointInterval: 20 * time.Millisecond,
+		FsImagePath:        path,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			_ = nn.Close()
+		}
+	}()
+	a := registerFake(t, nn, 0, "a:1")
+	b := registerFake(t, nn, 1, "b:1")
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgCreateFile, Path: "/f", Replication: 2}, nil, time.Second); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgAddBlock, Path: "/f", Length: 9}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("add block: %v", err)
+	}
+	a.received(resp.Block)
+	b.received(resp.Block)
+
+	// Let the registration and create mutations reach disk and the
+	// dirty flag settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for nn.Dirty() || nn.FsImageSaves() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("initial checkpoint never settled: dirty=%v saves=%d", nn.Dirty(), nn.FsImageSaves())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	saves0 := nn.FsImageSaves()
+
+	// Steady state: 100 full block reports spread across ~12 checkpoint
+	// intervals. None of that is persisted metadata, so not a single
+	// additional save may happen.
+	const reports = 50
+	for i := 0; i < reports; i++ {
+		a.heartbeat(resp.Block)
+		b.heartbeat(resp.Block)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := nn.FsImageSaves(); got != saves0 {
+		t.Errorf("steady-state saves = %d, want %d: %d block reports must coalesce to zero writes", got, saves0, 2*reports)
+	}
+
+	// A real metadata mutation must reach disk within a couple of
+	// checkpoint intervals.
+	if _, _, err := proto.Call(nn.Addr(), &proto.Message{Type: proto.MsgCreateFile, Path: "/g", Replication: 2}, nil, time.Second); err != nil {
+		t.Fatalf("create /g: %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for nn.FsImageSaves() == saves0 {
+		if time.Now().After(deadline) {
+			t.Fatal("metadata mutation never checkpointed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := nn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	closed = true
+
+	// Coalescing must not lose acknowledged state: both files survive a
+	// restart from the image.
+	nn2, err := Start(Config{
+		ExpectedNodes:     1, // overwritten by the checkpoint
+		Racks:             2,
+		ReconcileInterval: 10 * time.Millisecond,
+		FsImagePath:       path,
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	t.Cleanup(func() { _ = nn2.Close() })
+	for _, p := range []string{"/f", "/g"} {
+		if _, _, err := proto.Call(nn2.Addr(), &proto.Message{Type: proto.MsgStatFile, Path: p}, nil, time.Second); err != nil {
+			t.Errorf("stat %s after restart: %v", p, err)
+		}
+	}
+}
+
 func TestSaveFsImageNotReady(t *testing.T) {
 	nn := startNN(t, 2, 2) // never becomes ready
 	if err := nn.SaveFsImage(filepath.Join(t.TempDir(), "x.json")); !errors.Is(err, ErrNotReady) {

@@ -108,10 +108,19 @@ type Config struct {
 	// FsImagePath, when set, persists the metadata checkpoint there: an
 	// existing checkpoint is loaded at startup (datanodes resume via
 	// their regular heartbeats) and the namenode re-saves it on every
-	// CheckpointInterval and on Close.
+	// CheckpointInterval and on Close — but only when the persisted
+	// metadata actually changed since the last save (saves are coalesced
+	// behind a dirty flag; block reports alone never trigger one).
 	FsImagePath string
 	// CheckpointInterval defaults to 30s.
 	CheckpointInterval time.Duration
+	// Shards partitions the block map into this many hash shards, each
+	// owning its own usage-monitor window and optimizer state; OptimizeNow
+	// runs the per-shard Algorithm-5 periods concurrently. Values below 2
+	// keep the single-shard path, bit-identical to the unsharded
+	// namenode. A loaded fsimage's recorded shard count overrides this:
+	// the partitioning must match the persisted placement.
+	Shards int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -161,6 +170,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 30 * time.Second
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	return c, nil
 }
 
@@ -202,7 +214,7 @@ type NameNode struct {
 	nodes     []*nodeState
 	ready     bool
 	cluster   *topology.Cluster
-	placement *core.Placement
+	placement *core.ShardedPlacement
 	files     map[string]*fileMeta
 	nextBlock proto.BlockID
 	// confirmed[b] is the set of nodes that actually hold block b
@@ -220,9 +232,19 @@ type NameNode struct {
 	moveDurations []time.Duration
 	// commandsIssued counts replicate/delete commands by kind.
 	commandsIssued map[proto.CommandKind]int64
+	// dirty tracks whether persisted metadata (nodes, files, desired
+	// placement, nextBlock) changed since the last fsimage save; the
+	// checkpoint tick and Close skip the save when clean, so block
+	// reports and heartbeats never cause disk writes.
+	dirty bool
+	// fsSaves counts completed fsimage saves, for the coalescing
+	// regression test and operators.
+	fsSaves int64
 
-	monitor *popularity.Monitor[core.BlockID]
-	clock   func() time.Time
+	// monitors hold one usage-monitor window per shard; a block's
+	// accesses are recorded in its hash shard's monitor.
+	monitors []*popularity.Monitor[core.BlockID]
+	clock    func() time.Time
 
 	stop chan struct{}
 	done chan struct{}
@@ -231,10 +253,6 @@ type NameNode struct {
 // Start launches the namenode.
 func Start(cfg Config) (*NameNode, error) {
 	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	mon, err := popularity.NewMonitor[core.BlockID](int64(cfg.WindowBucket), cfg.WindowBuckets)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +276,6 @@ func Start(cfg Config) (*NameNode, error) {
 		pendingCmds:    make(map[proto.NodeID][]proto.Command),
 		inflight:       make(map[inflightKey]time.Time),
 		commandsIssued: make(map[proto.CommandKind]int64),
-		monitor:        mon,
 		clock:          time.Now,
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
@@ -275,6 +292,18 @@ func Start(cfg Config) (*NameNode, error) {
 			_ = ln.Close()
 			return nil, fmt.Errorf("namenode: stat fsimage: %w", statErr)
 		}
+	}
+	// Monitors are sized after the fsimage load: a loaded image may pin
+	// a different shard count than the config asked for.
+	nn.monitors = make([]*popularity.Monitor[core.BlockID], nn.cfg.Shards)
+	for i := range nn.monitors {
+		mon, err := popularity.NewMonitor[core.BlockID](int64(cfg.WindowBucket), cfg.WindowBuckets)
+		if err != nil {
+			//lint:ignore errcheck best effort: the monitor error is what matters
+			_ = ln.Close()
+			return nil, err
+		}
+		nn.monitors[i] = mon
 	}
 	nn.server = proto.Serve(ln, nn.handle, cfg.Timeout)
 	go nn.reconcileLoop()
@@ -294,12 +323,57 @@ func (nn *NameNode) Close() error {
 	close(nn.stop)
 	<-nn.done
 	err := nn.server.Close()
-	if nn.cfg.FsImagePath != "" && nn.Ready() {
+	// Flush-on-shutdown: the final save is skipped only when nothing
+	// changed since the last checkpoint.
+	if nn.cfg.FsImagePath != "" && nn.Ready() && nn.Dirty() {
 		if saveErr := nn.SaveFsImage(nn.cfg.FsImagePath); saveErr != nil && err == nil {
 			err = saveErr
 		}
 	}
 	return err
+}
+
+// Dirty reports whether persisted metadata changed since the last
+// fsimage save.
+func (nn *NameNode) Dirty() bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.dirty
+}
+
+// FsImageSaves reports how many fsimage saves completed so far.
+func (nn *NameNode) FsImageSaves() int64 {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.fsSaves
+}
+
+// Shards reports the namenode's shard count (1 when unsharded).
+func (nn *NameNode) Shards() int { return nn.cfg.Shards }
+
+// markDirtyLocked flags that persisted metadata diverged from the
+// on-disk checkpoint.
+func (nn *NameNode) markDirtyLocked() { nn.dirty = true }
+
+// monitorFor returns the usage monitor owning block id's shard.
+func (nn *NameNode) monitorFor(id core.BlockID) *popularity.Monitor[core.BlockID] {
+	return nn.monitors[core.ShardOf(id, len(nn.monitors))]
+}
+
+// popularitySnapshotLocked merges the per-shard monitor windows into one
+// map. Shards hold disjoint block sets, so the merge is a plain union.
+func (nn *NameNode) popularitySnapshotLocked() map[core.BlockID]int64 {
+	now := nn.clock().UnixNano()
+	if len(nn.monitors) == 1 {
+		return nn.monitors[0].Snapshot(now)
+	}
+	merged := make(map[core.BlockID]int64)
+	for _, mon := range nn.monitors {
+		for id, v := range mon.Snapshot(now) {
+			merged[id] = v
+		}
+	}
+	return merged
 }
 
 // Ready reports whether all expected datanodes have registered.
@@ -411,6 +485,7 @@ func (nn *NameNode) handleRegister(req *proto.Message) (*proto.Message, error) {
 		}
 		nn.ready = true
 	}
+	nn.markDirtyLocked()
 	return &proto.Message{Type: proto.MsgOK, Node: id}, nil
 }
 
@@ -438,7 +513,7 @@ func (nn *NameNode) buildClusterLocked() error {
 	if err != nil {
 		return fmt.Errorf("namenode: build topology: %w", err)
 	}
-	placement, err := core.NewPlacement(cluster, nil)
+	placement, err := core.NewShardedPlacement(cluster, nn.cfg.Shards, nil)
 	if err != nil {
 		return fmt.Errorf("namenode: placement: %w", err)
 	}
@@ -548,6 +623,7 @@ func (nn *NameNode) handleCreate(req *proto.Message) (*proto.Message, error) {
 		replication: repl,
 		minRacks:    minRacks,
 	}
+	nn.markDirtyLocked()
 	return nil, nil
 }
 
@@ -585,7 +661,7 @@ func (nn *NameNode) handleAddBlock(req *proto.Message) (*proto.Message, error) {
 			}
 		}
 	}
-	if err := nn.cfg.Placer.Place(nn.placement, id, f.replication, writer); err != nil {
+	if err := nn.cfg.Placer.Place(nn.placement.For(id), id, f.replication, writer); err != nil {
 		//lint:ignore errcheck rollback of the block added above; the place error is what matters
 		_ = nn.placement.DeleteBlock(id)
 		return nil, fmt.Errorf("namenode: place block: %w", err)
@@ -607,6 +683,7 @@ func (nn *NameNode) handleAddBlock(req *proto.Message) (*proto.Message, error) {
 	nn.nextBlock++
 	f.blocks = append(f.blocks, proto.BlockID(id))
 	f.lengths[proto.BlockID(id)] = req.Length
+	nn.markDirtyLocked()
 	pipeline := nn.addrsLocked(nn.placement.Replicas(id))
 	return &proto.Message{Type: proto.MsgOK, Block: proto.BlockID(id), Pipeline: pipeline}, nil
 }
@@ -619,6 +696,7 @@ func (nn *NameNode) handleComplete(req *proto.Message) (*proto.Message, error) {
 		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
 	}
 	f.complete = true
+	nn.markDirtyLocked()
 	return nil, nil
 }
 
@@ -632,7 +710,7 @@ func (nn *NameNode) handleGetLocations(req *proto.Message) (*proto.Message, erro
 	now := nn.clock().UnixNano()
 	locs := make([]proto.BlockLocation, 0, len(f.blocks))
 	for _, b := range f.blocks {
-		nn.monitor.Record(core.BlockID(b), now)
+		nn.monitorFor(core.BlockID(b)).Record(core.BlockID(b), now)
 		locs = append(locs, proto.BlockLocation{
 			Block:     b,
 			Length:    f.lengths[b],
@@ -699,13 +777,14 @@ func (nn *NameNode) handleSetReplication(req *proto.Message) (*proto.Message, er
 		cur := nn.placement.ReplicaCount(id)
 		switch {
 		case cur < k:
-			if err := core.InitialPlace(nn.placement, id, k, topology.NoMachine); err != nil {
+			if err := core.InitialPlace(nn.placement.For(id), id, k, topology.NoMachine); err != nil {
 				return nil, fmt.Errorf("namenode: widen replication: %w", err)
 			}
 		case cur > k:
 			nn.shrinkLocked(id, k, f.minRacks)
 		}
 	}
+	nn.markDirtyLocked()
 	return nil, nil
 }
 
@@ -766,9 +845,10 @@ func (nn *NameNode) handleDelete(req *proto.Message) (*proto.Message, error) {
 		//lint:ignore errcheck idempotent delete; tombstones cover already-gone blocks
 		_ = nn.placement.DeleteBlock(core.BlockID(b))
 		nn.tombstones[b] = true
-		nn.monitor.Forget(core.BlockID(b))
+		nn.monitorFor(core.BlockID(b)).Forget(core.BlockID(b))
 	}
 	delete(nn.files, req.Path)
+	nn.markDirtyLocked()
 	return nil, nil
 }
 
@@ -828,5 +908,5 @@ func (nn *NameNode) handleClusterInfo() (*proto.Message, error) {
 			Decommissioned: n.decommissioned,
 		})
 	}
-	return &proto.Message{Type: proto.MsgOK, Nodes: nodes}, nil
+	return &proto.Message{Type: proto.MsgOK, Nodes: nodes, Shards: nn.cfg.Shards}, nil
 }

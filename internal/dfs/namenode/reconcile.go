@@ -8,6 +8,7 @@ import (
 	"aurora/internal/core"
 	"aurora/internal/dfs/proto"
 	"aurora/internal/invariant"
+	"aurora/internal/loadindex"
 	"aurora/internal/metrics"
 	"aurora/internal/telemetry"
 	"aurora/internal/topology"
@@ -36,7 +37,10 @@ func (nn *NameNode) reconcileLoop() {
 		case <-ticker.C:
 			nn.ReconcileOnce()
 		case <-checkpoint:
-			if nn.Ready() {
+			// Coalesced checkpointing: skip the save when no persisted
+			// metadata changed since the last one, so steady-state block
+			// reports cost no disk writes.
+			if nn.Ready() && nn.Dirty() {
 				//lint:ignore errcheck best effort: the Close-time save is authoritative
 				_ = nn.SaveFsImage(nn.cfg.FsImagePath)
 			}
@@ -67,7 +71,7 @@ func (nn *NameNode) ReconcileOnce() {
 // telemetry never perturbs the placement state the optimizer and
 // reconcile decisions read.
 func (nn *NameNode) exportLoadTelemetryLocked() {
-	snap := nn.monitor.Snapshot(nn.clock().UnixNano())
+	snap := nn.popularitySnapshotLocked()
 	loads := make([]float64, nn.cluster.NumMachines())
 	for _, id := range nn.placement.Blocks() {
 		k := nn.placement.ReplicaCount(id)
@@ -96,6 +100,7 @@ func (nn *NameNode) detectDeadLocked() {
 			continue
 		}
 		node.alive = false
+		nn.markDirtyLocked()
 		metrics.Default.Counter("dfs.namenode.dead_detected").Inc()
 		m := topology.MachineID(node.id)
 		for _, id := range nn.placement.BlocksOn(m) {
@@ -142,6 +147,7 @@ func (nn *NameNode) ensureAliveDesiredLocked(id core.BlockID, k int) {
 		if err := nn.placement.AddReplica(id, m); err != nil {
 			return
 		}
+		nn.markDirtyLocked()
 	}
 }
 
@@ -168,7 +174,7 @@ func (nn *NameNode) chooseAliveTargetLocked(id core.BlockID) (topology.MachineID
 				continue
 			}
 			m := topology.MachineID(node.id)
-			if nn.placement.HasReplica(id, m) || nn.placement.FreeCapacity(m) <= 0 {
+			if nn.placement.HasReplica(id, m) || !nn.placement.CanHost(id, m) {
 				continue
 			}
 			if newRackOnly {
@@ -314,7 +320,9 @@ func (nn *NameNode) MovementStats() (durations []time.Duration, replicates, dele
 // namenode lock, optionally refreshing block popularities from the usage
 // monitor first. It is the integration point for external rebalancers
 // (the Scarlett baseline in the testbed experiment uses it; Aurora's own
-// optimizer uses OptimizeNow).
+// optimizer uses OptimizeNow). On a sharded namenode fn runs once per
+// shard, in shard order — each invocation sees one partition of the
+// block map; with one shard the behaviour is exactly the unsharded one.
 func (nn *NameNode) WithPlacement(refreshPopularity bool, fn func(*core.Placement) error) error {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
@@ -322,51 +330,83 @@ func (nn *NameNode) WithPlacement(refreshPopularity bool, fn func(*core.Placemen
 		return ErrNotReady
 	}
 	if refreshPopularity {
-		snap := nn.monitor.Snapshot(nn.clock().UnixNano())
-		for _, id := range nn.placement.Blocks() {
-			if err := nn.placement.SetPopularity(id, float64(snap[id])); err != nil {
+		if err := nn.refreshPopularityLocked(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < nn.placement.NumShards(); i++ {
+		if err := fn(nn.placement.Shard(i)); err != nil {
+			return err
+		}
+	}
+	nn.markDirtyLocked()
+	return nil
+}
+
+// refreshPopularityLocked copies each shard's usage-monitor window into
+// its placement's block popularities.
+func (nn *NameNode) refreshPopularityLocked() error {
+	now := nn.clock().UnixNano()
+	for i, mon := range nn.monitors {
+		snap := mon.Snapshot(now)
+		p := nn.placement.Shard(i)
+		for _, id := range p.Blocks() {
+			if err := p.SetPopularity(id, float64(snap[id])); err != nil {
 				return err
 			}
 		}
 	}
-	return fn(nn.placement)
+	return nil
 }
 
 // OptimizeNow runs one Aurora optimization period (Algorithm 5) against
 // the live metadata: block popularities are refreshed from the usage
-// monitor, the optimizer mutates the desired placement, and the
-// reconcile loop carries the resulting copies and deletions to the
-// datanodes. It returns the optimizer's report.
+// monitors, each shard's period runs concurrently over the bounded
+// worker pool, a cross-shard rebalance pass migrates replication budget
+// between shards, and the reconcile loop carries the resulting copies
+// and deletions to the datanodes. The returned report aggregates the
+// shards (with one shard it is exactly the unsharded period's report).
 func (nn *NameNode) OptimizeNow(opts core.OptimizerOptions) (core.OptimizeResult, error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	if !nn.ready {
 		return core.OptimizeResult{}, ErrNotReady
 	}
-	snap := nn.monitor.Snapshot(nn.clock().UnixNano())
-	for _, id := range nn.placement.Blocks() {
-		if err := nn.placement.SetPopularity(id, float64(snap[id])); err != nil {
-			return core.OptimizeResult{}, err
-		}
+	if err := nn.refreshPopularityLocked(); err != nil {
+		return core.OptimizeResult{}, err
 	}
+	snap := nn.popularitySnapshotLocked()
 	// In debug builds, a feasible placement must stay feasible through
 	// the optimizer: assert the paper invariants after the run.
 	assertAfter := invariant.Enabled && nn.placement.CheckFeasible() == nil
 	start := time.Now()
-	res, err := core.Optimize(nn.placement, opts)
-	if err != nil {
-		return res, fmt.Errorf("namenode: optimize: %w", err)
+	res, err := core.OptimizeSharded(nn.placement, core.ShardedOptimizerOptions{
+		Opts: opts,
+		// Per-shard wall timing uses the namenode's injected clock, so
+		// deterministic harnesses replay with their own time source.
+		Now: func() int64 { return nn.clock().UnixNano() },
+	})
+	agg := core.OptimizeResult{
+		Replications: res.Replications,
+		Evictions:    res.Evictions,
+		Search:       res.Search,
 	}
-	telemetry.ExportOptimizePeriod(metrics.Default, res, time.Since(start))
-	telemetry.ExportMachineLoads(metrics.Default, nn.placement.Loads())
+	if err != nil {
+		return agg, fmt.Errorf("namenode: optimize: %w", err)
+	}
+	telemetry.ExportShardedOptimizePeriod(metrics.Default, res, time.Since(start))
+	telemetry.ExportMachineLoads(metrics.Default, nn.placement.AppendLoads(nil))
 	telemetry.ExportHotspots(metrics.Default, snap)
 	nn.repairDeadDesiredLocked()
+	nn.markDirtyLocked()
 	if assertAfter {
-		if verr := invariant.CheckPlacement(nn.placement); verr != nil {
-			return res, fmt.Errorf("namenode: post-optimize %w", verr)
+		for i := 0; i < nn.placement.NumShards(); i++ {
+			if verr := invariant.CheckPlacement(nn.placement.Shard(i)); verr != nil {
+				return agg, fmt.Errorf("namenode: post-optimize shard %d: %w", i, verr)
+			}
 		}
 	}
-	return res, nil
+	return agg, nil
 }
 
 // repairDeadDesiredLocked strips desired replicas sitting on dead
@@ -388,21 +428,39 @@ func (nn *NameNode) repairDeadDesiredLocked() {
 	}
 }
 
-// PopularitySnapshot returns the usage monitor's current per-block
-// counts.
+// PopularitySnapshot returns the usage monitors' current per-block
+// counts, merged across shards.
 func (nn *NameNode) PopularitySnapshot() map[core.BlockID]int64 {
-	return nn.monitor.Snapshot(nn.clock().UnixNano())
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.popularitySnapshotLocked()
 }
 
 // PlacementClone returns a deep copy of the desired placement for
-// inspection (reporting, what-if tooling).
+// inspection (reporting, what-if tooling), flattened across shards into
+// a single Placement. With one shard this is a plain clone.
 func (nn *NameNode) PlacementClone() (*core.Placement, error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	if !nn.ready {
 		return nil, ErrNotReady
 	}
-	return nn.placement.Clone(), nil
+	return nn.placement.Merge()
+}
+
+// ShardImbalance reports max/mean over the shards' local objectives —
+// the cross-shard balance statistic (1 when perfectly even or
+// unsharded).
+func (nn *NameNode) ShardImbalance() (float64, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if !nn.ready {
+		return 0, ErrNotReady
+	}
+	if nn.placement.NumShards() == 1 {
+		return 1, nil
+	}
+	return loadindex.Imbalance(nn.placement.ShardCosts(nil)), nil
 }
 
 // Converged reports whether every desired replica is confirmed and no

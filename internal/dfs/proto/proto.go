@@ -170,9 +170,13 @@ type Message struct {
 	Blocks   []BlockID `json:"blocks,omitempty"`
 	Commands []Command `json:"commands,omitempty"`
 
-	// ListFiles / StatFile / ClusterInfo responses.
-	Files []FileInfo `json:"files,omitempty"`
-	Nodes []NodeInfo `json:"nodes,omitempty"`
+	// ListFiles / StatFile / ClusterInfo responses. Shards is the
+	// namenode's block-map shard count (ClusterInfo only; 0 on old
+	// namenodes means unsharded), which shard-aware clients use to route
+	// their location caches.
+	Files  []FileInfo `json:"files,omitempty"`
+	Nodes  []NodeInfo `json:"nodes,omitempty"`
+	Shards int        `json:"shards,omitempty"`
 
 	// Fsck response.
 	Health *HealthReport `json:"health,omitempty"`

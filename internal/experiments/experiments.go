@@ -68,6 +68,19 @@ type Setup struct {
 	// and writes into its own result slot, so a parallel sweep is
 	// byte-identical to a serial one.
 	Workers int
+	// Shards partitions the Aurora policy's block map for the periodic
+	// optimization (values below 2 run the classic unsharded optimizer).
+	// Baseline policies are unaffected.
+	Shards int
+}
+
+// auroraPolicy builds the sweep's Aurora policy: the classic single-map
+// optimizer, or the sharded one when the setup asks for partitioning.
+func (s Setup) auroraPolicy(opts core.OptimizerOptions) sim.Policy {
+	if s.Shards > 1 {
+		return &sim.ShardedAuroraPolicy{Shards: s.Shards, Opts: opts}
+	}
+	return &sim.AuroraPolicy{Opts: opts}
 }
 
 // DefaultSetup returns a laptop-scale rendition of the paper's setup
@@ -252,17 +265,17 @@ func figSweep(s Setup, name string, minRacks int, withBudget bool) (*Figure, err
 			return
 		}
 		eps := s.Epsilons[i-1]
-		pol := &sim.AuroraPolicy{Opts: core.OptimizerOptions{
+		opts := core.OptimizerOptions{
 			Epsilon:             eps,
 			RackAware:           minRacks > 1,
 			MaxSearchIterations: s.MaxSearchIterations,
-		}}
+		}
 		if withBudget {
-			pol.Opts.ReplicationBudget = tr.NumBlocks()*3 + s.BudgetExtraBlocks
-			pol.Opts.MaxReplicationMoves = s.K
+			opts.ReplicationBudget = tr.NumBlocks()*3 + s.BudgetExtraBlocks
+			opts.MaxReplicationMoves = s.K
 		}
 		label := fmt.Sprintf("Aurora eps=%.1f", eps)
-		rows[i], errs[i] = runOne(cl, tr, pol, label, eps, s.Hours)
+		rows[i], errs[i] = runOne(cl, tr, s.auroraPolicy(opts), label, eps, s.Hours)
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
@@ -307,15 +320,14 @@ func Fig5(s Setup) (*Figure, error) {
 			return
 		}
 		eps := s.Epsilons[i-1]
-		pol := &sim.AuroraPolicy{Opts: core.OptimizerOptions{
+		label := fmt.Sprintf("Aurora eps=%.1f", eps)
+		rows[i], errs[i] = runOne(cl, tr, s.auroraPolicy(core.OptimizerOptions{
 			Epsilon:             eps,
 			RackAware:           true,
 			ReplicationBudget:   budget,
 			MaxReplicationMoves: s.K,
 			MaxSearchIterations: s.MaxSearchIterations,
-		}}
-		label := fmt.Sprintf("Aurora eps=%.1f", eps)
-		rows[i], errs[i] = runOne(cl, tr, pol, label, eps, s.Hours)
+		}), label, eps, s.Hours)
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err

@@ -57,6 +57,10 @@ type TestbedSetup struct {
 	// hits the replay phase. Task reads and client RPCs then retry with
 	// backoff until the cluster heals. See internal/faultinject.
 	FaultSchedule faultinject.Schedule
+	// Shards partitions every system's namenode block map (values below
+	// 2 keep the classic single-map namenode). Aurora's reconfiguration
+	// then runs one optimizer period per shard concurrently.
+	Shards int
 }
 
 // DefaultTestbedSetup mirrors the paper's testbed shape at test speed.
@@ -217,6 +221,7 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 		WindowBuckets:      5,
 		Placer:             placer,
 		Seed:               s.Seed,
+		Shards:             s.Shards,
 	})
 	if err != nil {
 		return row, err

@@ -101,6 +101,109 @@ func (a *AuroraPolicy) Reconfigure(p *core.Placement) (Reconfig, error) {
 	return rc, nil
 }
 
+// ShardedAuroraPolicy runs Aurora with the namenode's partitioned block
+// map: each epoch it shards the current layout by block hash, runs one
+// Algorithm 5 period per shard concurrently plus the cross-shard budget
+// rebalance, and replays the resulting layout delta onto the simulator's
+// shared placement. The budget-share state carries across epochs, so the
+// rebalance pass steers budget exactly as the live namenode's does.
+type ShardedAuroraPolicy struct {
+	// Shards is the hash-partition count (values below 2 behave like
+	// AuroraPolicy, modulo observer ordering).
+	Shards int
+	// Workers bounds the per-shard optimizer concurrency (0 = one per
+	// CPU).
+	Workers int
+	// Opts configure each shard's Algorithm 5 period. Observers are
+	// overwritten by the policy for accounting.
+	Opts core.OptimizerOptions
+
+	shares []int // cross-shard budget apportionment carried across epochs
+}
+
+// Name implements Policy.
+func (a *ShardedAuroraPolicy) Name() string { return fmt.Sprintf("aurora-%dshard", a.Shards) }
+
+// PlaceInitial implements Policy. Initial placement is global — sharding
+// only partitions the periodic optimization, exactly as in the namenode.
+func (a *ShardedAuroraPolicy) PlaceInitial(p *core.Placement, id core.BlockID, writer topology.MachineID) error {
+	spec, err := p.Spec(id)
+	if err != nil {
+		return err
+	}
+	return core.InitialPlace(p, id, spec.MinReplicas, writer)
+}
+
+// Reconfigure implements Policy.
+func (a *ShardedAuroraPolicy) Reconfigure(p *core.Placement) (Reconfig, error) {
+	var rc Reconfig
+	ids := p.Blocks()
+	specs := make([]core.BlockSpec, 0, len(ids))
+	for _, id := range ids {
+		spec, err := p.Spec(id)
+		if err != nil {
+			return rc, err
+		}
+		specs = append(specs, spec)
+	}
+	sp, err := core.NewShardedPlacement(p.Cluster(), a.Shards, specs)
+	if err != nil {
+		return rc, fmt.Errorf("sim: sharded aurora reconfigure: %w", err)
+	}
+	for _, id := range ids {
+		for _, m := range p.Replicas(id) {
+			if err := sp.AddReplica(id, m); err != nil {
+				return rc, fmt.Errorf("sim: sharded aurora reconfigure: seed replica: %w", err)
+			}
+		}
+	}
+	sp.SetShares(a.shares)
+
+	opts := core.ShardedOptimizerOptions{Workers: a.Workers, Opts: a.Opts}
+	opts.Opts.OnOp = func(o core.Op) { rc.Migrations += o.BlockMovements() }
+	opts.Opts.OnReplicate = func(core.BlockID, topology.MachineID, topology.MachineID) { rc.Replications++ }
+	opts.Opts.OnEvict = func(core.BlockID, topology.MachineID) { rc.Evictions++ }
+	res, err := core.OptimizeSharded(sp, opts)
+	if err != nil {
+		return rc, fmt.Errorf("sim: sharded aurora reconfigure: %w", err)
+	}
+	a.shares = res.NextShares
+
+	// Replay the layout delta onto the shared placement: all removals
+	// first so machine capacity freed by migrations is available before
+	// the additions that consumed it in the sharded run land.
+	type add struct {
+		id core.BlockID
+		m  topology.MachineID
+	}
+	var adds []add
+	for _, id := range ids {
+		before := p.Replicas(id)
+		after := sp.Replicas(id) // both ascending; set-diff by merge walk
+		i, j := 0, 0
+		for i < len(before) || j < len(after) {
+			switch {
+			case j == len(after) || (i < len(before) && before[i] < after[j]):
+				if err := p.RemoveReplica(id, before[i]); err != nil {
+					return rc, fmt.Errorf("sim: sharded aurora reconfigure: apply removal: %w", err)
+				}
+				i++
+			case i == len(before) || after[j] < before[i]:
+				adds = append(adds, add{id, after[j]})
+				j++
+			default:
+				i, j = i+1, j+1
+			}
+		}
+	}
+	for _, ad := range adds {
+		if err := p.AddReplica(ad.id, ad.m); err != nil {
+			return rc, fmt.Errorf("sim: sharded aurora reconfigure: apply addition: %w", err)
+		}
+	}
+	return rc, nil
+}
+
 // ScarlettPolicy is the dynamic-replication baseline: random initial
 // placement plus Scarlett's replication heuristic each epoch, with no
 // Move/Swap rebalancing.
@@ -146,5 +249,6 @@ func (s *ScarlettPolicy) Reconfigure(p *core.Placement) (Reconfig, error) {
 var (
 	_ Policy = (*HDFSPolicy)(nil)
 	_ Policy = (*AuroraPolicy)(nil)
+	_ Policy = (*ShardedAuroraPolicy)(nil)
 	_ Policy = (*ScarlettPolicy)(nil)
 )

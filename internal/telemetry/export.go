@@ -34,6 +34,36 @@ func ExportOptimizePeriod(reg *metrics.Registry, res core.OptimizeResult, wall t
 	reg.Histogram("aurora_optimizer_wall_seconds").Observe(wall.Seconds())
 }
 
+// ExportShardedOptimizePeriod publishes one sharded optimizer period:
+// the aggregate series via ExportOptimizePeriod (so unsharded
+// dashboards and alerts keep working — FinalCost there is the global λ
+// across shards), per-shard SOL/iteration/wall-time series labeled with
+// the shard index, the cross-shard imbalance gauge (max/mean over the
+// shards' local objectives λ_s) and each shard's replication-budget
+// share after the rebalance pass.
+func ExportShardedOptimizePeriod(reg *metrics.Registry, res core.ShardedOptimizeResult, wall time.Duration) {
+	agg := core.OptimizeResult{
+		Replications: res.Replications,
+		Evictions:    res.Evictions,
+		Search:       res.Search,
+	}
+	ExportOptimizePeriod(reg, agg, wall)
+	reg.Gauge("aurora_shard_imbalance").Set(res.Imbalance)
+	for i, r := range res.PerShard {
+		shard := metrics.L("shard", strconv.Itoa(i))
+		reg.Gauge("aurora_optimizer_sol", shard).Set(r.Search.FinalCost)
+		reg.Gauge("aurora_optimizer_sol_before", shard).Set(r.Search.InitialCost)
+		reg.Gauge("aurora_optimizer_iterations", shard).Set(float64(r.Search.Iterations))
+		if i < len(res.PerShardWallNanos) {
+			reg.Histogram("aurora_optimizer_wall_seconds", shard).
+				Observe(time.Duration(res.PerShardWallNanos[i]).Seconds())
+		}
+		if i < len(res.NextShares) {
+			reg.Gauge("aurora_shard_budget_share", shard).Set(float64(res.NextShares[i]))
+		}
+	}
+}
+
 // ExportMachineLoads publishes per-machine load gauges (index =
 // MachineID) plus the λ objective, the cluster-wide maximum.
 func ExportMachineLoads(reg *metrics.Registry, loads []float64) {
