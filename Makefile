@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos telemetry-smoke ci
+.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos telemetry-smoke datapath-smoke ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column. The metrics
 # record path (//lint:hotpath roots) is benched separately so its
 # allocs/op rows — expected 0 — sit in the same ledger.
-BENCH_PATTERN ?= ^(BenchmarkLocalSearchNode|BenchmarkLocalSearchRack|BenchmarkOptimizePeriod|BenchmarkOptimizePeriodSharded)$$
+BENCH_PATTERN ?= ^(BenchmarkLocalSearchNode|BenchmarkLocalSearchRack|BenchmarkOptimizePeriod|BenchmarkOptimizePeriodSharded|BenchmarkDataPathThroughput)$$
 BENCH_METRICS_PATTERN ?= ^(BenchmarkLogHistogramObserve|BenchmarkGaugeAdd|BenchmarkRegistryCounterLookupInc)$$
 BENCH_LABEL ?= after
 
@@ -62,6 +62,12 @@ chaos:
 # latency histograms are exposed. See DESIGN.md §12.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# Boot the testbed with streaming forced on (small chunks + read-ahead),
+# scrape /metrics and assert the chunk/byte counters moved — catches a
+# silent fallback to one-shot block RPCs. See DESIGN.md §15.
+datapath-smoke:
+	sh scripts/datapath_smoke.sh
 
 # Run the core hot-path benchmarks and merge the numbers into
 # BENCH_core.json under $(BENCH_LABEL). The intermediate file keeps a

@@ -205,13 +205,14 @@ func (t budgetTarget) OptimizeNow(opts aurora.OptimizerOptions) (aurora.Optimize
 func runDataNode(args []string) error {
 	fs := flag.NewFlagSet("datanode", flag.ContinueOnError)
 	var (
-		nnAddr   = fs.String("namenode", "", "namenode control address (required)")
-		rack     = fs.Int("rack", 0, "rack this node lives in")
-		capacity = fs.Int("capacity", 4096, "max blocks stored")
-		dir      = fs.String("dir", "", "data directory (empty = in-memory)")
-		listen   = fs.String("listen", "127.0.0.1:0", "data listen address")
-		compress = fs.Bool("compress", true, "gzip replication transfers")
-		telem    = fs.String("telemetry-addr", "", "serve /metrics and pprof on this address (empty = off)")
+		nnAddr    = fs.String("namenode", "", "namenode control address (required)")
+		rack      = fs.Int("rack", 0, "rack this node lives in")
+		capacity  = fs.Int("capacity", 4096, "max blocks stored")
+		dir       = fs.String("dir", "", "data directory (empty = in-memory)")
+		listen    = fs.String("listen", "127.0.0.1:0", "data listen address")
+		compress  = fs.Bool("compress", true, "gzip replication transfers")
+		telem     = fs.String("telemetry-addr", "", "serve /metrics and pprof on this address (empty = off)")
+		fullEvery = fs.Int("full-report-every", 0, "heartbeats between periodic full block reports (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -234,6 +235,7 @@ func runDataNode(args []string) error {
 		ListenAddr:        *listen,
 		DataDir:           *dir,
 		CompressTransfers: *compress,
+		FullReportEvery:   *fullEvery,
 	})
 	if err != nil {
 		return err
@@ -253,6 +255,8 @@ func clientFlags(name string, args []string, extra func(*flag.FlagSet)) (*aurora
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	nnAddr := fs.String("namenode", "", "namenode control address (required)")
 	blockSize := fs.Int("block-size", 1<<20, "client block split size")
+	chunkSize := fs.Int("chunk-size", 128<<10, "streamed data-path chunk size (0 = one-shot block RPCs)")
+	readAhead := fs.Int("read-ahead", 1, "blocks prefetched beyond the one draining (0 = sequential)")
 	if extra != nil {
 		extra(fs)
 	}
@@ -264,6 +268,8 @@ func clientFlags(name string, args []string, extra func(*flag.FlagSet)) (*aurora
 	}
 	c := aurora.NewFSClient(*nnAddr,
 		aurora.WithBlockSize(*blockSize),
+		aurora.WithChunkSize(*chunkSize),
+		aurora.WithReadAhead(*readAhead),
 		aurora.WithClientTimeout(30*time.Second))
 	return c, fs, nil
 }

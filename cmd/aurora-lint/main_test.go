@@ -235,7 +235,13 @@ func TestRulesOnFixtures(t *testing.T) {
 				// and limit (read-only) are never reported.
 			},
 		},
-		{pkg: "internal/dfs/proto", want: nil},
+		{
+			pkg: "internal/dfs/proto",
+			want: []finding{
+				{"internal/dfs/proto/proto.go", 20, analysis.RulePkgDoc,
+					"exported wire-protocol type ChunkFrame lacks a doc comment; document every frame type (DESIGN.md §15)"},
+			},
+		},
 		{pkg: "internal/retrypolicy", want: nil},
 		{pkg: "clean", want: nil},
 	}

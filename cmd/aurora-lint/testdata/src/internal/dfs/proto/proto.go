@@ -16,3 +16,5 @@ type CallFunc func(addr string, req *Message, payload []byte, timeout time.Durat
 func Call(addr string, req *Message, payload []byte, timeout time.Duration) (*Message, []byte, error) {
 	return &Message{Type: 1}, nil, nil
 }
+
+type ChunkFrame struct{ Seq int } // undocumented frame type: pkgdoc must flag it

@@ -71,6 +71,12 @@ var (
 	WithLocalDataNode = client.WithLocalDataNode
 	// WithClientSeed makes replica selection deterministic.
 	WithClientSeed = client.WithSeed
+	// WithChunkSize sets the streamed data-path chunk size in bytes;
+	// n <= 0 falls back to one-shot block RPCs (DESIGN.md §15).
+	WithChunkSize = client.WithChunkSize
+	// WithReadAhead sets how many blocks Read prefetches beyond the one
+	// currently draining (0 = strictly sequential).
+	WithReadAhead = client.WithReadAhead
 )
 
 // NewHDFSPlacer builds the default random placer with a deterministic

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/token"
 	"path/filepath"
 	"strings"
 )
@@ -14,6 +16,7 @@ func (r *Runner) checkPkgDoc(pkg *Package) {
 	if len(pkg.Files) == 0 {
 		return
 	}
+	r.checkProtoTypeDocs(pkg)
 	want := "Package "
 	if pkg.Types.Name() == "main" {
 		want = "Command "
@@ -31,4 +34,36 @@ func (r *Runner) checkPkgDoc(pkg *Package) {
 	r.report(f.Package, RulePkgDoc,
 		"package %s lacks a doc comment; start one file with %q",
 		pkg.Types.Name(), "// "+want+suggest+" ...")
+}
+
+// checkProtoTypeDocs tightens the doc convention inside the wire
+// protocol package (path suffix internal/dfs/proto): every exported
+// type there is a frame, envelope field carrier, or transport seam of
+// the documented protocol (DESIGN.md §15), so each one must carry its
+// own doc comment — a bare declaration gives a reader of the spec
+// nothing to cross-reference.
+func (r *Runner) checkProtoTypeDocs(pkg *Package) {
+	if !strings.HasSuffix(pkg.ImportPath, "internal/dfs/proto") {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				if ts.Doc.Text() != "" || (len(gd.Specs) == 1 && gd.Doc.Text() != "") {
+					continue
+				}
+				r.report(ts.Pos(), RulePkgDoc,
+					"exported wire-protocol type %s lacks a doc comment; document every frame type (DESIGN.md §15)",
+					ts.Name.Name)
+			}
+		}
+	}
 }

@@ -106,6 +106,7 @@ func chaosRun(t *testing.T, seed uint64) []string {
 			CapacityBlocks:    512,
 			HeartbeatInterval: 50 * time.Millisecond,
 			Call:              inj.CallFrom(i),
+			OpenStream:        inj.StreamFrom(i),
 			Retry: retrypolicy.Policy{
 				MaxAttempts: 3,
 				BaseDelay:   25 * time.Millisecond,
@@ -134,10 +135,15 @@ func chaosRun(t *testing.T, seed uint64) []string {
 		t.Fatalf("WaitReady: %v", err)
 	}
 
+	// The chunked data path runs under chaos too: the stream transport
+	// goes through the injector so crashes tear transfers at frame
+	// boundaries, and the small chunk size forces multi-chunk blocks.
 	c := client.New(nn.Addr(),
 		client.WithBlockSize(1<<12),
 		client.WithSeed(seed),
 		client.WithCall(inj.CallFrom(faultinject.External)),
+		client.WithOpenStream(inj.StreamFrom(faultinject.External)),
+		client.WithChunkSize(1<<10),
 		client.WithRetry(chaosRetry),
 	)
 	const files = 6

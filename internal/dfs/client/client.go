@@ -14,6 +14,7 @@ import (
 
 	"aurora/internal/dfs/proto"
 	"aurora/internal/metrics"
+	"aurora/internal/par"
 	"aurora/internal/retrypolicy"
 	"aurora/internal/trace"
 )
@@ -45,6 +46,15 @@ type Client struct {
 	call          proto.CallFunc
 	retry         retrypolicy.Policy
 	spans         *trace.SpanLog
+
+	// Chunked data path (DESIGN.md §15). chunkSize <= 0 falls back to
+	// one-shot block RPCs; readAhead is how many extra blocks Read keeps
+	// in flight while the current one drains.
+	chunkSize      int
+	readAhead      int
+	openStream     proto.OpenStreamFunc
+	callOverridden bool
+	openOverridden bool
 }
 
 // Option configures a Client.
@@ -72,9 +82,36 @@ func WithSeed(seed uint64) Option {
 }
 
 // WithCall overrides the RPC transport (the fault-injection harness
-// passes an Injector.CallFrom here).
+// passes an Injector.CallFrom here). Overriding the one-shot transport
+// without also supplying WithOpenStream disables the chunked data path
+// — a stubbed transport cannot carry streams, so block I/O falls back
+// to one-shot RPCs that the stub sees.
 func WithCall(fn proto.CallFunc) Option {
-	return func(c *Client) { c.call = fn }
+	return func(c *Client) { c.call = fn; c.callOverridden = true }
+}
+
+// WithOpenStream overrides the stream transport used by the chunked
+// data path (the fault-injection harness passes an Injector.StreamFrom
+// here). Setting it re-enables streaming even when WithCall replaced
+// the one-shot transport.
+func WithOpenStream(fn proto.OpenStreamFunc) Option {
+	return func(c *Client) { c.openStream = fn; c.openOverridden = true }
+}
+
+// WithChunkSize sets the frame payload size in bytes for streamed
+// block writes and reads (DESIGN.md §15). n <= 0 disables the chunked
+// data path entirely, restoring one-shot MsgWriteBlock/MsgReadBlock
+// exchanges.
+func WithChunkSize(n int) Option {
+	return func(c *Client) { c.chunkSize = n }
+}
+
+// WithReadAhead sets how many blocks Read prefetches beyond the one
+// currently draining (0 = strictly sequential). Replica choices stay
+// deterministic under WithSeed: the failover permutations are drawn in
+// block order before the prefetch workers fan out.
+func WithReadAhead(n int) Option {
+	return func(c *Client) { c.readAhead = n }
 }
 
 // WithRetry overrides the retry/backoff policy applied to namenode RPCs
@@ -93,12 +130,15 @@ func WithSpanLog(l *trace.SpanLog) Option {
 // New creates a client for the namenode at addr.
 func New(namenodeAddr string, opts ...Option) *Client {
 	c := &Client{
-		namenode:  namenodeAddr,
-		blockSize: 1 << 20,
-		timeout:   proto.DefaultTimeout,
-		rng:       newLockedRand(uint64(time.Now().UnixNano())),
-		call:      proto.Call,
-		retry:     retrypolicy.Default,
+		namenode:   namenodeAddr,
+		blockSize:  1 << 20,
+		timeout:    proto.DefaultTimeout,
+		rng:        newLockedRand(uint64(time.Now().UnixNano())),
+		call:       proto.Call,
+		retry:      retrypolicy.Default,
+		chunkSize:  proto.DefaultChunkSize,
+		readAhead:  1,
+		openStream: proto.OpenStream,
 	}
 	for _, o := range opts {
 		o(c)
@@ -201,19 +241,22 @@ func (c *Client) writeBlock(path string, chunk []byte) error {
 	if len(resp.Pipeline) == 0 {
 		return fmt.Errorf("client: namenode returned empty pipeline for block %d", resp.Block)
 	}
-	write := &proto.Message{
-		Type:     proto.MsgWriteBlock,
-		Block:    resp.Block,
-		Pipeline: resp.Pipeline[1:],
-		Length:   len(chunk),
-		Checksum: checksum(chunk),
-	}
 	// Pipeline writes retry under the same policy: block puts are
 	// idempotent (same id, same bytes), so a duplicate is harmless.
 	sp := c.spans.Start("client.write_block")
 	sp.Annotate("block", fmt.Sprint(resp.Block))
 	defer sp.End()
 	err = c.retryPolicy().Do(func() error {
+		if c.streaming() {
+			return c.writeBlockStreamed(resp.Block, resp.Pipeline, chunk)
+		}
+		write := &proto.Message{
+			Type:     proto.MsgWriteBlock,
+			Block:    resp.Block,
+			Pipeline: resp.Pipeline[1:],
+			Length:   len(chunk),
+			Checksum: checksum(chunk),
+		}
 		_, _, callErr := c.call(resp.Pipeline[0], write, chunk, c.timeout)
 		return callErr
 	})
@@ -235,24 +278,42 @@ func (c *Client) Read(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Replica failover orders are drawn sequentially in block order
+	// BEFORE the prefetch workers fan out, so WithSeed pins replica
+	// selection no matter how the workers interleave.
+	orders := make([][]int, len(locs))
+	for i := range locs {
+		orders[i] = c.rng.perm(len(locs[i].Addresses))
+	}
+	blocks := make([][]byte, len(locs))
+	errs := make([]error, len(locs))
+	par.ForEach(len(locs), c.readAhead+1, func(i int) {
+		blocks[i], errs[i] = c.readBlockFresh(path, i, locs[i], orders[i])
+	})
 	var out []byte
 	for i := range locs {
-		data, err := c.readBlockFresh(path, i, locs[i])
-		if err != nil {
-			return nil, fmt.Errorf("client: read %s block %d: %w", path, locs[i].Block, err)
+		if errs[i] != nil {
+			return nil, fmt.Errorf("client: read %s block %d: %w", path, locs[i].Block, errs[i])
 		}
-		out = append(out, data...)
+		out = append(out, blocks[i]...)
 	}
 	return out, nil
 }
 
 // readBlockFresh reads block idx of the file, refetching its locations
-// between attempts when every known replica fails.
-func (c *Client) readBlockFresh(path string, idx int, loc proto.BlockLocation) ([]byte, error) {
+// between attempts when every known replica fails. order is the
+// pre-drawn replica permutation for the first attempt; retries (whose
+// location set may have changed) draw a fresh one.
+func (c *Client) readBlockFresh(path string, idx int, loc proto.BlockLocation, order []int) ([]byte, error) {
 	var data []byte
 	err := c.retryPolicy().Do(func() error {
 		var readErr error
-		data, readErr = c.readBlock(loc)
+		if order != nil && len(order) == len(loc.Addresses) {
+			data, readErr = c.readBlockOrdered(loc, order)
+		} else {
+			data, readErr = c.readBlock(loc)
+		}
+		order = nil
 		if readErr == nil {
 			return nil
 		}
@@ -277,10 +338,18 @@ func (c *Client) Locations(path string) ([]proto.BlockLocation, error) {
 }
 
 func (c *Client) readBlock(loc proto.BlockLocation) ([]byte, error) {
+	return c.readBlockOrdered(loc, c.rng.perm(len(loc.Addresses)))
+}
+
+// readBlockOrdered tries the block's replicas in the given permutation,
+// dispatching to the chunked stream path when it is enabled.
+func (c *Client) readBlockOrdered(loc proto.BlockLocation, order []int) ([]byte, error) {
 	if len(loc.Addresses) == 0 {
 		return nil, ErrNoReplica
 	}
-	order := c.rng.perm(len(loc.Addresses))
+	if c.streaming() {
+		return c.readBlockStreamed(loc, order)
+	}
 	var lastErr error
 	for _, i := range order {
 		addr := loc.Addresses[i]

@@ -72,7 +72,9 @@ func TestCreateSplitsIntoBlocks(t *testing.T) {
 			return proto.ErrorMessage(errors.New("unexpected")), nil
 		}
 	})
-	c := New(nn.srv.Addr(), WithBlockSize(100), WithSeed(1))
+	// WithChunkSize(0) pins the one-shot write path this test scripts;
+	// the streamed path is covered in stream_test.go.
+	c := New(nn.srv.Addr(), WithBlockSize(100), WithSeed(1), WithChunkSize(0))
 	data := make([]byte, 250) // 100 + 100 + 50
 	if err := c.Create("/f", data, 0); err != nil {
 		t.Fatalf("Create: %v", err)
@@ -107,7 +109,7 @@ func TestReadFailsOverAcrossReplicas(t *testing.T) {
 			{Block: 1, Length: len(good), Addresses: []string{deadAddr, gooddn.srv.Addr()}},
 		}}, nil
 	})
-	c := New(nn.srv.Addr(), WithSeed(2), WithTimeout(300*time.Millisecond))
+	c := New(nn.srv.Addr(), WithSeed(2), WithTimeout(300*time.Millisecond), WithChunkSize(0))
 	// Whichever order the RNG picks, the dead replica must be skipped.
 	for i := 0; i < 5; i++ {
 		got, err := c.Read("/f")
@@ -131,7 +133,7 @@ func TestReadRejectsChecksumMismatch(t *testing.T) {
 			{Block: 1, Length: len(bad), Addresses: []string{dn.srv.Addr()}},
 		}}, nil
 	})
-	c := New(nn.srv.Addr(), WithSeed(3), WithTimeout(300*time.Millisecond))
+	c := New(nn.srv.Addr(), WithSeed(3), WithTimeout(300*time.Millisecond), WithChunkSize(0))
 	_, err := c.Read("/f")
 	if !errors.Is(err, ErrNoReplica) {
 		t.Fatalf("err = %v, want ErrNoReplica (all replicas bad)", err)

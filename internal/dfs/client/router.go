@@ -165,7 +165,7 @@ func (r *Router) Read(path string) ([]byte, error) {
 				return nil, fmt.Errorf("client: read %s block %d: file shrank under the cache", path, i)
 			}
 			locs = fresh
-			data, err = r.c.readBlockFresh(path, i, locs[i])
+			data, err = r.c.readBlockFresh(path, i, locs[i], nil)
 			if err != nil {
 				return nil, fmt.Errorf("client: read %s block %d: %w", path, locs[i].Block, err)
 			}

@@ -1,0 +1,175 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aurora/internal/dfs/proto"
+)
+
+// startStreamFake runs a proto server whose stream side is scripted and
+// whose one-shot side rejects everything — the unit-test stand-in for a
+// datanode's data path.
+func startStreamFake(t *testing.T, h proto.StreamHandler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := proto.ServeStreams(ln, func(req *proto.Message, _ []byte) (*proto.Message, []byte) {
+		return proto.ErrorMessage(errors.New("unexpected one-shot call")), nil
+	}, h, time.Second)
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr()
+}
+
+// serveChunks streams data[open.Offset:] back in open.ChunkSize chunks,
+// stopping (connection drop) after dieAfter chunks when dieAfter > 0.
+func serveChunks(data []byte, dieAfter int) proto.StreamHandler {
+	return func(open *proto.Message, _ []byte, st proto.BlockStream) {
+		sent := 0
+		for seq, off := 0, open.Offset; ; seq++ {
+			if dieAfter > 0 && sent >= dieAfter {
+				return // server closes the conn; client sees a torn stream
+			}
+			end := off + open.ChunkSize
+			if end > len(data) {
+				end = len(data)
+			}
+			part := data[off:end]
+			msg := &proto.Message{
+				Type: proto.MsgChunk, Block: open.Block,
+				Seq: seq, Offset: off, Eof: end == len(data),
+				Length: len(data), Checksum: proto.ChunkChecksum(part),
+			}
+			if st.Send(msg, part) != nil {
+				return
+			}
+			sent++
+			if msg.Eof {
+				return
+			}
+			off = end
+		}
+	}
+}
+
+// The streamed write path delivers the block to the pipeline head in
+// chunks and treats the tail ack as the commit signal.
+func TestStreamedWriteDeliversAndCommits(t *testing.T) {
+	var mu sync.Mutex
+	stored := map[proto.BlockID][]byte{}
+	addr := startStreamFake(t, func(open *proto.Message, _ []byte, st proto.BlockStream) {
+		if open.Type != proto.MsgWriteBlockStream {
+			t.Errorf("opening frame %q, want write stream", open.Type)
+			return
+		}
+		var buf []byte
+		for {
+			msg, chunk, err := st.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Checksum != proto.ChunkChecksum(chunk) || msg.Offset != len(buf) {
+				t.Errorf("bad chunk seq %d: offset %d at %d bytes", msg.Seq, msg.Offset, len(buf))
+				return
+			}
+			buf = append(buf, chunk...)
+			if msg.Eof {
+				break
+			}
+		}
+		mu.Lock()
+		stored[open.Block] = buf
+		mu.Unlock()
+		_ = st.Send(&proto.Message{
+			Type: proto.MsgStreamAck, Block: open.Block,
+			Offset: len(buf), Checksum: checksum(buf),
+		}, nil)
+	})
+	c := New("unused:0", WithSeed(1), WithChunkSize(64))
+	data := bytes.Repeat([]byte("streamed write "), 20)
+	if err := c.writeBlockStreamed(7, []string{addr}, data); err != nil {
+		t.Fatalf("writeBlockStreamed: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(stored[7], data) {
+		t.Errorf("stored %d bytes, want %d", len(stored[7]), len(data))
+	}
+}
+
+// A replica lost mid-stream must not cost the bytes already verified:
+// the client resumes on the next replica at the first missing offset.
+func TestStreamedReadResumesOnFailover(t *testing.T) {
+	const chunk = 128
+	data := bytes.Repeat([]byte("failover tail "), 40) // > 4 chunks
+	flaky := startStreamFake(t, serveChunks(data, 2))  // dies after 2 chunks
+	var mu sync.Mutex
+	resumedAt := -1
+	good := startStreamFake(t, func(open *proto.Message, p []byte, st proto.BlockStream) {
+		mu.Lock()
+		resumedAt = open.Offset
+		mu.Unlock()
+		serveChunks(data, 0)(open, p, st)
+	})
+	c := New("unused:0", WithSeed(1), WithChunkSize(chunk))
+	loc := proto.BlockLocation{Block: 9, Length: len(data), Addresses: []string{flaky, good}}
+	got, err := c.readBlockOrdered(loc, []int{0, 1})
+	if err != nil {
+		t.Fatalf("readBlockOrdered: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("reassembled %d bytes, want %d", len(got), len(data))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if resumedAt != 2*chunk {
+		t.Errorf("second replica opened at offset %d, want %d (chunk-granularity resume)", resumedAt, 2*chunk)
+	}
+}
+
+// A corrupt chunk fails that replica, and the retained prefix still
+// resumes cleanly on the next one.
+func TestStreamedReadChecksumFailsOver(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 512)
+	corrupt := startStreamFake(t, func(open *proto.Message, _ []byte, st proto.BlockStream) {
+		part := data[open.Offset : open.Offset+128]
+		_ = st.Send(&proto.Message{
+			Type: proto.MsgChunk, Offset: open.Offset, Length: len(data),
+			Checksum: proto.ChunkChecksum(part) + 1, // lies about the bytes
+		}, part)
+	})
+	good := startStreamFake(t, serveChunks(data, 0))
+	c := New("unused:0", WithSeed(1), WithChunkSize(128))
+	loc := proto.BlockLocation{Block: 4, Length: len(data), Addresses: []string{corrupt, good}}
+	got, err := c.readBlockOrdered(loc, []int{0, 1})
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after corrupt replica: %v (%d bytes)", err, len(got))
+	}
+}
+
+// The streaming gate: a stubbed one-shot transport (WithCall) silently
+// disables the chunked path so fake-transport tests keep seeing every
+// block exchange, while an explicit WithOpenStream re-enables it.
+func TestStreamingGate(t *testing.T) {
+	fake := func(string, *proto.Message, []byte, time.Duration) (*proto.Message, []byte, error) {
+		return nil, nil, errors.New("unused")
+	}
+	if !New("x:0").streaming() {
+		t.Error("default client must use the chunked data path")
+	}
+	if New("x:0", WithChunkSize(0)).streaming() {
+		t.Error("WithChunkSize(0) must disable streaming")
+	}
+	if New("x:0", WithCall(fake)).streaming() {
+		t.Error("WithCall without a stream transport must disable streaming")
+	}
+	if !New("x:0", WithCall(fake), WithOpenStream(proto.OpenStream)).streaming() {
+		t.Error("WithOpenStream must re-enable streaming alongside WithCall")
+	}
+}

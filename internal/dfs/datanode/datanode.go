@@ -43,6 +43,15 @@ type Config struct {
 	// Call overrides the RPC transport (the fault-injection harness
 	// passes an Injector.CallFrom here); nil means proto.Call.
 	Call proto.CallFunc
+	// OpenStream overrides the chunked data-path transport used to
+	// forward pipeline writes downstream (the fault-injection harness
+	// passes an Injector.StreamFrom here); nil means proto.OpenStream.
+	OpenStream proto.OpenStreamFunc
+	// FullReportEvery is the periodic full-block-report safety net: every
+	// Nth heartbeat carries the complete block list even when the
+	// namenode has not requested one. Between fulls, heartbeats carry
+	// only deltas (DESIGN.md §15). Zero means DefaultFullReportEvery.
+	FullReportEvery int
 	// Retry is the backoff policy for registration and replication
 	// transfers; the zero value means retrypolicy.Default.
 	Retry retrypolicy.Policy
@@ -69,14 +78,21 @@ var (
 	ErrClosed        = errors.New("datanode: closed")
 )
 
+// DefaultFullReportEvery is the default heartbeat cadence of the
+// periodic full block report: with 200ms heartbeats one full report
+// every ~13s, matching the reconcile loop's tolerance for divergence.
+const DefaultFullReportEvery = 64
+
 // DataNode is a running storage node.
 type DataNode struct {
-	cfg    Config
-	id     proto.NodeID
-	server *proto.Server
-	store  BlockStore
-	call   proto.CallFunc
-	retry  retrypolicy.Policy
+	cfg     Config
+	id      proto.NodeID
+	server  *proto.Server
+	store   BlockStore
+	call    proto.CallFunc
+	open    proto.OpenStreamFunc
+	retry   retrypolicy.Policy
+	tracker *reportTracker
 
 	stop chan struct{}
 	done chan struct{}
@@ -103,6 +119,12 @@ func Start(cfg Config) (*DataNode, error) {
 	if cfg.Call == nil {
 		cfg.Call = proto.Call
 	}
+	if cfg.OpenStream == nil {
+		cfg.OpenStream = proto.OpenStream
+	}
+	if cfg.FullReportEvery <= 0 {
+		cfg.FullReportEvery = DefaultFullReportEvery
+	}
 	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.BaseDelay == 0 {
 		cfg.Retry = retrypolicy.Default
 	}
@@ -127,14 +149,16 @@ func Start(cfg Config) (*DataNode, error) {
 		return nil, fmt.Errorf("datanode: listen: %w", err)
 	}
 	dn := &DataNode{
-		cfg:   cfg,
-		store: store,
-		call:  cfg.Call,
-		retry: cfg.Retry,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		store:   store,
+		call:    cfg.Call,
+		open:    cfg.OpenStream,
+		retry:   cfg.Retry,
+		tracker: newReportTracker(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
-	dn.server = proto.Serve(ln, dn.handle, cfg.Timeout)
+	dn.server = proto.ServeStreams(ln, dn.handle, dn.handleStream, cfg.Timeout)
 
 	// Registration retries under the backoff policy: a node booting
 	// while the namenode is briefly unreachable joins as soon as the
@@ -252,7 +276,14 @@ func (dn *DataNode) handleWrite(req *proto.Message, payload []byte) (*proto.Mess
 	if err := dn.store.Put(req.Block, data); err != nil {
 		return proto.ErrorMessage(err), nil
 	}
-	dn.reportReceived(req.Block)
+	// CONTRACT (DESIGN.md §15, "failure semantics"): the local replica is
+	// durable AND reported to the namenode before the downstream hop is
+	// attempted. A failed pipeline therefore surfaces an error to the
+	// writer while the head already holds a confirmed copy — the write
+	// is not atomic across the pipeline. The reconcile loop sees the
+	// under-replicated block in the confirmed set and repairs the short
+	// pipeline; TestPipelineFailureReconcileRepairs pins this.
+	dn.noteReceived(req.Block)
 	if len(req.Pipeline) > 0 {
 		next := req.Pipeline[0]
 		fwd := &proto.Message{
@@ -263,9 +294,6 @@ func (dn *DataNode) handleWrite(req *proto.Message, payload []byte) (*proto.Mess
 			Checksum: req.Checksum,
 		}
 		if _, _, err := dn.call(next, fwd, data, dn.cfg.Timeout); err != nil {
-			// The local copy is durable and reported; surface the
-			// pipeline failure so the writer can decide. The namenode's
-			// replication manager will repair the replica count.
 			return proto.ErrorMessage(fmt.Errorf("datanode: pipeline to %s: %w", next, err)), nil
 		}
 	}
@@ -291,13 +319,28 @@ func (dn *DataNode) handleRead(req *proto.Message) (*proto.Message, []byte) {
 func (dn *DataNode) evictCorrupt(id proto.BlockID) {
 	if dn.store.Delete(id) {
 		metrics.Default.Counter("dfs.datanode.corrupt_evicted").Inc()
-		dn.reportDeleted(id)
+		dn.noteDeleted(id)
 	}
 }
 
+// noteDeleted records a deletion in the delta tracker (so the next
+// heartbeat report carries it even if the immediate RPC is lost) and
+// reports it to the namenode right away.
+func (dn *DataNode) noteDeleted(id proto.BlockID) {
+	dn.tracker.noteDeleted(id)
+	dn.reportDeleted(id)
+}
+
+// noteReceived records an arrival in the delta tracker and reports it
+// to the namenode right away.
+func (dn *DataNode) noteReceived(id proto.BlockID) {
+	dn.tracker.noteReceived(id)
+	dn.reportReceived(id)
+}
+
 // reportDeleted tells the namenode a local replica is gone, retrying
-// under the node's policy. On terminal failure the drop is counted and
-// the next heartbeat's full block report repairs the divergence.
+// under the node's policy. On terminal failure the drop is counted; the
+// next heartbeat's delta report repairs the divergence.
 func (dn *DataNode) reportDeleted(id proto.BlockID) {
 	err := dn.retryDo("dfs.datanode.report_retries", func() error {
 		_, _, callErr := dn.call(dn.cfg.NameNodeAddr, &proto.Message{
@@ -312,8 +355,9 @@ func (dn *DataNode) reportDeleted(id proto.BlockID) {
 	}
 }
 
-// heartbeatLoop sends periodic heartbeats carrying a full block report
-// and executes any commands the namenode returns.
+// heartbeatLoop sends periodic heartbeats — incremental block reports
+// with a periodic full-report safety net — and executes any commands
+// the namenode returns.
 func (dn *DataNode) heartbeatLoop() {
 	defer close(dn.done)
 	ticker := time.NewTicker(dn.cfg.HeartbeatInterval)
@@ -328,18 +372,65 @@ func (dn *DataNode) heartbeatLoop() {
 	}
 }
 
+// heartbeatOnce sends one block report. The steady state is a
+// MsgHeartbeatDelta carrying only blocks received/deleted since the
+// last acknowledged report plus an xor-digest of the full local set;
+// a full MsgHeartbeat report goes out on boot, when the namenode asks
+// for one (digest mismatch or rejoin), and every FullReportEvery
+// heartbeats as a safety net. Wire cost is O(changed blocks) instead
+// of O(all blocks) per tick (DESIGN.md §15).
 func (dn *DataNode) heartbeatOnce() {
-	resp, _, err := dn.call(dn.cfg.NameNodeAddr, &proto.Message{
-		Type:   proto.MsgHeartbeat,
-		Node:   dn.id,
-		Blocks: dn.store.List(),
-	}, nil, dn.cfg.Timeout)
+	var req *proto.Message
+	var snap map[proto.BlockID]bool
+	full := dn.tracker.needFull(dn.cfg.FullReportEvery)
+	if full {
+		// Clear pending before listing: anything that lands after the
+		// clear is either in the list (a duplicate delta next tick is
+		// idempotent) or in the fresh pending map — never lost.
+		dn.tracker.beginFull()
+		req = &proto.Message{Type: proto.MsgHeartbeat, Node: dn.id, Blocks: dn.store.List()}
+		metrics.Default.Counter("dfs.datanode.report_full").Inc()
+	} else {
+		digest := proto.BlockSetDigest(dn.store.List())
+		var gen uint64
+		snap, gen = dn.tracker.take()
+		received := make([]proto.BlockID, 0, len(snap))
+		var deleted []proto.BlockID
+		for id, present := range snap {
+			if present {
+				received = append(received, id)
+			} else {
+				deleted = append(deleted, id)
+			}
+		}
+		sortBlockIDs(received)
+		sortBlockIDs(deleted)
+		req = &proto.Message{
+			Type: proto.MsgHeartbeatDelta, Node: dn.id,
+			Gen: gen, Digest: digest, Received: received, Deleted: deleted,
+		}
+		metrics.Default.Counter("dfs.datanode.report_delta").Inc()
+	}
+	resp, _, err := dn.call(dn.cfg.NameNodeAddr, req, nil, dn.cfg.Timeout)
 	if err != nil {
 		// Namenode briefly unreachable (or the heartbeat was dropped by
 		// fault injection); the next tick retries — heartbeats are the
-		// retry loop, so no backoff here.
+		// retry loop, so no backoff here. An unsent delta is merged back
+		// so no event is lost.
+		if !full {
+			dn.tracker.restore(snap)
+		}
 		metrics.Default.Counter("dfs.datanode.heartbeat_failures").Inc()
 		return
+	}
+	if full {
+		dn.tracker.fullAcked()
+	}
+	if resp.FullReport {
+		// The namenode detected divergence (or wants a post-rejoin
+		// baseline): escalate the next heartbeat to a full report.
+		dn.tracker.forceFullNext()
+		metrics.Default.Counter("dfs.datanode.report_resync").Inc()
 	}
 	for _, cmd := range resp.Commands {
 		dn.execute(cmd)
@@ -382,7 +473,7 @@ func (dn *DataNode) execute(cmd proto.Command) {
 		// The receiving node reports MsgBlockReceived itself.
 	case proto.CmdDelete:
 		if dn.store.Delete(cmd.Block) {
-			dn.reportDeleted(cmd.Block)
+			dn.noteDeleted(cmd.Block)
 		}
 	}
 }

@@ -16,12 +16,17 @@ import (
 type fakeNameNode struct {
 	srv *proto.Server
 
-	mu       sync.Mutex
-	nextID   proto.NodeID
-	received []proto.BlockID
-	deleted  []proto.BlockID
-	cmds     map[proto.NodeID][]proto.Command
-	hbCount  int
+	mu        sync.Mutex
+	nextID    proto.NodeID
+	received  []proto.BlockID
+	deleted   []proto.BlockID
+	cmds      map[proto.NodeID][]proto.Command
+	hbCount   int // full heartbeats
+	deltas    int // delta heartbeats
+	lastFull  []proto.BlockID
+	deltaRecv []proto.BlockID
+	deltaDel  []proto.BlockID
+	askFull   bool // request a full-report resync on the next delta
 }
 
 func startFakeNN(t *testing.T) *fakeNameNode {
@@ -46,9 +51,22 @@ func (f *fakeNameNode) handle(req *proto.Message, _ []byte) (*proto.Message, []b
 		return &proto.Message{Type: proto.MsgOK, Node: id}, nil
 	case proto.MsgHeartbeat:
 		f.hbCount++
+		f.lastFull = append([]proto.BlockID(nil), req.Blocks...)
 		cmds := f.cmds[req.Node]
 		delete(f.cmds, req.Node)
 		return &proto.Message{Type: proto.MsgOK, Commands: cmds}, nil
+	case proto.MsgHeartbeatDelta:
+		f.deltas++
+		f.deltaRecv = append(f.deltaRecv, req.Received...)
+		f.deltaDel = append(f.deltaDel, req.Deleted...)
+		cmds := f.cmds[req.Node]
+		delete(f.cmds, req.Node)
+		resp := &proto.Message{Type: proto.MsgOK, Commands: cmds}
+		if f.askFull {
+			resp.FullReport = true
+			f.askFull = false
+		}
+		return resp, nil
 	case proto.MsgBlockReceived:
 		f.received = append(f.received, req.Block)
 		return nil, nil

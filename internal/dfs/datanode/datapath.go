@@ -1,0 +1,178 @@
+package datanode
+
+import (
+	"errors"
+	"fmt"
+
+	"aurora/internal/dfs/proto"
+	"aurora/internal/metrics"
+)
+
+// handleStream dispatches one chunked data-path exchange (DESIGN.md
+// §15). Stream handlers own the conversation; the server closes the
+// connection when they return.
+func (dn *DataNode) handleStream(open *proto.Message, _ []byte, st proto.BlockStream) {
+	switch open.Type {
+	case proto.MsgWriteBlockStream:
+		dn.handleWriteStream(open, st)
+	case proto.MsgReadBlockStream:
+		dn.handleReadStream(open, st)
+	default:
+		//lint:ignore errcheck best effort; peer may be gone
+		_ = st.Send(proto.ErrorMessage(fmt.Errorf("datanode: unexpected stream opening %q", open.Type)), nil)
+	}
+}
+
+// handleWriteStream receives a block as sequenced chunks and pipelines
+// them downstream: chunk i is forwarded to the next node while chunk
+// i+1 is still arriving, so a k-deep pipeline costs ~1 block transfer
+// plus k chunk latencies instead of k sequential block hops. The commit
+// signal is the tail ack relayed back up the chain: each node answers
+// MsgStreamAck only after its own store succeeded AND its downstream
+// ack arrived.
+//
+// CONTRACT (DESIGN.md §15, "failure semantics"): like the one-shot
+// handleWrite, the local replica is stored durably and reported to the
+// namenode BEFORE the downstream outcome is known. A mid-pipeline
+// failure therefore surfaces an error to the writer while upstream
+// nodes already hold confirmed copies; the reconcile loop repairs the
+// short pipeline from those confirmed replicas.
+func (dn *DataNode) handleWriteStream(open *proto.Message, st proto.BlockStream) {
+	var down proto.BlockStream
+	var downErr error
+	if len(open.Pipeline) > 0 {
+		next := open.Pipeline[0]
+		fwd := &proto.Message{
+			Type:      proto.MsgWriteBlockStream,
+			Block:     open.Block,
+			Pipeline:  open.Pipeline[1:],
+			Length:    open.Length,
+			Checksum:  open.Checksum,
+			ChunkSize: open.ChunkSize,
+		}
+		down, downErr = dn.open(next, fwd, dn.cfg.Timeout)
+		if downErr != nil {
+			downErr = fmt.Errorf("datanode: pipeline to %s: %w", next, downErr)
+		}
+		if down != nil {
+			defer down.Close()
+		}
+	}
+
+	buf := make([]byte, 0, open.Length)
+	for {
+		msg, chunk, err := st.Recv()
+		if err != nil {
+			// Upstream died mid-stream: no complete block to keep.
+			metrics.Default.Counter("dfs.datanode.stream_write_aborted").Inc()
+			return
+		}
+		if msg.Type != proto.MsgChunk {
+			//lint:ignore errcheck best effort; peer may be gone
+			_ = st.Send(proto.ErrorMessage(fmt.Errorf("datanode: unexpected frame %q mid-write", msg.Type)), nil)
+			return
+		}
+		if msg.Checksum != proto.ChunkChecksum(chunk) {
+			// A chunk corrupted in flight is rejected at the first hop
+			// that sees it; nothing is stored and the writer retries.
+			//lint:ignore errcheck best effort; peer may be gone
+			_ = st.Send(proto.ErrorMessage(fmt.Errorf("%w: block %d chunk %d on streamed write", ErrCorrupt, open.Block, msg.Seq)), nil)
+			return
+		}
+		if msg.Offset != len(buf) {
+			//lint:ignore errcheck best effort; peer may be gone
+			_ = st.Send(proto.ErrorMessage(fmt.Errorf("datanode: block %d chunk %d offset %d, want %d", open.Block, msg.Seq, msg.Offset, len(buf))), nil)
+			return
+		}
+		buf = append(buf, chunk...)
+		if down != nil && downErr == nil {
+			if err := down.Send(msg, chunk); err != nil {
+				// Keep receiving: the local copy must still complete and
+				// commit even though the downstream hop is gone.
+				downErr = fmt.Errorf("datanode: pipeline to %s: %w", open.Pipeline[0], err)
+			}
+		}
+		if msg.Eof {
+			break
+		}
+	}
+	if open.Checksum != 0 && Checksum(buf) != open.Checksum {
+		//lint:ignore errcheck best effort; peer may be gone
+		_ = st.Send(proto.ErrorMessage(fmt.Errorf("%w: block %d on streamed write", ErrCorrupt, open.Block)), nil)
+		return
+	}
+	if err := dn.store.Put(open.Block, buf); err != nil {
+		//lint:ignore errcheck best effort; peer may be gone
+		_ = st.Send(proto.ErrorMessage(err), nil)
+		return
+	}
+	// Durable + reported before the downstream ack is consulted — see
+	// the contract above.
+	dn.noteReceived(open.Block)
+
+	if down != nil && downErr == nil {
+		ack, _, err := down.Recv()
+		switch {
+		case err != nil:
+			downErr = fmt.Errorf("datanode: pipeline to %s: %w", open.Pipeline[0], err)
+		case ack.Type != proto.MsgStreamAck:
+			downErr = fmt.Errorf("datanode: pipeline to %s: unexpected ack frame %q", open.Pipeline[0], ack.Type)
+		}
+	}
+	if downErr != nil {
+		//lint:ignore errcheck best effort; peer may be gone
+		_ = st.Send(proto.ErrorMessage(downErr), nil)
+		return
+	}
+	//lint:ignore errcheck best effort; peer may be gone
+	_ = st.Send(&proto.Message{
+		Type: proto.MsgStreamAck, Block: open.Block,
+		Offset: len(buf), Checksum: Checksum(buf),
+	}, nil)
+}
+
+// handleReadStream serves a block as sequenced chunks starting at the
+// requested offset. The offset is what makes failover cheap: a client
+// that lost a replica mid-stream resumes on the next one at the first
+// byte it is missing instead of refetching the whole block. Every chunk
+// carries the block's total length (so the client can pre-allocate) and
+// a per-chunk checksum.
+func (dn *DataNode) handleReadStream(open *proto.Message, st proto.BlockStream) {
+	data, err := dn.store.Get(open.Block)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			dn.evictCorrupt(open.Block)
+		}
+		//lint:ignore errcheck best effort; peer may be gone
+		_ = st.Send(proto.ErrorMessage(err), nil)
+		return
+	}
+	if open.Offset < 0 || open.Offset > len(data) {
+		//lint:ignore errcheck best effort; peer may be gone
+		_ = st.Send(proto.ErrorMessage(fmt.Errorf("datanode: block %d read offset %d out of range (%d bytes)", open.Block, open.Offset, len(data))), nil)
+		return
+	}
+	size := open.ChunkSize
+	if size <= 0 {
+		size = proto.DefaultChunkSize
+	}
+	for seq, off := 0, open.Offset; ; seq++ {
+		end := off + size
+		if end > len(data) {
+			end = len(data)
+		}
+		part := data[off:end]
+		msg := &proto.Message{
+			Type: proto.MsgChunk, Block: open.Block,
+			Seq: seq, Offset: off, Eof: end == len(data),
+			Length: len(data), Checksum: proto.ChunkChecksum(part),
+		}
+		if err := st.Send(msg, part); err != nil {
+			return // client gone; nothing to clean up
+		}
+		if msg.Eof {
+			return
+		}
+		off = end
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"aurora/internal/baseline"
 	"aurora/internal/core"
 	"aurora/internal/dfs/proto"
+	"aurora/internal/metrics"
 	"aurora/internal/popularity"
 	"aurora/internal/topology"
 )
@@ -188,6 +189,16 @@ type nodeState struct {
 	draining bool
 	// decommissioned means draining completed and the node is empty.
 	decommissioned bool
+	// digest is the xor of proto.BlockDigest over every block this node
+	// is confirmed to hold — maintained incrementally on each
+	// confirm/unconfirm so comparing it against an incremental report's
+	// digest costs O(1), never a set scan (DESIGN.md §15).
+	digest uint64
+	// reportGen is the generation of the last delta report applied.
+	reportGen uint64
+	// wantFull asks the node for a full block report on its next
+	// heartbeat: set on rejoin, on digest mismatch, and at boot.
+	wantFull bool
 }
 
 type fileMeta struct {
@@ -406,6 +417,8 @@ func (nn *NameNode) handle(req *proto.Message, _ []byte) (*proto.Message, []byte
 		resp, err = nn.handleRegister(req)
 	case proto.MsgHeartbeat:
 		resp, err = nn.handleHeartbeat(req)
+	case proto.MsgHeartbeatDelta:
+		resp, err = nn.handleHeartbeatDelta(req)
 	case proto.MsgBlockReceived:
 		resp, err = nn.handleBlockReceived(req)
 	case proto.MsgBlockDeleted:
@@ -458,6 +471,9 @@ func (nn *NameNode) handleRegister(req *proto.Message) (*proto.Message, error) {
 				node.alive = true
 				node.lastSeen = nn.clock()
 				node.decommissioned = false
+				// Whatever the restarted node still holds must be
+				// re-established from a full baseline, not deltas.
+				node.wantFull = true
 				return &proto.Message{Type: proto.MsgOK, Node: node.id}, nil
 			}
 		}
@@ -522,6 +538,10 @@ func (nn *NameNode) buildClusterLocked() error {
 	return nil
 }
 
+// handleHeartbeat applies a full block report: the authoritative
+// statement of what the node holds. It reconciles confirmations in both
+// directions and clears any pending resync request — after a full
+// report the node's digest is exactly the xor over its reported set.
 func (nn *NameNode) handleHeartbeat(req *proto.Message) (*proto.Message, error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
@@ -539,12 +559,62 @@ func (nn *NameNode) handleHeartbeat(req *proto.Message) (*proto.Message, error) 
 	}
 	for b, holders := range nn.confirmed {
 		if holders[node.id] && !reported[b] {
-			delete(holders, node.id)
+			nn.unconfirmLocked(b, node.id)
 		}
 	}
+	node.wantFull = false
+	node.reportGen = req.Gen
+	metrics.Default.Counter("dfs.namenode.report_full").Inc()
 	cmds := nn.pendingCmds[node.id]
 	delete(nn.pendingCmds, node.id)
 	return &proto.Message{Type: proto.MsgOK, Commands: cmds}, nil
+}
+
+// handleHeartbeatDelta applies an incremental block report: only the
+// blocks received and deleted since the last acknowledged report, plus
+// an xor-digest of the node's complete set. Delta application is
+// idempotent (retransmits after a lost response are harmless). If the
+// node's incrementally maintained digest disagrees with the reported
+// one after applying the delta — a lost event, a namenode restart, or
+// corruption — the response demands a full-report resync rather than
+// trusting the divergent view (DESIGN.md §15).
+func (nn *NameNode) handleHeartbeatDelta(req *proto.Message) (*proto.Message, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	node, err := nn.nodeLocked(req.Node)
+	if err != nil {
+		return nil, err
+	}
+	node.lastSeen = nn.clock()
+	node.alive = true
+	for _, b := range req.Received {
+		nn.confirmLocked(b, node.id)
+		// A delta arrival may be the completion of a replicate command
+		// whose immediate MsgBlockReceived was lost.
+		key := inflightKey{block: b, node: node.id}
+		if issued, ok := nn.inflight[key]; ok {
+			nn.moveDurations = append(nn.moveDurations, nn.clock().Sub(issued))
+			delete(nn.inflight, key)
+		}
+	}
+	for _, b := range req.Deleted {
+		nn.unconfirmLocked(b, node.id)
+	}
+	node.reportGen = req.Gen
+	metrics.Default.Counter("dfs.namenode.report_delta").Inc()
+	resp := &proto.Message{Type: proto.MsgOK, Commands: nn.pendingCmds[node.id]}
+	delete(nn.pendingCmds, node.id)
+	if node.wantFull || node.digest != req.Digest {
+		// Keep asking until the full report actually lands; the digest
+		// alone would also keep mismatching, but wantFull makes the
+		// request sticky even if the sets transiently re-agree.
+		if !node.wantFull && node.digest != req.Digest {
+			metrics.Default.Counter("dfs.namenode.report_resync").Inc()
+		}
+		node.wantFull = true
+		resp.FullReport = true
+	}
+	return resp, nil
 }
 
 func (nn *NameNode) handleBlockReceived(req *proto.Message) (*proto.Message, error) {
@@ -565,23 +635,52 @@ func (nn *NameNode) handleBlockReceived(req *proto.Message) (*proto.Message, err
 func (nn *NameNode) handleBlockDeleted(req *proto.Message) (*proto.Message, error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	if holders, ok := nn.confirmed[req.Block]; ok {
-		delete(holders, req.Node)
-		if len(holders) == 0 && nn.tombstones[req.Block] {
-			delete(nn.confirmed, req.Block)
-			delete(nn.tombstones, req.Block)
-		}
+	if _, err := nn.nodeLocked(req.Node); err != nil {
+		return nil, err
 	}
+	nn.unconfirmLocked(req.Block, req.Node)
 	return nil, nil
 }
 
+// confirmLocked records that node n holds block b, folding the block
+// into n's incremental set digest. Idempotent: re-confirming a held
+// block leaves the digest untouched.
 func (nn *NameNode) confirmLocked(b proto.BlockID, n proto.NodeID) {
 	holders, ok := nn.confirmed[b]
 	if !ok {
 		holders = make(map[proto.NodeID]bool)
 		nn.confirmed[b] = holders
 	}
-	holders[n] = true
+	if !holders[n] {
+		holders[n] = true
+		nn.nodes[n].digest ^= proto.BlockDigest(b)
+	}
+}
+
+// unconfirmLocked is the inverse of confirmLocked: it removes the
+// holder record, folds the block back out of the node's digest, and
+// reaps the confirmation entry of a fully-vacated tombstoned block.
+// Idempotent like its counterpart.
+func (nn *NameNode) unconfirmLocked(b proto.BlockID, n proto.NodeID) {
+	holders, ok := nn.confirmed[b]
+	if !ok || !holders[n] {
+		return
+	}
+	delete(holders, n)
+	nn.nodes[n].digest ^= proto.BlockDigest(b)
+	if len(holders) == 0 && nn.tombstones[b] {
+		delete(nn.confirmed, b)
+		delete(nn.tombstones, b)
+	}
+}
+
+// DropConfirmation erases the namenode's record that node n holds block
+// b without telling anyone — a test hook simulating a lost report, so
+// the digest-mismatch resync path can be exercised deterministically.
+func (nn *NameNode) DropConfirmation(b proto.BlockID, n proto.NodeID) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.unconfirmLocked(b, n)
 }
 
 func (nn *NameNode) nodeLocked(id proto.NodeID) (*nodeState, error) {

@@ -110,6 +110,11 @@ func (nn *NameNode) detectDeadLocked() {
 		for _, holders := range nn.confirmed {
 			delete(holders, node.id)
 		}
+		// The wipe above invalidates the node's incremental set digest;
+		// zero it to match the now-empty confirmation set and demand a
+		// full baseline if the node ever comes back.
+		node.digest = 0
+		node.wantFull = true
 		delete(nn.pendingCmds, node.id)
 		// Under-replicated blocks get new desired homes immediately —
 		// on live machines only (the dead machine is still part of the

@@ -54,20 +54,43 @@ const (
 	MsgFsck         MsgType = "fsck"
 	MsgDecommission MsgType = "decommission"
 
-	// DataNode -> NameNode.
-	MsgRegister      MsgType = "register"
-	MsgHeartbeat     MsgType = "heartbeat"
-	MsgBlockReceived MsgType = "block_received"
-	MsgBlockDeleted  MsgType = "block_deleted"
+	// DataNode -> NameNode. MsgHeartbeat carries a full block report;
+	// MsgHeartbeatDelta carries only the blocks received/deleted since
+	// the last acknowledged report plus a generation and set digest, so
+	// steady-state datanode->namenode traffic is O(changed blocks)
+	// rather than O(all blocks). See DESIGN.md §15.4.
+	MsgRegister       MsgType = "register"
+	MsgHeartbeat      MsgType = "heartbeat"
+	MsgHeartbeatDelta MsgType = "heartbeat_delta"
+	MsgBlockReceived  MsgType = "block_received"
+	MsgBlockDeleted   MsgType = "block_deleted"
 
-	// Client/DataNode -> DataNode.
+	// Client/DataNode -> DataNode, whole-block data plane: one request
+	// frame carrying the full block payload, one response frame.
 	MsgWriteBlock MsgType = "write_block"
 	MsgReadBlock  MsgType = "read_block"
+
+	// Client/DataNode -> DataNode, chunked streaming data plane. The
+	// opening frame switches the connection into a multi-frame exchange
+	// (see Stream and DESIGN.md §15): a write stream carries MsgChunk
+	// frames downstream and one MsgStreamAck (or MsgError) back; a read
+	// stream answers with one header frame and then MsgChunk frames.
+	MsgWriteBlockStream MsgType = "write_block_stream"
+	MsgReadBlockStream  MsgType = "read_block_stream"
+	MsgChunk            MsgType = "chunk"
+	MsgStreamAck        MsgType = "stream_ack"
 
 	// Generic response.
 	MsgOK    MsgType = "ok"
 	MsgError MsgType = "error"
 )
+
+// OpensStream reports whether a request of this type switches the
+// connection into a multi-frame streaming exchange instead of the
+// default one-request/one-response pattern.
+func (t MsgType) OpensStream() bool {
+	return t == MsgWriteBlockStream || t == MsgReadBlockStream
+}
 
 // BlockID identifies a stored block cluster-wide.
 type BlockID int64
@@ -185,72 +208,129 @@ type Message struct {
 	Length int `json:"length,omitempty"`
 	// Checksum is the CRC32C of the (uncompressed) block payload; zero
 	// means "not supplied". Writers stamp it, every pipeline stage and
-	// every reader verifies it.
+	// every reader verifies it. On a MsgChunk frame it covers that
+	// chunk's payload only; the whole-block checksum travels in the
+	// stream-opening frame (writes) or the header frame (reads).
 	Checksum uint32 `json:"checksum,omitempty"`
 	// Encoding names the payload compression ("" or EncodingGzip).
 	Encoding string `json:"encoding,omitempty"`
+
+	// Chunked streaming (MsgWriteBlockStream/MsgReadBlockStream opening
+	// frames and MsgChunk data frames). Seq numbers chunks from 0 within
+	// one stream; Eof marks the final chunk (which may be zero-length);
+	// ChunkSize is the sender's requested chunk payload size in bytes;
+	// Offset asks a read stream to start at this byte (failover resume).
+	Seq       int  `json:"seq,omitempty"`
+	Eof       bool `json:"eof,omitempty"`
+	ChunkSize int  `json:"chunkSize,omitempty"`
+	Offset    int  `json:"offset,omitempty"`
+
+	// Incremental block reports (MsgHeartbeat/MsgHeartbeatDelta and
+	// their responses). Gen counts acknowledged reports from this
+	// datanode; Digest is the xor-of-hashes set digest of the blocks the
+	// node holds (BlockSetDigest); Received/Deleted are the deltas since
+	// the last acknowledged report; FullReport on a heartbeat response
+	// asks the datanode to send a full MsgHeartbeat next tick.
+	Gen        uint64    `json:"gen,omitempty"`
+	Digest     uint64    `json:"digest,omitempty"`
+	Received   []BlockID `json:"received,omitempty"`
+	Deleted    []BlockID `json:"deleted,omitempty"`
+	FullReport bool      `json:"fullReport,omitempty"`
+}
+
+// BlockDigest hashes one block ID for set digests (splitmix64, the same
+// mix ShardOf uses). Digests of block sets xor these per-block hashes,
+// so a set digest is updatable in O(1) per add/remove and
+// order-independent.
+func BlockDigest(id BlockID) uint64 {
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BlockSetDigest folds a block list into its xor set digest.
+func BlockSetDigest(ids []BlockID) uint64 {
+	var d uint64
+	for _, id := range ids {
+		d ^= BlockDigest(id)
+	}
+	return d
 }
 
 // WriteFrame writes one frame: the message header and an optional binary
 // payload.
 func WriteFrame(w io.Writer, msg *Message, payload []byte) error {
+	_, err := writeFrame(w, msg, payload)
+	return err
+}
+
+// writeFrame is WriteFrame plus the number of wire bytes written, so the
+// RPC layer can account header and payload bytes together.
+func writeFrame(w io.Writer, msg *Message, payload []byte) (int, error) {
 	header, err := json.Marshal(msg)
 	if err != nil {
-		return fmt.Errorf("proto: marshal header: %w", err)
+		return 0, fmt.Errorf("proto: marshal header: %w", err)
 	}
 	if len(header) > MaxHeaderBytes {
-		return fmt.Errorf("%w: header %d bytes", ErrFrameTooLarge, len(header))
+		return 0, fmt.Errorf("%w: header %d bytes", ErrFrameTooLarge, len(header))
 	}
 	if len(payload) > MaxPayloadBytes {
-		return fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, len(payload))
+		return 0, fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, len(payload))
 	}
 	var lens [8]byte
 	binary.BigEndian.PutUint32(lens[0:4], uint32(len(header)))
 	binary.BigEndian.PutUint32(lens[4:8], uint32(len(payload)))
 	if _, err := w.Write(lens[:]); err != nil {
-		return fmt.Errorf("proto: write frame lengths: %w", err)
+		return 0, fmt.Errorf("proto: write frame lengths: %w", err)
 	}
 	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("proto: write header: %w", err)
+		return 0, fmt.Errorf("proto: write header: %w", err)
 	}
 	if len(payload) > 0 {
 		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("proto: write payload: %w", err)
+			return 0, fmt.Errorf("proto: write payload: %w", err)
 		}
 	}
-	return nil
+	return len(lens) + len(header) + len(payload), nil
 }
 
 // ReadFrame reads one frame written by WriteFrame.
 func ReadFrame(r io.Reader) (*Message, []byte, error) {
+	msg, payload, _, err := readFrame(r)
+	return msg, payload, err
+}
+
+// readFrame is ReadFrame plus the number of wire bytes consumed.
+func readFrame(r io.Reader) (*Message, []byte, int, error) {
 	var lens [8]byte
 	if _, err := io.ReadFull(r, lens[:]); err != nil {
-		return nil, nil, fmt.Errorf("proto: read frame lengths: %w", err)
+		return nil, nil, 0, fmt.Errorf("proto: read frame lengths: %w", err)
 	}
 	headerLen := binary.BigEndian.Uint32(lens[0:4])
 	payloadLen := binary.BigEndian.Uint32(lens[4:8])
 	if headerLen > MaxHeaderBytes {
-		return nil, nil, fmt.Errorf("%w: header %d bytes", ErrFrameTooLarge, headerLen)
+		return nil, nil, 0, fmt.Errorf("%w: header %d bytes", ErrFrameTooLarge, headerLen)
 	}
 	if payloadLen > MaxPayloadBytes {
-		return nil, nil, fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, payloadLen)
+		return nil, nil, 0, fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, payloadLen)
 	}
 	header := make([]byte, headerLen)
 	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, nil, fmt.Errorf("proto: read header: %w", err)
+		return nil, nil, 0, fmt.Errorf("proto: read header: %w", err)
 	}
 	var msg Message
 	if err := json.Unmarshal(header, &msg); err != nil {
-		return nil, nil, fmt.Errorf("%w: %w", ErrBadFrame, err)
+		return nil, nil, 0, fmt.Errorf("%w: %w", ErrBadFrame, err)
 	}
 	var payload []byte
 	if payloadLen > 0 {
 		payload = make([]byte, payloadLen)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil, nil, fmt.Errorf("proto: read payload: %w", err)
+			return nil, nil, 0, fmt.Errorf("proto: read payload: %w", err)
 		}
 	}
-	return &msg, payload, nil
+	return &msg, payload, len(lens) + len(header) + len(payload), nil
 }
 
 // ErrorMessage builds an error response.

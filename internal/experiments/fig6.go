@@ -61,6 +61,16 @@ type TestbedSetup struct {
 	// 2 keep the classic single-map namenode). Aurora's reconfiguration
 	// then runs one optimizer period per shard concurrently.
 	Shards int
+	// ChunkSize is the streamed data-path frame payload handed to the
+	// client (DESIGN.md §15). Zero keeps the client library default;
+	// negative values disable streaming and restore one-shot block RPCs.
+	ChunkSize int
+	// ReadAhead is how many blocks the client prefetches beyond the one
+	// currently draining. Zero keeps the client library default.
+	ReadAhead int
+	// FullReportEvery is the datanode periodic full-block-report cadence
+	// in heartbeats. Zero keeps the datanode library default.
+	FullReportEvery int
 }
 
 // DefaultTestbedSetup mirrors the paper's testbed shape at test speed.
@@ -260,9 +270,11 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 			Rack:              i % s.Racks,
 			CapacityBlocks:    capacity,
 			HeartbeatInterval: 30 * time.Millisecond,
+			FullReportEvery:   s.FullReportEvery,
 		}
 		if inj != nil {
 			cfg.Call = inj.CallFrom(i)
+			cfg.OpenStream = inj.StreamFrom(i)
 		}
 		dn, err := datanode.Start(cfg)
 		if err != nil {
@@ -289,8 +301,19 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 
 	// Load the dataset.
 	clientOpts := []client.Option{client.WithBlockSize(s.BlockBytes), client.WithSeed(s.Seed)}
+	if s.ChunkSize != 0 {
+		clientOpts = append(clientOpts, client.WithChunkSize(s.ChunkSize))
+	}
+	if s.ReadAhead != 0 {
+		clientOpts = append(clientOpts, client.WithReadAhead(s.ReadAhead))
+	}
 	if inj != nil {
-		clientOpts = append(clientOpts, client.WithCall(call), client.WithRetry(taskRetry))
+		// WithCall alone would gate the client back to one-shot block
+		// RPCs (a stubbed transport cannot carry streams); routing the
+		// stream opener through the injector keeps the chunked data path
+		// live under fault injection, matching the chaos gate.
+		clientOpts = append(clientOpts, client.WithCall(call), client.WithRetry(taskRetry),
+			client.WithOpenStream(inj.StreamFrom(faultinject.External)))
 	}
 	c := client.New(nn.Addr(), clientOpts...)
 	rng := rand.New(rand.NewPCG(s.Seed, 0xf19))

@@ -198,6 +198,7 @@ type nodeState struct {
 type Injector struct {
 	schedule Schedule
 	base     proto.CallFunc
+	baseOpen proto.OpenStreamFunc
 	spans    *trace.SpanLog
 
 	mu         sync.Mutex
@@ -221,6 +222,12 @@ func WithBaseCall(fn proto.CallFunc) Option {
 	return func(inj *Injector) { inj.base = fn }
 }
 
+// WithBaseOpenStream overrides the underlying stream transport used by
+// StreamFrom (default proto.OpenStream).
+func WithBaseOpenStream(fn proto.OpenStreamFunc) Option {
+	return func(inj *Injector) { inj.baseOpen = fn }
+}
+
 // WithSpanLog records one span per fault window (crash→recover) and per
 // instantaneous fault into l.
 func WithSpanLog(l *trace.SpanLog) Option {
@@ -237,6 +244,7 @@ func New(schedule Schedule, opts ...Option) *Injector {
 	inj := &Injector{
 		schedule:   sorted,
 		base:       proto.Call,
+		baseOpen:   proto.OpenStream,
 		nodes:      make(map[int]*nodeState),
 		addrToNode: make(map[string]int),
 		corrupters: make(map[int]func(proto.BlockID) error),
@@ -424,7 +432,10 @@ func (inj *Injector) CallFrom(caller int) proto.CallFunc {
 			switch {
 			case st.crashed:
 				blocked = &InjectedError{Kind: Crash, Node: caller}
-			case req.Type == proto.MsgHeartbeat && now.Before(st.dropHBUntil):
+			// Both heartbeat shapes count: a node whose heartbeats are
+			// dropped must go stale whether it sends full reports or
+			// incremental deltas (DESIGN.md §15).
+			case (req.Type == proto.MsgHeartbeat || req.Type == proto.MsgHeartbeatDelta) && now.Before(st.dropHBUntil):
 				blocked = &InjectedError{Kind: DropHeartbeats, Node: caller}
 			case now.Before(st.slowUntil):
 				latency = st.slowLatency
