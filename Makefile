@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos telemetry-smoke datapath-smoke ci
+.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos fuzz-smoke telemetry-smoke datapath-smoke ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column. The metrics
@@ -27,10 +27,11 @@ vet:
 # The project-specific analyzer: one typed whole-module pass running the
 # per-file rules (guarded-by, mutex copies, determinism, float
 # comparison, discarded errors) plus the cross-package analyzers
-# (lock-order, deadline propagation, rng taint, error wrapping). Gated
-# against the committed baseline; see DESIGN.md §11.
+# (lock-order, deadline propagation, rng taint, error wrapping, the
+# conc model checker and the §15 protoconform gate). Gated against the
+# committed baseline and the wall-time budgets; see DESIGN.md §11, §16.
 lint: vet
-	$(GO) run ./cmd/aurora-lint -baseline lint.baseline -timing -budget 10s -stats lint-stats.json ./...
+	$(GO) run ./cmd/aurora-lint -baseline lint.baseline -timing -budget 10s -conc-budget 3s -stats lint-stats.json ./...
 
 # Regenerate the accepted-findings baseline. Run deliberately and review
 # the diff: every entry grandfathers a finding the gate will then skip.
@@ -57,17 +58,26 @@ chaos:
 	$(GO) test -race -tags invariantdebug -run '^TestChaosCrashRecoverNoDataLoss$$' -v ./internal/dfs/
 	AURORA_CHAOS_SHARDS=4 $(GO) test -race -tags invariantdebug -count=1 -run '^TestChaosCrashRecoverNoDataLoss$$' -v ./internal/dfs/
 
+# Short native-fuzz smoke over the checked-in corpora: the wire-frame
+# decoder, the xor-splitmix64 digest algebra and the report-tracker
+# merge each fuzz for a few seconds, so decoder panics and merge
+# regressions surface here without a long campaign. See DESIGN.md §15.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 5s ./internal/dfs/proto
+	$(GO) test -run '^$$' -fuzz '^FuzzDigestMerge$$' -fuzztime 5s ./internal/dfs/proto
+	$(GO) test -run '^$$' -fuzz '^FuzzTrackerMerge$$' -fuzztime 5s ./internal/dfs/datanode
+
 # Boot the testbed with a live telemetry endpoint, scrape /metrics once
 # and assert the optimizer SOL series, machine-load gauges and RPC
 # latency histograms are exposed. See DESIGN.md §12.
 telemetry-smoke:
-	sh scripts/telemetry_smoke.sh
+	bash scripts/telemetry_smoke.sh
 
 # Boot the testbed with streaming forced on (small chunks + read-ahead),
 # scrape /metrics and assert the chunk/byte counters moved — catches a
 # silent fallback to one-shot block RPCs. See DESIGN.md §15.
 datapath-smoke:
-	sh scripts/datapath_smoke.sh
+	bash scripts/datapath_smoke.sh
 
 # Run the core hot-path benchmarks and merge the numbers into
 # BENCH_core.json under $(BENCH_LABEL). The intermediate file keeps a

@@ -38,6 +38,21 @@
 //   - globalmut: package-level variables mutated after initialization
 //     are reported as namenode-sharding blockers (ROADMAP #1).
 //
+// Two analyzers audit the concurrency and wire-protocol semantics on
+// top of the flow layer's event skeletons (DESIGN.md §16):
+//
+//   - conc: an explicit-state bounded model checker explores the
+//     interleavings of every goroutine-spawning root and reports
+//     deadlock cycles (including mixed chan+mutex cycles), lost
+//     signals (a send no live goroutine can receive), and stuck
+//     pipelines (a recv/Lock/Wait nothing can ever satisfy).
+//     -conc-budget caps its wall time.
+//   - protoconform: checks the MsgType→handler dispatch machine in
+//     internal/dfs against the DESIGN.md §15 frame tables — handler
+//     uniqueness per plane, stream/one-shot separation, per-chunk
+//     ChunkChecksum verification, §15.4 head-durable store-and-report
+//     ordering, and §15.5 delta→full-report escalation.
+//
 // Intentional exceptions are annotated in place:
 //
 //	//lint:ignore <rule>[,<rule>] <reason>
@@ -50,6 +65,7 @@
 //	aurora-lint -baseline lint.baseline -write-baseline ./...  # regenerate deliberately
 //	aurora-lint -timing ./...                # per-analyzer wall time on stderr
 //	aurora-lint -budget 10s ./...            # fail if the run exceeds the budget
+//	aurora-lint -conc-budget 3s ./...        # wall-time cap for the conc model checker
 //	aurora-lint -stats lint-stats.json ./... # per-rule finding counts as JSON
 //
 // Exit status: 0 clean (or fully baselined), 1 findings or budget
@@ -81,6 +97,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	writeBaseline := flags.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit 0")
 	timing := flags.Bool("timing", false, "print per-pass wall time to stderr")
 	budget := flags.Duration("budget", 0, "fail if the whole run (load through output) exceeds this duration; 0 disables")
+	concBudget := flags.Duration("conc-budget", 0, "wall-time cap for the conc model checker; 0 uses the built-in default")
 	statsPath := flags.String("stats", "", "write per-rule finding counts as JSON to FILE")
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -127,6 +144,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *timing {
 		fmt.Fprintf(stderr, "aurora-lint: %-12s %9.1fms\n", "load+facts", ms(time.Since(loadStart)))
+	}
+	if *concBudget > 0 {
+		runner.SetConcBudget(*concBudget)
 	}
 	for _, p := range runner.Passes() {
 		passStart := time.Now()

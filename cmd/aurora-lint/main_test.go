@@ -238,10 +238,61 @@ func TestRulesOnFixtures(t *testing.T) {
 		{
 			pkg: "internal/dfs/proto",
 			want: []finding{
-				{"internal/dfs/proto/proto.go", 20, analysis.RulePkgDoc,
+				{"internal/dfs/proto/proto.go", 65, analysis.RulePkgDoc,
 					"exported wire-protocol type ChunkFrame lacks a doc comment; document every frame type (DESIGN.md §15)"},
 			},
 		},
+		{
+			pkg: "conc",
+			want: []finding{
+				{"conc/conc.go", 18, analysis.RuleConc,
+					`potential deadlock: goroutines wait on each other in a cycle: Lock "mu" here, send on "ch" at conc.go:23`},
+				{"conc/conc.go", 19, analysis.RuleConc,
+					`potential deadlock: goroutines wait on each other in a cycle: recv from "ch" here, Lock "mu" at conc.go:22`},
+				{"conc/conc.go", 31, analysis.RuleConc,
+					`lost signal: send on "done" blocks forever: no live goroutine can still receive from it`},
+				{"conc/conc.go", 39, analysis.RuleConc,
+					`stuck pipeline: recv from "acks" blocks forever: no live goroutine can still send on or close it`},
+				{"conc/conc.go", 47, analysis.RuleGoroLeak,
+					"goroutine spawned by WgNeverDone (go func literal) has no provable termination signal (context, done channel, WaitGroup, or internal/par)"},
+				{"conc/conc.go", 50, analysis.RuleConc,
+					`stuck pipeline: Wait on "wg" blocks forever: no live goroutine can still call Done on it`},
+				// Waved's parked recv is //lint:ignore'd; CleanPipeline and
+				// Fanout terminate and are never reported.
+				{"conc/conc.go", 94, analysis.RuleDirective,
+					"//lint:ignore needs a rule and a reason: //lint:ignore <rule> <why>"},
+				{"conc/conc.go", 97, analysis.RuleConc,
+					`lost signal: send on "late" blocks forever: no live goroutine can still receive from it`},
+			},
+		},
+		{
+			pkg: "protoconform",
+			want: []finding{
+				{"protoconform/protoconform.go", 18, analysis.RuleProtoConform,
+					"write handler (*node).dispatchLoose never stores the block (no store Put call) before the proto.MsgWriteBlock commit (DESIGN.md §15.4 head-durable contract)"},
+				{"protoconform/protoconform.go", 18, analysis.RuleProtoConform,
+					"write handler (*node).dispatchLoose never reports proto.MsgBlockReceived to the namenode before the proto.MsgWriteBlock commit (DESIGN.md §15.4 head-durable contract)"},
+				{"protoconform/protoconform.go", 23, analysis.RuleProtoConform,
+					"stream-opening proto.MsgWriteBlockStream dispatched by one-shot handler (*node).dispatchLoose; stream openings must go through proto.ServeStreams (DESIGN.md §15.1)"},
+				{"protoconform/protoconform.go", 33, analysis.RuleProtoConform,
+					"dispatcher (*node).dispatchDup handles no case for proto.MsgReadBlock (DESIGN.md §15.1: every request MsgType has exactly one handler)"},
+				{"protoconform/protoconform.go", 34, analysis.RuleProtoConform,
+					"proto.MsgWriteBlock is dispatched more than once (first at protoconform.go:18) (DESIGN.md §15.1: every request MsgType has exactly one handler)"},
+				{"protoconform/protoconform.go", 44, analysis.RuleProtoConform,
+					"chunk consumer (*node).recvNoVerify never verifies proto.ChunkChecksum over received chunks (DESIGN.md §15.1: every receiver verifies the per-chunk CRC before accepting)"},
+				{"protoconform/protoconform.go", 61, analysis.RuleProtoConform,
+					"delta reporter (*node).deltaMute never reads the response's FullReport flag; the namenode could never demand a resync (DESIGN.md §15.5)"},
+				{"protoconform/protoconform.go", 61, analysis.RuleProtoConform,
+					"delta reporter (*node).deltaMute never escalates to a full proto.MsgHeartbeat report (DESIGN.md §15.5: digest divergence must trigger a resync)"},
+				// deltaWaved's two findings are //lint:ignore'd.
+				{"protoconform/protoconform.go", 76, analysis.RuleDirective,
+					"//lint:ignore needs a rule and a reason: //lint:ignore <rule> <why>"},
+			},
+		},
+		// The §15-conformant mirrors are exactly clean: every check the
+		// protoconform package trips is satisfied here.
+		{pkg: "internal/dfs/datanode", want: nil},
+		{pkg: "internal/dfs/namenode", want: nil},
 		{pkg: "internal/retrypolicy", want: nil},
 		{pkg: "clean", want: nil},
 	}
@@ -435,4 +486,76 @@ func TestSelfLint(t *testing.T) {
 	for _, d := range r.Diagnostics(nil) {
 		t.Errorf("%s", d)
 	}
+}
+
+// TestHeadDurableMutation is the seeded mutation test for protoconform:
+// deleting the store-before-ack report line from the conformant
+// datanode mirror must produce the §15.4 "never reports" diagnostic.
+func TestHeadDurableMutation(t *testing.T) {
+	_, root := fixture(t)
+	mutRoot := t.TempDir()
+	if err := copyTree(root, mutRoot); err != nil {
+		t.Fatalf("copy fixture tree: %v", err)
+	}
+
+	target := filepath.Join(mutRoot, "internal", "dfs", "datanode", "datanode.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatalf("read mirror: %v", err)
+	}
+	const reportLine = "\td.noteReceived(req.Block)\n"
+	if !strings.Contains(string(src), reportLine) {
+		t.Fatalf("mirror no longer contains the head-durable report line %q", reportLine)
+	}
+	mutated := strings.Replace(string(src), reportLine, "", 1)
+	if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
+		t.Fatalf("write mutated mirror: %v", err)
+	}
+
+	mod, err := analysis.LoadModule(mutRoot)
+	if err != nil {
+		t.Fatalf("LoadModule(mutated): %v", err)
+	}
+	r, err := analysis.NewRunner(mod)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	r.Run()
+
+	const want = "write handler (*DataNode).handleWrite never reports proto.MsgBlockReceived to the namenode before the proto.MsgWriteBlock commit (DESIGN.md §15.4 head-durable contract)"
+	found := false
+	for _, d := range r.Diagnostics(map[string]bool{"internal/dfs/datanode": true}) {
+		if d.Rule == analysis.RuleProtoConform && d.Message == want {
+			found = true
+		}
+	}
+	if !found {
+		var got []string
+		for _, d := range r.Diagnostics(nil) {
+			got = append(got, d.String())
+		}
+		t.Fatalf("mutation not caught; want %q\ngot diagnostics:\n%s", want, strings.Join(got, "\n"))
+	}
+}
+
+// copyTree copies a fixture module into a scratch root for mutation.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
 }

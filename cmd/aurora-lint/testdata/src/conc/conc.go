@@ -1,0 +1,99 @@
+// Package conc is the fixture for the conc bounded model checker:
+// deadlock, lost-signal and stuck-pipeline shapes next to clean
+// pipelines the checker must not flag, plus the //lint:ignore
+// suppression and misuse cases.
+package conc
+
+import "sync"
+
+func work() {}
+
+// DeadlockMixed is the mixed chan+mutex cycle: whichever side takes
+// the lock first, the other blocks on it while the holder blocks on
+// the channel. Both interleavings are reported.
+func DeadlockMixed() {
+	var mu sync.Mutex
+	ch := make(chan int)
+	go func() {
+		mu.Lock()
+		<-ch
+		mu.Unlock()
+	}()
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+// LostSignal sends on a channel nobody will ever receive from.
+func LostSignal() {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+}
+
+// StuckAck blocks a goroutine forever on an ack nobody sends.
+func StuckAck() {
+	acks := make(chan int)
+	go func() {
+		<-acks
+	}()
+}
+
+// WgNeverDone waits on a WaitGroup no goroutine ever decrements.
+func WgNeverDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+	}()
+	wg.Wait()
+}
+
+// CleanPipeline drains a buffered channel and joins: no findings.
+func CleanPipeline() {
+	jobs := make(chan int, 2)
+	done := make(chan bool)
+	go func() {
+		for range jobs {
+			work()
+		}
+		done <- true
+	}()
+	jobs <- 1
+	close(jobs)
+	<-done
+}
+
+// Fanout joins workers through a WaitGroup with constant Adds: clean.
+func Fanout() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Waved parks a collector forever on purpose; the ignore directive
+// waves the checker through.
+func Waved() {
+	acks := make(chan int)
+	go func() {
+		//lint:ignore conc fixture: collector parks forever by design
+		<-acks
+	}()
+}
+
+// Misuse carries an ignore with no reason: the directive checker flags
+// the comment and the finding it failed to suppress still fires.
+func Misuse() {
+	//lint:ignore conc
+	late := make(chan int)
+	go func() {
+		late <- 1
+	}()
+}

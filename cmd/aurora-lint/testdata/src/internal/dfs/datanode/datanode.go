@@ -1,0 +1,148 @@
+// Package datanode mirrors the real datanode's §15 handler surface so
+// protoconform's head-durable, chunk-integrity and delta-escalation
+// checks have a fully conformant fixture (and the seeded mutation test
+// has a subject to break).
+package datanode
+
+import (
+	"errors"
+	"time"
+
+	"fixture/internal/dfs/proto"
+)
+
+var errBadStream = errors.New("unexpected frame")
+
+// Store is the block store slice the handlers need.
+type Store struct {
+	blocks map[int64][]byte
+}
+
+// Put stores one block replica.
+func (s *Store) Put(block int64, payload []byte) {
+	if s.blocks == nil {
+		s.blocks = map[int64][]byte{}
+	}
+	s.blocks[block] = payload
+}
+
+// Get returns one block replica.
+func (s *Store) Get(block int64) ([]byte, bool) {
+	b, ok := s.blocks[block]
+	return b, ok
+}
+
+// DataNode is the fixture handler owner.
+type DataNode struct {
+	store    Store
+	namenode string
+	pending  []int64
+	outbox   []*proto.Message
+	dropped  int
+}
+
+// handle is the one-shot data-plane dispatcher.
+func (d *DataNode) handle(req *proto.Message, payload []byte) (*proto.Message, []byte) {
+	switch req.Type {
+	case proto.MsgWriteBlock:
+		return d.handleWrite(req, payload)
+	case proto.MsgReadBlock:
+		return d.handleRead(req)
+	}
+	return &proto.Message{Type: proto.MsgError}, nil
+}
+
+// handleWrite is §15.4-conformant: store, report, then forward. The
+// mutation test deletes the noteReceived line and expects protoconform
+// to object.
+func (d *DataNode) handleWrite(req *proto.Message, payload []byte) (*proto.Message, []byte) {
+	d.store.Put(req.Block, payload)
+	d.noteReceived(req.Block)
+	if len(req.Targets) > 0 {
+		fwd := &proto.Message{Type: proto.MsgWriteBlock, Block: req.Block, Targets: req.Targets[1:]}
+		d.outbox = append(d.outbox, fwd)
+	}
+	return req, nil
+}
+
+func (d *DataNode) handleRead(req *proto.Message) (*proto.Message, []byte) {
+	payload, ok := d.store.Get(req.Block)
+	if !ok {
+		return &proto.Message{Type: proto.MsgError}, nil
+	}
+	return req, payload
+}
+
+// noteReceived queues the block and reports it upstream; the report is
+// what makes the write path head-durable before any downstream commit.
+func (d *DataNode) noteReceived(block int64) {
+	d.pending = append(d.pending, block)
+	d.reportReceived(block)
+}
+
+func (d *DataNode) reportReceived(block int64) {
+	d.outbox = append(d.outbox, &proto.Message{Type: proto.MsgBlockReceived, Block: block})
+}
+
+// handleStream is the stream-plane dispatcher.
+func (d *DataNode) handleStream(open *proto.Message, s proto.BlockStream) error {
+	switch open.Type {
+	case proto.MsgWriteBlockStream:
+		return d.handleWriteStream(open, s)
+	case proto.MsgReadBlockStream:
+		return d.handleReadStream(open, s)
+	}
+	return errBadStream
+}
+
+// handleWriteStream verifies every chunk CRC, stores and reports the
+// block, and only then acks the stream.
+func (d *DataNode) handleWriteStream(open *proto.Message, s proto.BlockStream) error {
+	var buf []byte
+	for {
+		m, payload, err := s.Recv()
+		if err != nil {
+			return err
+		}
+		if m.Type != proto.MsgChunk {
+			return errBadStream
+		}
+		if proto.ChunkChecksum(payload) != m.Checksum {
+			return errBadStream
+		}
+		buf = append(buf, payload...)
+		if m.Eof {
+			break
+		}
+	}
+	d.store.Put(open.Block, buf)
+	d.noteReceived(open.Block)
+	return s.Send(&proto.Message{Type: proto.MsgStreamAck, Block: open.Block}, nil)
+}
+
+// handleReadStream streams the block back as checksum-stamped chunks.
+func (d *DataNode) handleReadStream(open *proto.Message, s proto.BlockStream) error {
+	payload, ok := d.store.Get(open.Block)
+	if !ok {
+		return errBadStream
+	}
+	m := &proto.Message{Type: proto.MsgChunk, Block: open.Block, Checksum: proto.ChunkChecksum(payload), Eof: true}
+	return s.Send(m, payload)
+}
+
+// heartbeatOnce sends a delta report and escalates to a full heartbeat
+// when the namenode sets FullReport (§15.5 on the sending side).
+func (d *DataNode) heartbeatOnce() {
+	req := &proto.Message{Type: proto.MsgHeartbeatDelta, Block: int64(len(d.pending))}
+	resp, _, err := proto.Call(d.namenode, req, nil, time.Second)
+	if err != nil {
+		d.dropped++
+		return
+	}
+	if resp.FullReport {
+		full := &proto.Message{Type: proto.MsgHeartbeat}
+		if _, _, err := proto.Call(d.namenode, full, nil, time.Second); err != nil {
+			d.dropped++
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package protoconform is the negative fixture for the protoconform
+// analyzer: each function below violates one DESIGN.md §15 clause the
+// clean internal/dfs mirrors satisfy.
+package protoconform
+
+import "fixture/internal/dfs/proto"
+
+type node struct {
+	store map[int64][]byte
+	out   []*proto.Message
+}
+
+// dispatchLoose is a one-shot dispatcher that forwards a write without
+// storing or reporting first (§15.4) and claims a stream-opening type
+// on the request/response plane (§15.1).
+func (n *node) dispatchLoose(req *proto.Message, payload []byte) (*proto.Message, []byte) {
+	switch req.Type {
+	case proto.MsgWriteBlock:
+		fwd := &proto.Message{Type: proto.MsgWriteBlock, Block: req.Block}
+		n.out = append(n.out, fwd)
+	case proto.MsgReadBlock:
+		return req, n.store[req.Block]
+	case proto.MsgWriteBlockStream:
+		return req, nil
+	}
+	return req, nil
+}
+
+// dispatchDup claims MsgWriteBlock a second time on this package's
+// one-shot plane and handles no read case at all (§15.1 uniqueness and
+// completeness).
+func (n *node) dispatchDup(req *proto.Message, payload []byte) (*proto.Message, []byte) {
+	switch req.Type {
+	case proto.MsgWriteBlock:
+		n.store[req.Block] = payload
+	}
+	return req, nil
+}
+
+// recvNoVerify consumes chunk frames without ever verifying the
+// per-chunk CRC (§15.1).
+func (n *node) recvNoVerify(open *proto.Message, s proto.BlockStream) error {
+	for {
+		m, payload, err := s.Recv()
+		if err != nil {
+			return err
+		}
+		if m.Type != proto.MsgChunk {
+			return nil
+		}
+		n.store[open.Block] = append(n.store[open.Block], payload...)
+		if m.Eof {
+			return nil
+		}
+	}
+}
+
+// deltaMute builds heartbeat deltas but never reads the response's
+// FullReport flag and never escalates to a full report (§15.5).
+func (n *node) deltaMute() {
+	req := &proto.Message{Type: proto.MsgHeartbeatDelta}
+	n.out = append(n.out, req)
+}
+
+// deltaWaved is the same shape deliberately waved through, proving the
+// ignore directive covers protoconform findings.
+func (n *node) deltaWaved() {
+	//lint:ignore protoconform fixture: retirement path, escalation handled by the caller
+	req := &proto.Message{Type: proto.MsgHeartbeatDelta}
+	n.out = append(n.out, req)
+}
+
+// misuse carries an ignore with no reason: the directive checker flags
+// the comment itself.
+func (n *node) misuse() {
+	//lint:ignore protoconform
+	n.out = nil
+}

@@ -21,6 +21,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 
 	"aurora/internal/analysis/flow"
 )
@@ -44,6 +45,8 @@ const (
 	RuleAtomicMix   = "atomicmix"   // field mixes sync/atomic with plain access
 	RuleGoroLeak    = "goroleak"    // go statement without a provable termination signal
 	RuleGlobalMut   = "globalmut"   // mutable package-level state (sharding blocker)
+	RuleConc        = "conc"        // model checker: deadlock / lost signal / stuck pipeline
+	RuleProtoConform = "protoconform" // dispatch state machine diverges from DESIGN.md §15
 )
 
 // KnownRules is the registry of valid rule names, used to validate
@@ -53,6 +56,7 @@ var KnownRules = []string{
 	RuleErrCheck, RuleDirective, RulePkgDoc,
 	RuleLockOrder, RuleCtxDeadline, RuleRngTaint, RuleWrapCheck,
 	RuleAllocHot, RuleAtomicMix, RuleGoroLeak, RuleGlobalMut,
+	RuleConc, RuleProtoConform,
 }
 
 func knownRule(name string) bool {
@@ -95,7 +99,11 @@ type Runner struct {
 	modes      map[*Package]pkgModes
 	funcDirs   map[token.Pos]string // //lint:hotpath and //lint:coldpath comment positions
 	flowSet    *flow.Set
+	concBudget time.Duration // wall-time cap for the conc model checker (0 = default)
 }
+
+// SetConcBudget caps the model checker's wall time (-conc-budget).
+func (r *Runner) SetConcBudget(d time.Duration) { r.concBudget = d }
 
 // pkgModes is what the //lint: comments of one package declare.
 type pkgModes struct {
@@ -175,6 +183,8 @@ func (r *Runner) Passes() []Pass {
 		{Name: "atomicmix", run: r.checkAtomicMix},
 		{Name: "goroleak", run: r.checkGoroLeak},
 		{Name: "globalmut", run: r.checkGlobalMut},
+		{Name: "conc", run: r.checkConc},
+		{Name: "protoconform", run: r.checkProtoConform},
 	}
 }
 

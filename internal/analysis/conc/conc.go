@@ -1,0 +1,470 @@
+// Package conc is an explicit-state bounded model checker over the
+// concurrency skeletons extracted by flow.EventsOf. For every root
+// function that spawns goroutines it compiles an instruction graph —
+// inlining resolved callees up to a depth bound, binding spawned
+// literals and named goroutine bodies — and exhaustively explores the
+// interleavings of the resulting processes under partial-order
+// reduction. Terminal states in which a process is blocked forever are
+// classified into three report families:
+//
+//   - deadlock cycles: processes waiting on each other in a cycle,
+//     including mixed channel+mutex cycles lockorder cannot express;
+//   - lost signals: a send blocked forever with no live process that
+//     could still receive;
+//   - stuck pipelines: a recv, Lock or Wait blocked forever with no
+//     live process that could still satisfy it.
+//
+// The model is closed-world only where that is sound: a channel is
+// tracked precisely iff its make site is inside the model, it is a
+// local non-field variable, and it never escapes (aliased, returned,
+// stored in a literal, or passed to an unresolvable call). Everything
+// else — channel fields closed by other methods, contexts handed in by
+// callers, channels with non-constant capacity — is "external" and its
+// operations never block, so the checker under-approximates rather
+// than inventing blockage it cannot prove. Exploration bounds and the
+// remaining abstractions are documented in DESIGN.md §16.
+package conc
+
+import (
+	"go/token"
+	"go/types"
+	"time"
+
+	"aurora/internal/analysis/flow"
+)
+
+// Options bounds one exploration.
+type Options struct {
+	MaxProcs  int       // goroutine bound per root (default 8)
+	MaxStates int       // explored-state bound per root (default 50000)
+	MaxDepth  int       // call-inlining depth bound (default 6)
+	Deadline  time.Time // wall-clock cap; zero means none
+	Fset      *token.FileSet
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxProcs <= 0 {
+		o.MaxProcs = 8
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = 50000
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 6
+	}
+	return o
+}
+
+// Finding is one diagnostic: a blocked-forever state the explorer
+// reached, anchored at the blocking operation.
+type Finding struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Check compiles root (with lookup supplying the skeletons of resolved
+// callees; nil results mean the callee is opaque) and explores it.
+// Roots whose model had to be truncated (goroutine bound exceeded)
+// return no findings: a dropped process could have been the missing
+// receiver, so any report would be speculative.
+func Check(root *flow.FnEvents, lookup func(*types.Func) *flow.FnEvents, opts Options) []Finding {
+	opts = opts.withDefaults()
+	c := &compiler{
+		objIdx: map[types.Object]int{},
+		lookup: lookup,
+		opts:   &opts,
+	}
+	entry := c.compileFn(root, c.emit(instr{kind: iEnd, obj: -1}), newFrame(nil))
+	c.finalize()
+	if c.truncated {
+		return nil
+	}
+	e := &explorer{c: c, opts: &opts, seen: map[string]struct{}{}, reported: map[string]token.Pos{}}
+	e.run(entry)
+	return e.findings()
+}
+
+// ---------------------------------------------------------------------------
+// Compilation: events → instruction graph
+
+type instrKind int
+
+const (
+	iNop instrKind = iota
+	iEnd
+	iMakeChan
+	iSend
+	iRecv
+	iClose
+	iLock
+	iUnlock
+	iRLock
+	iRUnlock
+	iWgAdd
+	iWgDone
+	iWgWait
+	iSpawn
+	iSelect
+)
+
+type instr struct {
+	kind  instrKind
+	obj   int // object index, -1 = external/unnameable
+	delta int // chan capacity (iMakeChan) or wg delta (iWgAdd)
+	pos   token.Pos
+	what  string
+	next  []int // successors; >1 = nondeterministic choice (iNop)
+	arms  []selArm
+	spawn int // iSpawn: entry pc of the spawned process
+}
+
+type selArm struct {
+	kind instrKind // iSend, iRecv, or iNop for the default arm
+	obj  int
+	pos  token.Pos
+	what string
+	body int // entry pc of the arm body
+}
+
+type objKind int
+
+const (
+	objChan objKind = iota
+	objMutex
+	objRWMutex
+	objWg
+)
+
+type objInfo struct {
+	kind     objKind
+	name     string
+	external bool
+	made     bool // chan: a make site is in the model
+	escaped  bool // chan: aliased/returned/passed to opaque code
+	wgUnkAdd bool // wg: a non-constant Add is in the model
+	src      types.Object
+}
+
+type frame struct {
+	subst map[types.Object]types.Object
+	stack []*types.Func
+}
+
+func newFrame(parent map[types.Object]types.Object) *frame {
+	m := map[types.Object]types.Object{}
+	for k, v := range parent {
+		m[k] = v
+	}
+	return &frame{subst: m}
+}
+
+type compiler struct {
+	instrs    []instr
+	objs      []objInfo
+	objIdx    map[types.Object]int
+	lookup    func(*types.Func) *flow.FnEvents
+	opts      *Options
+	truncated bool
+}
+
+func (c *compiler) emit(in instr) int {
+	c.instrs = append(c.instrs, in)
+	return len(c.instrs) - 1
+}
+
+// resolveObj follows the frame's substitution chain and interns the
+// resulting object. Returns -1 for unnameable objects.
+func (c *compiler) resolveObj(obj types.Object, fr *frame, kind objKind) int {
+	for obj != nil {
+		next, ok := fr.subst[obj]
+		if !ok {
+			break
+		}
+		obj = next
+	}
+	if obj == nil {
+		return -1
+	}
+	if idx, ok := c.objIdx[obj]; ok {
+		return idx
+	}
+	idx := len(c.objs)
+	c.objs = append(c.objs, objInfo{kind: kind, name: obj.Name(), src: obj})
+	c.objIdx[obj] = idx
+	return idx
+}
+
+// markEscaped flags a channel argument handed to opaque code.
+func (c *compiler) markEscaped(obj types.Object, fr *frame) {
+	if obj == nil {
+		return
+	}
+	if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+		return
+	}
+	idx := c.resolveObj(obj, fr, objChan)
+	if idx >= 0 {
+		c.objs[idx].escaped = true
+	}
+}
+
+// compileFn compiles a function's skeleton with continuation k: the
+// deferred releases run (in LIFO order, already reversed by EventsOf)
+// at fallthrough and at every return.
+func (c *compiler) compileFn(fe *flow.FnEvents, k int, fr *frame) int {
+	deferK := c.compileEvents(fe.Deferred, k, fr, -1)
+	return c.compileEvents(fe.Body, deferK, fr, deferK)
+}
+
+func (c *compiler) compileEvents(evs []flow.Event, k int, fr *frame, deferK int) int {
+	for i := len(evs) - 1; i >= 0; i-- {
+		k = c.compileEvent(&evs[i], k, fr, deferK)
+	}
+	return k
+}
+
+func (c *compiler) compileEvent(ev *flow.Event, k int, fr *frame, deferK int) int {
+	switch ev.Kind {
+	case flow.EvChoice:
+		nexts := make([]int, 0, len(ev.Alts))
+		for _, alt := range ev.Alts {
+			nexts = append(nexts, c.compileEvents(alt, k, fr, deferK))
+		}
+		return c.emit(instr{kind: iNop, obj: -1, pos: ev.Pos, next: dedupInts(nexts)})
+	case flow.EvSelect:
+		arms := make([]selArm, 0, len(ev.Arms))
+		for _, arm := range ev.Arms {
+			body := c.compileEvents(arm.Body, k, fr, deferK)
+			sa := selArm{kind: iNop, obj: -1, pos: ev.Pos, body: body}
+			if arm.Comm != nil {
+				sa.pos = arm.Comm.Pos
+				sa.what = arm.Comm.What
+				sa.obj = c.resolveObj(arm.Comm.Obj, fr, objChan)
+				if arm.Comm.Kind == flow.EvSend {
+					sa.kind = iSend
+				} else {
+					sa.kind = iRecv
+				}
+				if arm.Comm.Obj == nil {
+					sa.obj = -1
+				}
+			}
+			arms = append(arms, sa)
+		}
+		return c.emit(instr{kind: iSelect, obj: -1, pos: ev.Pos, what: "select", arms: arms})
+	case flow.EvReturn:
+		if deferK >= 0 {
+			return deferK
+		}
+		return k
+	case flow.EvEscape:
+		c.markEscaped(ev.Obj, fr)
+		return k
+	case flow.EvCall:
+		return c.compileCall(ev, k, fr)
+	case flow.EvSpawn:
+		return c.compileSpawn(ev, k, fr)
+	case flow.EvMakeChan:
+		idx := c.resolveObj(ev.Obj, fr, objChan)
+		if idx >= 0 {
+			c.objs[idx].made = true
+		}
+		return c.emit(instr{kind: iMakeChan, obj: idx, delta: ev.Delta, pos: ev.Pos, what: ev.What, next: []int{k}})
+	case flow.EvSend, flow.EvRecv, flow.EvClose:
+		kinds := map[flow.EventKind]instrKind{flow.EvSend: iSend, flow.EvRecv: iRecv, flow.EvClose: iClose}
+		idx := -1
+		if ev.Obj != nil {
+			idx = c.resolveObj(ev.Obj, fr, objChan)
+		}
+		return c.emit(instr{kind: kinds[ev.Kind], obj: idx, pos: ev.Pos, what: ev.What, next: []int{k}})
+	case flow.EvLock, flow.EvUnlock, flow.EvRLock, flow.EvRUnlock:
+		kinds := map[flow.EventKind]instrKind{
+			flow.EvLock: iLock, flow.EvUnlock: iUnlock, flow.EvRLock: iRLock, flow.EvRUnlock: iRUnlock,
+		}
+		mk := objMutex
+		if ev.Kind == flow.EvRLock || ev.Kind == flow.EvRUnlock {
+			mk = objRWMutex
+		}
+		idx := -1
+		if ev.Obj != nil {
+			idx = c.resolveObj(ev.Obj, fr, mk)
+		}
+		return c.emit(instr{kind: kinds[ev.Kind], obj: idx, pos: ev.Pos, what: ev.What, next: []int{k}})
+	case flow.EvWgAdd, flow.EvWgDone, flow.EvWgWait:
+		kinds := map[flow.EventKind]instrKind{flow.EvWgAdd: iWgAdd, flow.EvWgDone: iWgDone, flow.EvWgWait: iWgWait}
+		idx := -1
+		if ev.Obj != nil {
+			idx = c.resolveObj(ev.Obj, fr, objWg)
+			if ev.Kind == flow.EvWgAdd && ev.Delta < 0 && idx >= 0 {
+				c.objs[idx].wgUnkAdd = true
+			}
+		}
+		return c.emit(instr{kind: kinds[ev.Kind], obj: idx, delta: ev.Delta, pos: ev.Pos, what: ev.What, next: []int{k}})
+	}
+	return k
+}
+
+// compileCall inlines a resolved synchronous call, cutting recursion
+// and the depth bound. A cut call's channel arguments escape: the
+// un-inlined body may do anything with them.
+func (c *compiler) compileCall(ev *flow.Event, k int, fr *frame) int {
+	var entries []int
+	for _, callee := range ev.Call.Callees {
+		fe := c.lookupEvents(callee)
+		if fe == nil || c.onStack(fr, callee) || len(fr.stack) >= c.opts.MaxDepth {
+			for _, arg := range ev.Call.Args {
+				c.markEscaped(resolveThrough(arg, fr), fr)
+			}
+			continue
+		}
+		sub := newFrame(fr.subst)
+		sub.stack = append(append([]*types.Func{}, fr.stack...), callee)
+		bindParams(sub, callee, ev.Call.Args, fr)
+		entries = append(entries, c.compileFn(fe, k, sub))
+	}
+	switch len(dedupInts(entries)) {
+	case 0:
+		return k
+	case 1:
+		return entries[0]
+	default:
+		return c.emit(instr{kind: iNop, obj: -1, pos: ev.Pos, next: dedupInts(entries)})
+	}
+}
+
+func (c *compiler) compileSpawn(ev *flow.Event, k int, fr *frame) int {
+	sp := ev.Spawn
+	var entry = -1
+	if sp.Lit != nil {
+		sub := newFrame(fr.subst)
+		sub.stack = fr.stack
+		for i, p := range sp.LitParams {
+			if p == nil {
+				continue
+			}
+			var bound types.Object
+			if i < len(sp.Args) {
+				bound = resolveThrough(sp.Args[i], fr)
+			}
+			sub.subst[p] = bound
+		}
+		end := c.emit(instr{kind: iEnd, obj: -1, pos: ev.Pos})
+		entry = c.compileFn(sp.Lit, end, sub)
+	} else {
+		for _, callee := range sp.Callees {
+			fe := c.lookupEvents(callee)
+			if fe == nil || c.onStack(fr, callee) || len(fr.stack) >= c.opts.MaxDepth {
+				continue
+			}
+			sub := newFrame(nil)
+			sub.stack = append(append([]*types.Func{}, fr.stack...), callee)
+			bindParams(sub, callee, sp.Args, fr)
+			end := c.emit(instr{kind: iEnd, obj: -1, pos: ev.Pos})
+			entry = c.compileFn(fe, end, sub)
+			break
+		}
+		if entry < 0 {
+			// Opaque goroutine body: its channel arguments may be
+			// received from or closed over there, so they escape.
+			for _, arg := range sp.Args {
+				c.markEscaped(resolveThrough(arg, fr), fr)
+			}
+			return k
+		}
+	}
+	return c.emit(instr{kind: iSpawn, obj: -1, pos: ev.Pos, what: sp.What, next: []int{k}, spawn: entry})
+}
+
+func (c *compiler) lookupEvents(fn *types.Func) *flow.FnEvents {
+	if c.lookup == nil {
+		return nil
+	}
+	return c.lookup(fn)
+}
+
+func (c *compiler) onStack(fr *frame, fn *types.Func) bool {
+	for _, f := range fr.stack {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}
+
+func resolveThrough(obj types.Object, fr *frame) types.Object {
+	for obj != nil {
+		next, ok := fr.subst[obj]
+		if !ok {
+			return obj
+		}
+		obj = next
+	}
+	return obj
+}
+
+func bindParams(sub *frame, callee *types.Func, args []types.Object, caller *frame) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		var bound types.Object
+		if i < len(args) {
+			bound = resolveThrough(args[i], caller)
+		}
+		sub.subst[params.At(i)] = bound
+	}
+}
+
+// finalize decides externality per object once the whole model is
+// compiled, per the closed-world rules in the package comment.
+func (c *compiler) finalize() {
+	for i := range c.objs {
+		o := &c.objs[i]
+		switch o.kind {
+		case objChan:
+			o.external = !o.made || o.escaped || !isLocalNonField(o.src)
+		case objWg:
+			o.external = o.wgUnkAdd || !isLocalNonField(o.src)
+		case objMutex, objRWMutex:
+			// Mutexes are always modeled: they start free, and an outside
+			// holder releases eventually, so modeling the lock as free
+			// never invents blockage that could not happen.
+			o.external = false
+		}
+	}
+}
+
+func isLocalNonField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return false
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	return true
+}
+
+func dedupInts(in []int) []int {
+	var out []int
+	for _, v := range in {
+		dup := false
+		for _, w := range out {
+			if w == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (f *Finding) String() string { return f.Msg }

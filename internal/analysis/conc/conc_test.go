@@ -1,0 +1,211 @@
+package conc_test
+
+// These tests pin the model checker's verdict per concfix scenario:
+// which functions produce deadlock/lost-signal/stuck findings, which
+// stay clean, and the exact message families. The fixture is parsed
+// and type-checked directly, mirroring flow's own test harness.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aurora/internal/analysis/conc"
+	"aurora/internal/analysis/flow"
+)
+
+type fixtureData struct {
+	fset   *token.FileSet
+	funcs  map[string]flow.Func
+	events map[*types.Func]*flow.FnEvents
+}
+
+var (
+	fixOnce sync.Once
+	fixData *fixtureData
+	fixErr  error
+)
+
+func fixture(t *testing.T) *fixtureData {
+	t.Helper()
+	fixOnce.Do(func() {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, filepath.Join("testdata", "concfix.go"), nil, parser.ParseComments)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+		if _, err := conf.Check("concfix", fset, []*ast.File{file}, info); err != nil {
+			fixErr = err
+			return
+		}
+		d := &fixtureData{fset: fset, funcs: map[string]flow.Func{}, events: map[*types.Func]*flow.FnEvents{}}
+		resolve := func(_ flow.Func, call *ast.CallExpr) []*types.Func {
+			return staticCallees(info, call)
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			f := flow.Func{Obj: fn, Decl: fd, Info: info}
+			d.funcs[fd.Name.Name] = f
+			d.events[fn] = flow.EventsOf(f, resolve)
+		}
+		fixData = d
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fixData
+}
+
+func staticCallees(info *types.Info, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if m, ok := sel.Obj().(*types.Func); ok {
+				return []*types.Func{m}
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	}
+	return nil
+}
+
+func check(t *testing.T, name string) []conc.Finding {
+	t.Helper()
+	d := fixture(t)
+	f, ok := d.funcs[name]
+	if !ok {
+		t.Fatalf("no fixture function %q", name)
+	}
+	return conc.Check(d.events[f.Obj], func(fn *types.Func) *flow.FnEvents {
+		return d.events[fn]
+	}, conc.Options{Fset: d.fset})
+}
+
+func TestVerdicts(t *testing.T) {
+	tests := []struct {
+		fn   string
+		want []string // required substring per finding, in order
+	}{
+		{"DeadlockMixed", []string{
+			"potential deadlock: goroutines wait on each other in a cycle",
+			"potential deadlock: goroutines wait on each other in a cycle",
+		}},
+		{"LostSignal", []string{
+			`lost signal: send on "done" blocks forever: no live goroutine can still receive from it`,
+		}},
+		{"StuckAck", []string{
+			`stuck pipeline: recv from "acks" blocks forever: no live goroutine can still send on or close it`,
+		}},
+		{"CleanPipeline", nil},
+		{"Fanout", nil},
+		{"Scoped", nil},
+		{"FieldStop", nil},
+		{"Escaped", nil},
+		{"WgNeverDone", []string{
+			`stuck pipeline: Wait on "wg" blocks forever: no live goroutine can still call Done on it`,
+		}},
+		{"BufferedFull", []string{
+			`lost signal: send on "logc" blocks forever: no live goroutine can still receive from it`,
+		}},
+		{"SelectStuck", []string{
+			"select on",
+		}},
+		{"SelectDefault", nil},
+		{"NamedSpawnLost", []string{
+			`lost signal: send on "out" blocks forever`,
+		}},
+		{"NamedSpawnClean", nil},
+		{"Inlined", []string{
+			`lost signal: send on "out" blocks forever`,
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fn, func(t *testing.T) {
+			got := check(t, tt.fn)
+			if len(got) != len(tt.want) {
+				t.Fatalf("findings = %d, want %d:\n%s", len(got), len(tt.want), render(t, got))
+			}
+			for i, sub := range tt.want {
+				if !strings.Contains(got[i].Msg, sub) {
+					t.Errorf("finding[%d] = %q, want substring %q", i, got[i].Msg, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlockMembers pins that the DeadlockMixed cycle message names
+// both sides of the cycle — the lock and the channel op.
+func TestDeadlockMembers(t *testing.T) {
+	got := check(t, "DeadlockMixed")
+	if len(got) == 0 {
+		t.Fatal("no findings")
+	}
+	joined := ""
+	for _, f := range got {
+		joined += f.Msg + "\n"
+	}
+	for _, sub := range []string{`Lock "mu"`, `"ch"`} {
+		if !strings.Contains(joined, sub) {
+			t.Errorf("cycle messages missing %q:\n%s", sub, joined)
+		}
+	}
+}
+
+// TestBudget pins that an exhausted deadline stops exploration without
+// panicking (and without inventing findings on a clean function).
+func TestBudget(t *testing.T) {
+	d := fixture(t)
+	f := d.funcs["CleanPipeline"]
+	got := conc.Check(d.events[f.Obj], func(fn *types.Func) *flow.FnEvents {
+		return d.events[fn]
+	}, conc.Options{Fset: d.fset, Deadline: time.Now().Add(-time.Second)})
+	if len(got) != 0 {
+		t.Fatalf("expired deadline still reported: %v", got)
+	}
+}
+
+func render(t *testing.T, fs []conc.Finding) string {
+	t.Helper()
+	d := fixture(t)
+	var b strings.Builder
+	for _, f := range fs {
+		p := d.fset.Position(f.Pos)
+		b.WriteString(p.String() + ": " + f.Msg + "\n")
+	}
+	return b.String()
+}

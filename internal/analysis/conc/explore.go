@@ -1,0 +1,729 @@
+package conc
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// timeNow is a hook for deterministic deadline tests.
+var timeNow = time.Now
+
+// objState is the dynamic state of one modeled object. Channels use
+// made/cap/buf/closed, mutexes writer/readers, WaitGroups wg.
+type objState struct {
+	made    bool
+	closed  bool
+	cap     int16 // -1: capacity unknown, ops never block
+	buf     int16
+	writer  int8 // -1 free, else holding proc
+	readers uint16
+	wg      int16
+}
+
+type state struct {
+	pcs  []int32 // per-proc pc, -1 done
+	objs []objState
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		pcs:  append([]int32{}, s.pcs...),
+		objs: append([]objState{}, s.objs...),
+	}
+	return ns
+}
+
+func (s *state) key() string {
+	var b strings.Builder
+	for _, pc := range s.pcs {
+		fmt.Fprintf(&b, "%d,", pc)
+	}
+	b.WriteByte('|')
+	for _, o := range s.objs {
+		fmt.Fprintf(&b, "%t%t%d.%d.%d.%d.%d;", o.made, o.closed, o.cap, o.buf, o.writer, o.readers, o.wg)
+	}
+	return b.String()
+}
+
+// cand is one candidate operation of a process: the single op of a
+// plain instruction, one successor of a choice, or one arm of a select.
+type cand struct {
+	kind instrKind
+	obj  int
+	pos  token.Pos
+	what string
+	next int32
+	// isDefault marks a select default arm: enabled only when no comm
+	// arm of the same select can fire.
+	isDefault bool
+	spawn     int
+	delta     int
+}
+
+type explorer struct {
+	c         *compiler
+	opts      *Options
+	seen      map[string]struct{}
+	reported  map[string]token.Pos
+	order     []string
+	truncated bool
+	states    int
+	reach     map[int]uint64          // instr → bitset of modeled objs reachable
+	opReach   map[int]map[opKey]bool  // instr → reachable (kind,obj) ops
+}
+
+type opKey struct {
+	kind instrKind
+	obj  int
+}
+
+func (e *explorer) run(entry int) {
+	init := &state{pcs: []int32{int32(entry)}, objs: make([]objState, len(e.c.objs))}
+	for i := range init.objs {
+		init.objs[i].writer = -1
+		init.objs[i].cap = -1
+	}
+	e.reach = map[int]uint64{}
+	e.opReach = map[int]map[opKey]bool{}
+
+	stack := []*state{init}
+	e.seen[init.key()] = struct{}{}
+	for len(stack) > 0 {
+		if e.states >= e.opts.MaxStates {
+			return
+		}
+		if e.states%256 == 0 && !e.opts.Deadline.IsZero() && timeNow().After(e.opts.Deadline) {
+			return
+		}
+		e.states++
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		succs := e.successors(st)
+		if succs == nil {
+			// Terminal: no transitions. Live blocked procs are findings.
+			e.classify(st)
+			continue
+		}
+		for _, ns := range succs {
+			k := ns.key()
+			if _, ok := e.seen[k]; ok {
+				continue
+			}
+			e.seen[k] = struct{}{}
+			stack = append(stack, ns)
+		}
+	}
+}
+
+// successors returns the next states, nil when the state is terminal
+// with live processes, and an empty non-nil slice when all processes
+// are done.
+func (e *explorer) successors(st *state) []*state {
+	live := 0
+	for _, pc := range st.pcs {
+		if pc >= 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		return []*state{}
+	}
+
+	cands := make([][]cand, len(st.pcs))
+	for p, pc := range st.pcs {
+		if pc >= 0 {
+			cands[p] = e.candsOf(int(pc))
+		}
+	}
+
+	// Partial-order reduction: if some process's every candidate is
+	// enabled without a partner and touches nothing other live
+	// processes can reach, its moves commute with everyone else's —
+	// explore only that process.
+	ample := e.ampleProc(st, cands)
+
+	var out []*state
+	for p := range st.pcs {
+		if st.pcs[p] < 0 || (ample >= 0 && p != ample) {
+			continue
+		}
+		for ci := range cands[p] {
+			cd := &cands[p][ci]
+			switch e.enabled(st, p, cd, cands) {
+			case enYes:
+				out = append(out, e.apply(st, p, cd))
+			case enRendezvous:
+				for q := range st.pcs {
+					if q == p || st.pcs[q] < 0 {
+						continue
+					}
+					for cj := range cands[q] {
+						pd := &cands[q][cj]
+						if e.pairs(cd, pd) {
+							out = append(out, e.applyPair(st, p, cd, q, pd))
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// candsOf expands the instruction at pc into candidate operations.
+func (e *explorer) candsOf(pc int) []cand {
+	in := &e.c.instrs[pc]
+	switch in.kind {
+	case iSelect:
+		out := make([]cand, 0, len(in.arms))
+		for _, arm := range in.arms {
+			c := cand{kind: arm.kind, obj: arm.obj, pos: arm.pos, what: arm.what, next: int32(arm.body)}
+			if arm.kind == iNop {
+				c.isDefault = true
+			}
+			out = append(out, c)
+		}
+		return out
+	case iEnd:
+		return []cand{{kind: iEnd, obj: -1, pos: in.pos, next: -1}}
+	default:
+		out := make([]cand, 0, len(in.next))
+		for _, n := range in.next {
+			out = append(out, cand{
+				kind: in.kind, obj: in.obj, pos: in.pos, what: in.what,
+				next: int32(n), spawn: in.spawn, delta: in.delta,
+			})
+		}
+		return out
+	}
+}
+
+type enabledness int
+
+const (
+	enNo enabledness = iota
+	enYes
+	enRendezvous
+)
+
+// enabled decides whether proc p can take cd on its own, needs a
+// rendezvous partner, or is blocked.
+func (e *explorer) enabled(st *state, p int, cd *cand, all [][]cand) enabledness {
+	if cd.isDefault {
+		// Go semantics: the default arm fires only when no comm arm is
+		// ready. A comm arm is "ready" if it is enabled alone or a
+		// rendezvous partner exists right now.
+		for _, sib := range all[p] {
+			if sib.isDefault {
+				continue
+			}
+			sib := sib
+			switch e.enabled(st, p, &sib, all) {
+			case enYes:
+				return enNo
+			case enRendezvous:
+				for q := range st.pcs {
+					if q == p || st.pcs[q] < 0 {
+						continue
+					}
+					for cj := range all[q] {
+						if e.pairs(&sib, &all[q][cj]) {
+							return enNo
+						}
+					}
+				}
+			}
+		}
+		return enYes
+	}
+
+	ext := cd.obj < 0 || e.c.objs[cd.obj].external
+	switch cd.kind {
+	case iNop, iEnd, iMakeChan, iSpawn, iUnlock, iRUnlock, iWgAdd, iWgDone, iClose:
+		return enYes
+	case iSend:
+		if ext {
+			return enYes
+		}
+		o := &st.objs[cd.obj]
+		if !o.made || o.cap < 0 || o.closed {
+			return enYes
+		}
+		if o.cap > 0 {
+			if o.buf < o.cap {
+				return enYes
+			}
+			return enNo
+		}
+		return enRendezvous
+	case iRecv:
+		if ext {
+			return enYes
+		}
+		o := &st.objs[cd.obj]
+		if !o.made || o.cap < 0 || o.closed {
+			return enYes
+		}
+		if o.buf > 0 {
+			return enYes
+		}
+		if o.cap > 0 {
+			return enNo
+		}
+		return enRendezvous
+	case iLock:
+		if ext {
+			return enYes
+		}
+		o := &st.objs[cd.obj]
+		if o.writer < 0 && o.readers == 0 {
+			return enYes
+		}
+		return enNo
+	case iRLock:
+		if ext {
+			return enYes
+		}
+		if st.objs[cd.obj].writer < 0 {
+			return enYes
+		}
+		return enNo
+	case iWgWait:
+		if ext {
+			return enYes
+		}
+		if st.objs[cd.obj].wg <= 0 {
+			return enYes
+		}
+		return enNo
+	}
+	return enYes
+}
+
+// pairs reports whether cd (a rendezvous-needing op) and pd complement
+// each other on the same modeled unbuffered channel.
+func (e *explorer) pairs(cd, pd *cand) bool {
+	if pd.isDefault || cd.obj < 0 || pd.obj != cd.obj {
+		return false
+	}
+	return (cd.kind == iSend && pd.kind == iRecv) || (cd.kind == iRecv && pd.kind == iSend)
+}
+
+// apply executes one single-proc transition.
+func (e *explorer) apply(st *state, p int, cd *cand) *state {
+	ns := st.clone()
+	ns.pcs[p] = cd.next
+	if cd.obj >= 0 && !e.c.objs[cd.obj].external {
+		o := &ns.objs[cd.obj]
+		switch cd.kind {
+		case iMakeChan:
+			*o = objState{made: true, cap: int16(cd.delta), writer: -1}
+		case iSend:
+			if o.made && o.cap > 0 && !o.closed {
+				o.buf++
+			}
+		case iRecv:
+			if o.made && o.buf > 0 {
+				o.buf--
+			}
+		case iClose:
+			o.closed = true
+		case iLock:
+			o.writer = int8(p)
+		case iUnlock:
+			o.writer = -1
+			o.readers = 0
+		case iRLock:
+			o.readers |= 1 << uint(p)
+		case iRUnlock:
+			o.readers &^= 1 << uint(p)
+		case iWgAdd:
+			o.wg += int16(cd.delta)
+		case iWgDone:
+			if o.wg > 0 {
+				o.wg--
+			}
+		}
+	}
+	if cd.kind == iSpawn {
+		if len(ns.pcs) >= e.opts.MaxProcs {
+			e.truncated = true
+		} else {
+			ns.pcs = append(ns.pcs, int32(cd.spawn))
+		}
+	}
+	return ns
+}
+
+// applyPair executes a rendezvous: both sides advance atomically.
+func (e *explorer) applyPair(st *state, p int, cd *cand, q int, pd *cand) *state {
+	ns := st.clone()
+	ns.pcs[p] = cd.next
+	ns.pcs[q] = pd.next
+	return ns
+}
+
+// ampleProc picks a process whose entire candidate set is invisible to
+// every other live process, or -1.
+func (e *explorer) ampleProc(st *state, cands [][]cand) int {
+	if len(e.c.objs) > 64 {
+		return -1
+	}
+	for p := range st.pcs {
+		if st.pcs[p] < 0 || len(cands[p]) == 0 {
+			continue
+		}
+		ok := true
+		for ci := range cands[p] {
+			cd := &cands[p][ci]
+			if cd.isDefault || cd.kind == iSpawn || cd.kind == iSelect {
+				ok = false
+				break
+			}
+			if e.enabled(st, p, cd, cands) != enYes {
+				ok = false
+				break
+			}
+			if cd.obj >= 0 && !e.c.objs[cd.obj].external && e.objVisible(st, p, cd.obj) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return -1
+}
+
+func (e *explorer) objVisible(st *state, p, obj int) bool {
+	for q, pc := range st.pcs {
+		if q == p || pc < 0 {
+			continue
+		}
+		if e.reachable(int(pc))&(1<<uint(obj)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable computes the bitset of modeled objects reachable from pc,
+// through successors, select arms and spawned entries. The instruction
+// graph is acyclic by construction (loops compile to one pass), so a
+// memoized walk terminates.
+func (e *explorer) reachable(pc int) uint64 {
+	if v, ok := e.reach[pc]; ok {
+		return v
+	}
+	e.reach[pc] = 0 // cycle guard; final value overwrites
+	in := &e.c.instrs[pc]
+	var v uint64
+	if in.obj >= 0 && in.obj < 64 {
+		v |= 1 << uint(in.obj)
+	}
+	for _, n := range in.next {
+		v |= e.reachable(n)
+	}
+	for _, arm := range in.arms {
+		if arm.obj >= 0 && arm.obj < 64 {
+			v |= 1 << uint(arm.obj)
+		}
+		v |= e.reachable(arm.body)
+	}
+	if in.kind == iSpawn {
+		v |= e.reachable(in.spawn)
+	}
+	e.reach[pc] = v
+	return v
+}
+
+// reachableOps computes the (kind, obj) pairs reachable from pc — the
+// "could this process ever still do X" oracle behind helper analysis.
+func (e *explorer) reachableOps(pc int) map[opKey]bool {
+	if v, ok := e.opReach[pc]; ok {
+		return v
+	}
+	v := map[opKey]bool{}
+	e.opReach[pc] = v
+	in := &e.c.instrs[pc]
+	add := func(k instrKind, obj int) {
+		if obj >= 0 {
+			v[opKey{k, obj}] = true
+		}
+	}
+	add(in.kind, in.obj)
+	merge := func(sub map[opKey]bool) {
+		for k := range sub {
+			v[k] = true
+		}
+	}
+	for _, n := range in.next {
+		merge(e.reachableOps(n))
+	}
+	for _, arm := range in.arms {
+		add(arm.kind, arm.obj)
+		merge(e.reachableOps(arm.body))
+	}
+	if in.kind == iSpawn {
+		merge(e.reachableOps(in.spawn))
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Terminal-state classification
+
+type blockedProc struct {
+	proc  int
+	cands []cand // the blocked candidates
+}
+
+func (e *explorer) classify(st *state) {
+	var blocked []blockedProc
+	idxOf := map[int]int{}
+	cands := make([][]cand, len(st.pcs))
+	for p, pc := range st.pcs {
+		if pc < 0 {
+			continue
+		}
+		cands[p] = e.candsOf(int(pc))
+		idxOf[p] = len(blocked)
+		blocked = append(blocked, blockedProc{proc: p, cands: cands[p]})
+	}
+	if len(blocked) == 0 {
+		return
+	}
+
+	// helpers[i] = set of live procs that could still satisfy one of
+	// blocked[i]'s candidates if they themselves got unblocked.
+	helpers := make([]map[int]bool, len(blocked))
+	for i, bp := range blocked {
+		helpers[i] = map[int]bool{}
+		for ci := range bp.cands {
+			cd := &bp.cands[ci]
+			for _, q := range e.helpersFor(st, bp.proc, cd) {
+				helpers[i][q] = true
+			}
+		}
+	}
+
+	// Wait-for graph over blocked procs; a cycle is a deadlock.
+	n := len(blocked)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		for q := range helpers[i] {
+			if j, ok := idxOf[q]; ok {
+				reach[i][j] = true
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+
+	inCycle := make([]bool, n)
+	for i := 0; i < n; i++ {
+		inCycle[i] = reach[i][i]
+	}
+
+	// One finding per cycle (mutually-reaching group), anchored at the
+	// lexically first member.
+	cycleDone := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !inCycle[i] || cycleDone[i] {
+			continue
+		}
+		var members []int
+		for j := i; j < n; j++ {
+			if inCycle[j] && reach[i][j] && reach[j][i] {
+				members = append(members, j)
+				cycleDone[j] = true
+			}
+		}
+		e.reportCycle(blocked, members)
+	}
+
+	// Zero-helper blocked procs: nothing can ever satisfy them.
+	for i := 0; i < n; i++ {
+		if inCycle[i] || len(helpers[i]) > 0 {
+			continue
+		}
+		e.reportOrphan(&blocked[i])
+	}
+}
+
+// helpersFor lists the live procs whose reachable ops contain a
+// complement of cd (recv for a blocked send, send/close for a blocked
+// recv, Unlock by the holder, Done for a Wait).
+func (e *explorer) helpersFor(st *state, p int, cd *cand) []int {
+	if cd.obj < 0 || (cd.kind != iLock && cd.kind != iRLock && e.c.objs[cd.obj].external) {
+		return nil
+	}
+	var want []opKey
+	switch cd.kind {
+	case iSend:
+		want = []opKey{{iRecv, cd.obj}}
+	case iRecv:
+		want = []opKey{{iSend, cd.obj}, {iClose, cd.obj}}
+	case iWgWait:
+		want = []opKey{{iWgDone, cd.obj}}
+	case iLock, iRLock:
+		want = []opKey{{iUnlock, cd.obj}, {iRUnlock, cd.obj}}
+	default:
+		return nil
+	}
+	var out []int
+	for q, pc := range st.pcs {
+		if q == p || pc < 0 {
+			continue
+		}
+		if cd.kind == iLock || cd.kind == iRLock {
+			// Only the holder can release.
+			o := &st.objs[cd.obj]
+			if int(o.writer) != q && o.readers&(1<<uint(q)) == 0 {
+				continue
+			}
+		}
+		ops := e.reachableOps(int(pc))
+		for _, w := range want {
+			if ops[w] {
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// blockDesc renders the blocking operation of one proc for a message.
+func blockDesc(bp *blockedProc) (token.Pos, string) {
+	cd := &bp.cands[0]
+	if len(bp.cands) > 1 {
+		// A select with every arm blocked: describe the arm set.
+		var names []string
+		for i := range bp.cands {
+			if w := bp.cands[i].what; w != "" {
+				names = append(names, fmt.Sprintf("%q", w))
+			}
+		}
+		return cd.pos, "select on " + strings.Join(names, ", ")
+	}
+	return cd.pos, opDesc(cd)
+}
+
+func opDesc(cd *cand) string {
+	switch cd.kind {
+	case iSend:
+		return fmt.Sprintf("send on %q", cd.what)
+	case iRecv:
+		return fmt.Sprintf("recv from %q", cd.what)
+	case iLock:
+		return fmt.Sprintf("Lock %q", cd.what)
+	case iRLock:
+		return fmt.Sprintf("RLock %q", cd.what)
+	case iWgWait:
+		return fmt.Sprintf("Wait on %q", cd.what)
+	}
+	return fmt.Sprintf("op on %q", cd.what)
+}
+
+func (e *explorer) reportCycle(blocked []blockedProc, members []int) {
+	type part struct {
+		pos  token.Pos
+		desc string
+	}
+	parts := make([]part, 0, len(members))
+	for _, m := range members {
+		pos, desc := blockDesc(&blocked[m])
+		parts = append(parts, part{pos, desc})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].pos < parts[j].pos })
+	var b strings.Builder
+	b.WriteString("potential deadlock: goroutines wait on each other in a cycle: ")
+	for i, pt := range parts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(pt.desc)
+		if i == 0 {
+			b.WriteString(" here")
+		} else {
+			b.WriteString(" at " + e.posString(pt.pos))
+		}
+	}
+	e.record(parts[0].pos, b.String())
+}
+
+func (e *explorer) reportOrphan(bp *blockedProc) {
+	pos, desc := blockDesc(bp)
+	cd := &bp.cands[0]
+	var msg string
+	switch cd.kind {
+	case iSend:
+		msg = fmt.Sprintf("lost signal: %s blocks forever: no live goroutine can still receive from it", desc)
+	case iRecv:
+		msg = fmt.Sprintf("stuck pipeline: %s blocks forever: no live goroutine can still send on or close it", desc)
+	case iLock, iRLock:
+		msg = fmt.Sprintf("stuck pipeline: %s blocks forever: no live goroutine can still unlock it", desc)
+	case iWgWait:
+		msg = fmt.Sprintf("stuck pipeline: %s blocks forever: no live goroutine can still call Done on it", desc)
+	default:
+		msg = fmt.Sprintf("stuck pipeline: %s blocks forever", desc)
+	}
+	e.record(pos, msg)
+}
+
+func (e *explorer) posString(pos token.Pos) string {
+	if e.opts.Fset == nil || !pos.IsValid() {
+		return "?"
+	}
+	p := e.opts.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (e *explorer) record(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if _, ok := e.reported[key]; ok {
+		return
+	}
+	e.reported[key] = pos
+	e.order = append(e.order, key)
+}
+
+func (e *explorer) findings() []Finding {
+	if e.truncated {
+		return nil
+	}
+	out := make([]Finding, 0, len(e.order))
+	for _, key := range e.order {
+		pos := e.reported[key]
+		msg := key[strings.Index(key, ":")+1:]
+		out = append(out, Finding{Pos: pos, Msg: msg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}

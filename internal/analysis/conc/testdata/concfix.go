@@ -1,0 +1,182 @@
+// Package concfix exercises the conc model checker: each function is a
+// self-contained concurrency scenario the unit tests explore directly.
+// Line positions matter to the tests only via relative ordering, not
+// absolute numbers.
+package concfix
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// DeadlockMixed is the classic mixed chan+mutex cycle: whichever side
+// takes the lock first, the other blocks on it while the holder blocks
+// on the channel.
+func DeadlockMixed() {
+	var mu sync.Mutex
+	ch := make(chan int)
+	go func() {
+		mu.Lock()
+		<-ch
+		mu.Unlock()
+	}()
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+// LostSignal sends on a channel nobody will ever receive from.
+func LostSignal() {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+}
+
+// StuckAck blocks a goroutine forever on an ack nobody sends.
+func StuckAck() {
+	acks := make(chan int)
+	go func() {
+		<-acks
+	}()
+}
+
+// CleanPipeline drains a buffered channel and joins: no findings.
+func CleanPipeline() {
+	jobs := make(chan int, 2)
+	done := make(chan bool)
+	go func() {
+		for range jobs {
+			work()
+		}
+		done <- true
+	}()
+	jobs <- 1
+	close(jobs)
+	<-done
+}
+
+// Fanout joins workers through a WaitGroup with constant Adds: clean.
+func Fanout() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Scoped cancels a context its child waits on: the cancel edge makes
+// the child's receive succeed.
+func Scoped() {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-ctx.Done()
+	}()
+	cancel()
+}
+
+type server struct {
+	stop chan struct{}
+}
+
+// FieldStop receives from a struct-field channel: fields are outside
+// the closed world (another method closes them), so no finding.
+func FieldStop(s *server) {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// Escaped aliases the channel before abandoning the receiver: the
+// alias takes it out of the closed world, so no finding.
+func Escaped(sink func(chan int)) {
+	acks := make(chan int)
+	go func() {
+		<-acks
+	}()
+	sink(acks)
+}
+
+// WgNeverDone waits on a WaitGroup no goroutine ever decrements.
+func WgNeverDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+	}()
+	wg.Wait()
+}
+
+// BufferedFull fills a 1-slot buffer twice with no receiver: the
+// second send blocks forever.
+func BufferedFull() {
+	logc := make(chan int, 1)
+	go func() {
+		logc <- 1
+		logc <- 2
+	}()
+}
+
+// SelectStuck blocks a select whose every arm is dead.
+func SelectStuck() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// SelectDefault never blocks: the default arm is always an out.
+func SelectDefault() {
+	a := make(chan int)
+	go func() {
+		select {
+		case <-a:
+		case <-a:
+		default:
+		}
+	}()
+}
+
+// sendOne is a named goroutine body; the spawn binds its parameter.
+func sendOne(out chan int) {
+	out <- 1
+}
+
+// NamedSpawnLost spawns a named function whose send is never received.
+func NamedSpawnLost() {
+	out := make(chan int)
+	go sendOne(out)
+}
+
+// NamedSpawnClean spawns the same body but receives the value.
+func NamedSpawnClean() {
+	out := make(chan int)
+	go sendOne(out)
+	<-out
+}
+
+// relay is inlined into Inlined below: the blocking recv happens two
+// call levels deep.
+func relay(in, out chan int) {
+	v := <-in
+	out <- v
+}
+
+// Inlined pins that inlining carries channel bindings: in is fed, out
+// is never drained, so the relay's send is a lost signal.
+func Inlined() {
+	in := make(chan int)
+	out := make(chan int)
+	go relay(in, out)
+	in <- 1
+}

@@ -1,0 +1,76 @@
+// The conc pass: runs the bounded model checker (internal/analysis/conc)
+// over every root function that spawns goroutines. Event skeletons are
+// extracted lazily per function and shared across roots, so the cost is
+// one EventsOf per function plus the exploration itself, which is
+// capped by the -conc-budget wall clock split across roots.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"time"
+
+	"aurora/internal/analysis/conc"
+	"aurora/internal/analysis/flow"
+)
+
+// DefaultConcBudget caps the model checker's total wall time when the
+// CLI does not override it with -conc-budget.
+const DefaultConcBudget = 3 * time.Second
+
+func (r *Runner) checkConc() {
+	budget := r.concBudget
+	if budget <= 0 {
+		budget = DefaultConcBudget
+	}
+	deadline := time.Now().Add(budget)
+
+	byInfo := make(map[*types.Info]*Package, len(r.pkgs))
+	for _, pkg := range r.pkgs {
+		byInfo[pkg.Info] = pkg
+	}
+	byObj := make(map[*types.Func]*FuncInfo, len(r.facts.FuncList))
+	for _, fi := range r.facts.FuncList {
+		byObj[fi.Obj] = fi
+	}
+
+	events := make(map[*types.Func]*flow.FnEvents)
+	var extract func(fn *types.Func) *flow.FnEvents
+	extract = func(fn *types.Func) *flow.FnEvents {
+		if fe, ok := events[fn]; ok {
+			return fe
+		}
+		fi, ok := byObj[fn]
+		if !ok || fi.Decl == nil || fi.Decl.Body == nil {
+			events[fn] = nil
+			return nil
+		}
+		// Reserve the slot first: EventsOf never recurses, but the
+		// lookup the checker calls later may ask for fn again.
+		events[fn] = nil
+		f := flow.Func{Obj: fi.Obj, Decl: fi.Decl, Info: fi.Pkg.Info}
+		fe := flow.EventsOf(f, func(inner flow.Func, call *ast.CallExpr) []*types.Func {
+			pkg := byInfo[inner.Info]
+			if pkg == nil {
+				return nil
+			}
+			return r.facts.resolveCallees(pkg, call)
+		})
+		events[fn] = fe
+		return fe
+	}
+
+	opts := conc.Options{Deadline: deadline, Fset: r.mod.Fset}
+	for _, fi := range r.facts.FuncList {
+		fe := extract(fi.Obj)
+		if fe == nil || !fe.HasSpawn() {
+			continue
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		for _, f := range conc.Check(fe, extract, opts) {
+			r.report(f.Pos, RuleConc, "%s", f.Msg)
+		}
+	}
+}

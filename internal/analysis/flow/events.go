@@ -1,0 +1,700 @@
+// Event extraction: the concurrency skeleton of one function, built on
+// the same typed ASTs the summary walker uses. Where Summary reduces a
+// body to bit-level facts (signals, allocs), EventsOf keeps the
+// structure the model checker in internal/analysis/conc needs: channel
+// create/send/recv/close with capacities, select arms with their
+// bodies, mutex and RWMutex acquire/release, WaitGroup Add/Done/Wait,
+// context-cancel edges (WithCancel binds the cancel func to its
+// context; ctx.Done() is a receive on it), goroutine spawns with their
+// argument bindings, and resolved synchronous calls for inlining.
+//
+// The extraction is deliberately control-flow-light: if/else and
+// switch become nondeterministic choices, loops contribute their body
+// exactly once (a bounded checker cannot unwind unbounded iteration,
+// and one iteration already exhibits every blocking relationship the
+// body can enter), and `return` is kept as an explicit event so the
+// checker can route it through the deferred release events. The
+// soundness trade-offs are documented in DESIGN.md §16.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EventKind classifies one concurrency event.
+type EventKind int
+
+// The event kinds EventsOf produces.
+const (
+	EvMakeChan EventKind = iota + 1 // make(chan T, cap) or context.WithCancel
+	EvSend                          // ch <- v
+	EvRecv                          // <-ch (incl. <-ctx.Done())
+	EvClose                         // close(ch) or cancel()
+	EvLock                          // mu.Lock()
+	EvUnlock                        // mu.Unlock()
+	EvRLock                         // mu.RLock()
+	EvRUnlock                       // mu.RUnlock()
+	EvWgAdd                         // wg.Add(n)
+	EvWgDone                        // wg.Done()
+	EvWgWait                        // wg.Wait()
+	EvSpawn                         // go f(...) / go func(){...}()
+	EvSelect                        // select statement
+	EvChoice                        // nondeterministic branch (if/switch)
+	EvCall                          // resolved synchronous call, for inlining
+	EvReturn                        // return: jump to the deferred events
+	EvEscape                        // a channel leaves the function's view
+)
+
+// Event is one node of a function's concurrency skeleton.
+type Event struct {
+	Kind EventKind
+	Pos  token.Pos
+	// Obj identifies the channel/mutex/WaitGroup/context acted on: a
+	// *types.Var (local, param or struct field). nil means the checker
+	// cannot name the object (a call result, a map entry) and must treat
+	// the operation as externally satisfiable.
+	Obj  types.Object
+	What string // display name of the object or callee
+	// Delta is the make(chan) capacity or the wg.Add delta; -1 when it
+	// is not a compile-time constant.
+	Delta int
+	Arms  []SelectArm // EvSelect
+	Alts  [][]Event   // EvChoice: alternative continuations
+	Spawn *SpawnInfo  // EvSpawn
+	Call  *CallInfo   // EvCall
+}
+
+// SelectArm is one arm of a select: its communication (nil for the
+// default arm) and the events of its body.
+type SelectArm struct {
+	Comm *Event
+	Body []Event
+}
+
+// SpawnInfo describes one go statement: either a literal body (with the
+// literal's parameter objects, for binding the call arguments) or the
+// resolved named callees.
+type SpawnInfo struct {
+	Lit       *FnEvents
+	LitParams []types.Object
+	Callees   []*types.Func
+	Args      []types.Object // caller-side sync objects per argument (nil entries ok)
+	What      string
+}
+
+// CallInfo describes one resolved synchronous call for inlining.
+type CallInfo struct {
+	Callees []*types.Func
+	Args    []types.Object
+}
+
+// FnEvents is one function's extracted skeleton. Deferred holds the
+// sync-relevant deferred calls (unlocks, closes, wg.Done, cancel) in
+// LIFO execution order; the checker runs them at every exit.
+type FnEvents struct {
+	Body     []Event
+	Deferred []Event
+	Name     string
+}
+
+// HasSpawn reports whether the skeleton contains a go statement outside
+// spawned bodies — the roots the model checker explores.
+func (fe *FnEvents) HasSpawn() bool {
+	return eventsHaveSpawn(fe.Body) || eventsHaveSpawn(fe.Deferred)
+}
+
+func eventsHaveSpawn(evs []Event) bool {
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind == EvSpawn {
+			return true
+		}
+		for _, alt := range e.Alts {
+			if eventsHaveSpawn(alt) {
+				return true
+			}
+		}
+		for _, arm := range e.Arms {
+			if eventsHaveSpawn(arm.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EventsOf extracts fn's concurrency skeleton. resolve is the same
+// callee resolver Build takes; it may be called for any call expression
+// in the body.
+func EventsOf(fn Func, resolve func(Func, *ast.CallExpr) []*types.Func) *FnEvents {
+	if fn.Decl == nil || fn.Decl.Body == nil {
+		return &FnEvents{}
+	}
+	w := &eventWalker{fn: fn, resolve: resolve, cancelOf: map[types.Object]types.Object{}}
+	body := w.stmts(fn.Decl.Body.List)
+	name := fn.Decl.Name.Name
+	if fn.Obj != nil {
+		name = funcDisplayName(fn.Obj)
+	}
+	return &FnEvents{Body: body, Deferred: reverseEvents(w.deferred), Name: name}
+}
+
+type eventWalker struct {
+	fn       Func
+	resolve  func(Func, *ast.CallExpr) []*types.Func
+	deferred []Event
+	// cancelOf maps a context.CancelFunc variable to the context object
+	// its WithCancel/WithTimeout call produced, so cancel() becomes an
+	// EvClose on the context.
+	cancelOf map[types.Object]types.Object
+}
+
+func reverseEvents(evs []Event) []Event {
+	out := make([]Event, 0, len(evs))
+	for i := len(evs) - 1; i >= 0; i-- {
+		out = append(out, evs[i])
+	}
+	return out
+}
+
+func (w *eventWalker) stmts(list []ast.Stmt) []Event {
+	var out []Event
+	for _, s := range list {
+		out = append(out, w.stmt(s)...)
+	}
+	return out
+}
+
+// stmt extracts the events of one statement, in evaluation order.
+func (w *eventWalker) stmt(s ast.Stmt) []Event {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List)
+	case *ast.ExprStmt:
+		return w.expr(s.X)
+	case *ast.SendStmt:
+		evs := w.expr(s.Value)
+		obj := w.syncObj(s.Chan)
+		return append(evs, Event{Kind: EvSend, Pos: s.Arrow, Obj: obj, What: exprString(s.Chan)})
+	case *ast.IncDecStmt:
+		return w.expr(s.X)
+	case *ast.AssignStmt:
+		return w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			var evs []Event
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						evs = append(evs, w.expr(v)...)
+					}
+				}
+			}
+			return evs
+		}
+		return nil
+	case *ast.ReturnStmt:
+		var evs []Event
+		for _, res := range s.Results {
+			evs = append(evs, w.expr(res)...)
+			evs = append(evs, w.escape(res)...)
+		}
+		return append(evs, Event{Kind: EvReturn, Pos: s.Pos()})
+	case *ast.IfStmt:
+		var evs []Event
+		if s.Init != nil {
+			evs = append(evs, w.stmt(s.Init)...)
+		}
+		evs = append(evs, w.expr(s.Cond)...)
+		alts := [][]Event{w.stmts(s.Body.List)}
+		if s.Else != nil {
+			alts = append(alts, w.stmt(s.Else))
+		} else {
+			alts = append(alts, nil)
+		}
+		return append(evs, Event{Kind: EvChoice, Pos: s.Pos(), Alts: alts})
+	case *ast.ForStmt:
+		// One iteration: a bounded checker cannot unwind unbounded loops,
+		// and one pass through the body already exhibits every blocking
+		// relationship the loop can enter (DESIGN.md §16).
+		var evs []Event
+		if s.Init != nil {
+			evs = append(evs, w.stmt(s.Init)...)
+		}
+		if s.Cond != nil {
+			evs = append(evs, w.expr(s.Cond)...)
+		}
+		evs = append(evs, w.stmts(s.Body.List)...)
+		if s.Post != nil {
+			evs = append(evs, w.stmt(s.Post)...)
+		}
+		return evs
+	case *ast.RangeStmt:
+		var evs []Event
+		evs = append(evs, w.expr(s.X)...)
+		if _, isChan := w.typeOf(s.X).(*types.Chan); isChan {
+			evs = append(evs, Event{Kind: EvRecv, Pos: s.For, Obj: w.syncObj(s.X), What: exprString(s.X)})
+		}
+		return append(evs, w.stmts(s.Body.List)...)
+	case *ast.SelectStmt:
+		return []Event{w.selectStmt(s)}
+	case *ast.SwitchStmt:
+		var evs []Event
+		if s.Init != nil {
+			evs = append(evs, w.stmt(s.Init)...)
+		}
+		if s.Tag != nil {
+			evs = append(evs, w.expr(s.Tag)...)
+		}
+		return append(evs, w.caseChoice(s.Pos(), s.Body.List))
+	case *ast.TypeSwitchStmt:
+		var evs []Event
+		if s.Init != nil {
+			evs = append(evs, w.stmt(s.Init)...)
+		}
+		return append(evs, w.caseChoice(s.Pos(), s.Body.List))
+	case *ast.GoStmt:
+		return []Event{w.goStmt(s)}
+	case *ast.DeferStmt:
+		// Only sync-relevant deferred calls are modeled; they run (LIFO)
+		// at every exit. Conditional defers are approximated as
+		// unconditional — a spurious unlock/close at exit is the benign
+		// direction for deadlock detection.
+		if evs := w.deferEvents(s.Call); len(evs) > 0 {
+			w.deferred = append(w.deferred, evs...)
+		}
+		return nil
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	}
+	// break/continue/goto/empty: no events (loops run once anyway).
+	return nil
+}
+
+// caseChoice turns switch case bodies into one nondeterministic choice.
+func (w *eventWalker) caseChoice(pos token.Pos, clauses []ast.Stmt) Event {
+	alts := [][]Event{nil} // "no case matched" is always an alternative
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			alts = append(alts, w.stmts(cc.Body))
+		}
+	}
+	return Event{Kind: EvChoice, Pos: pos, Alts: alts}
+}
+
+func (w *eventWalker) selectStmt(s *ast.SelectStmt) Event {
+	ev := Event{Kind: EvSelect, Pos: s.Select}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		arm := SelectArm{Body: w.stmts(cc.Body)}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			arm.Comm = &Event{Kind: EvSend, Pos: comm.Arrow, Obj: w.syncObj(comm.Chan), What: exprString(comm.Chan)}
+		case *ast.ExprStmt:
+			if recv := w.recvEvent(comm.X); recv != nil {
+				arm.Comm = recv
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if recv := w.recvEvent(comm.Rhs[0]); recv != nil {
+					arm.Comm = recv
+				}
+			}
+		case nil:
+			// default arm: Comm stays nil
+		}
+		ev.Arms = append(ev.Arms, arm)
+	}
+	return ev
+}
+
+// assign handles the special right-hand sides: make(chan), channel
+// receives, and context.WithCancel families.
+func (w *eventWalker) assign(s *ast.AssignStmt) []Event {
+	var evs []Event
+	for _, rhs := range s.Rhs {
+		evs = append(evs, w.expr(rhs)...)
+		// Aliasing a channel (y := ch, s.ch = ch) takes it out of the
+		// closed-world model: the alias's operations are invisible here.
+		evs = append(evs, w.escape(rhs)...)
+	}
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			// ch := make(chan T[, cap])
+			if w.isMakeChan(call) && len(s.Lhs) == 1 {
+				if obj := w.defOrUse(s.Lhs[0]); obj != nil {
+					evs = append(evs, Event{
+						Kind: EvMakeChan, Pos: call.Pos(), Obj: obj,
+						What: exprString(s.Lhs[0]), Delta: w.chanCap(call),
+					})
+				}
+			}
+			// ctx, cancel := context.WithCancel(parent) (and Timeout/Deadline):
+			// model ctx as a channel the cancel func closes.
+			if w.isCtxWithCancel(call) && len(s.Lhs) == 2 {
+				ctxObj := w.defOrUse(s.Lhs[0])
+				cancelObj := w.defOrUse(s.Lhs[1])
+				if ctxObj != nil {
+					evs = append(evs, Event{
+						Kind: EvMakeChan, Pos: call.Pos(), Obj: ctxObj,
+						What: exprString(s.Lhs[0]), Delta: 0,
+					})
+					if cancelObj != nil {
+						w.cancelOf[cancelObj] = ctxObj
+					}
+				}
+			}
+		}
+	}
+	return evs
+}
+
+// expr extracts events from one expression in evaluation order:
+// receives, closes, mutex/WaitGroup calls, spawns nested in arguments,
+// and resolved calls for inlining.
+func (w *eventWalker) expr(e ast.Expr) []Event {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			evs := w.expr(e.X)
+			if recv := w.recvEvent(e); recv != nil {
+				return append(evs, *recv)
+			}
+			return evs
+		}
+		return w.expr(e.X)
+	case *ast.BinaryExpr:
+		return append(w.expr(e.X), w.expr(e.Y)...)
+	case *ast.CallExpr:
+		return w.callExpr(e)
+	case *ast.StarExpr:
+		return w.expr(e.X)
+	case *ast.SelectorExpr:
+		return w.expr(e.X)
+	case *ast.IndexExpr:
+		return append(w.expr(e.X), w.expr(e.Index)...)
+	case *ast.CompositeLit:
+		var evs []Event
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			evs = append(evs, w.expr(v)...)
+			evs = append(evs, w.escape(v)...)
+		}
+		return evs
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X)
+	}
+	return nil
+}
+
+// recvEvent builds the EvRecv for a <-x expression, or nil when x is
+// not a receive.
+func (w *eventWalker) recvEvent(e ast.Expr) *Event {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return nil
+	}
+	// <-ctx.Done(): a receive on the context object (the cancel edge).
+	if call, ok := ast.Unparen(u.X).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if w.isContextExpr(sel.X) {
+				return &Event{Kind: EvRecv, Pos: u.OpPos, Obj: w.syncObj(sel.X), What: exprString(sel.X) + ".Done()"}
+			}
+		}
+		// <-time.After(d), <-someCall(): unnameable, externally satisfied.
+		return &Event{Kind: EvRecv, Pos: u.OpPos, What: exprString(call.Fun) + "()"}
+	}
+	return &Event{Kind: EvRecv, Pos: u.OpPos, Obj: w.syncObj(u.X), What: exprString(u.X)}
+}
+
+// callExpr classifies one call: close, mutex/WaitGroup methods,
+// cancel funcs, and resolved module calls (EvCall).
+func (w *eventWalker) callExpr(call *ast.CallExpr) []Event {
+	var evs []Event
+	for _, arg := range call.Args {
+		evs = append(evs, w.expr(arg)...)
+	}
+	fun := ast.Unparen(call.Fun)
+
+	// close(ch)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := w.fn.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "close" && len(call.Args) == 1 {
+				evs = append(evs, Event{Kind: EvClose, Pos: call.Pos(), Obj: w.syncObj(call.Args[0]), What: exprString(call.Args[0])})
+			}
+			return evs
+		}
+		// cancel() — a context.CancelFunc bound by WithCancel.
+		if v, ok := w.fn.Info.Uses[id].(*types.Var); ok {
+			if ctx, ok := w.cancelOf[v]; ok {
+				evs = append(evs, Event{Kind: EvClose, Pos: call.Pos(), Obj: ctx, What: id.Name + "()"})
+				return evs
+			}
+		}
+	}
+
+	callees := w.resolve(w.fn, call)
+	for _, callee := range callees {
+		if ev, ok := w.syncMethod(call, callee); ok {
+			return append(evs, ev)
+		}
+	}
+	if len(callees) > 0 {
+		evs = append(evs, Event{
+			Kind: EvCall, Pos: call.Pos(), What: funcDisplayName(callees[0]),
+			Call: &CallInfo{Callees: callees, Args: w.argObjs(call)},
+		})
+	} else {
+		// An unresolvable call (func value, interface with no known
+		// implementers) may do anything with a channel argument.
+		for _, arg := range call.Args {
+			evs = append(evs, w.escape(arg)...)
+		}
+	}
+	return evs
+}
+
+// escape emits an EvEscape when e is a nameable channel object, so the
+// model checker stops treating the channel as closed-world.
+func (w *eventWalker) escape(e ast.Expr) []Event {
+	obj := w.syncObj(e)
+	if obj == nil {
+		return nil
+	}
+	if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return []Event{{Kind: EvEscape, Pos: e.Pos(), Obj: obj, What: exprString(e)}}
+}
+
+// syncMethod maps sync.Mutex/RWMutex/WaitGroup method calls onto events.
+func (w *eventWalker) syncMethod(call *ast.CallExpr, callee *types.Func) (Event, bool) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return Event{}, false
+	}
+	pkg := callee.Pkg()
+	if pkg == nil || pkg.Path() != "sync" {
+		return Event{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Event{}, false
+	}
+	obj := w.syncObj(sel.X)
+	what := exprString(sel.X)
+	switch recvTypeName(sig.Recv().Type()) {
+	case "sync.Mutex", "sync.RWMutex":
+		switch callee.Name() {
+		case "Lock":
+			return Event{Kind: EvLock, Pos: call.Pos(), Obj: obj, What: what}, true
+		case "Unlock":
+			return Event{Kind: EvUnlock, Pos: call.Pos(), Obj: obj, What: what}, true
+		case "RLock":
+			return Event{Kind: EvRLock, Pos: call.Pos(), Obj: obj, What: what}, true
+		case "RUnlock":
+			return Event{Kind: EvRUnlock, Pos: call.Pos(), Obj: obj, What: what}, true
+		}
+	case "sync.WaitGroup":
+		switch callee.Name() {
+		case "Add":
+			delta := -1
+			if len(call.Args) == 1 {
+				if tv, ok := w.fn.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+					if v, exact := constIntValue(tv.Value.ExactString()); exact {
+						delta = v
+					}
+				}
+			}
+			return Event{Kind: EvWgAdd, Pos: call.Pos(), Obj: obj, What: what, Delta: delta}, true
+		case "Done":
+			return Event{Kind: EvWgDone, Pos: call.Pos(), Obj: obj, What: what}, true
+		case "Wait":
+			return Event{Kind: EvWgWait, Pos: call.Pos(), Obj: obj, What: what}, true
+		}
+	}
+	return Event{}, false
+}
+
+// deferEvents maps one deferred call onto its release events (empty for
+// calls the model does not track).
+func (w *eventWalker) deferEvents(call *ast.CallExpr) []Event {
+	return w.callExprReleasesOnly(call)
+}
+
+// callExprReleasesOnly keeps only release-shaped events of a deferred
+// call: unlocks, closes, wg.Done, cancel. A deferred Lock or send would
+// be a bug the direct walk of the defer expression still surfaces via
+// other analyzers; the model drops it rather than mis-ordering it.
+func (w *eventWalker) callExprReleasesOnly(call *ast.CallExpr) []Event {
+	var out []Event
+	for _, ev := range w.callExpr(call) {
+		switch ev.Kind {
+		case EvUnlock, EvRUnlock, EvClose, EvWgDone:
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// goStmt builds the EvSpawn for one go statement.
+func (w *eventWalker) goStmt(g *ast.GoStmt) Event {
+	sp := &SpawnInfo{What: "func literal", Args: w.argObjs(g.Call)}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		inner := &eventWalker{fn: w.fn, resolve: w.resolve, cancelOf: w.cancelOf}
+		body := inner.stmts(lit.Body.List)
+		sp.Lit = &FnEvents{Body: body, Deferred: reverseEvents(inner.deferred), Name: "func literal"}
+		if lit.Type.Params != nil {
+			for _, f := range lit.Type.Params.List {
+				for _, name := range f.Names {
+					sp.LitParams = append(sp.LitParams, w.fn.Info.Defs[name])
+				}
+			}
+		}
+	} else {
+		sp.Callees = w.resolve(w.fn, g.Call)
+		if len(sp.Callees) > 0 {
+			sp.What = funcDisplayName(sp.Callees[0])
+		} else if name := exprString(g.Call.Fun); name != "" {
+			sp.What = name
+		}
+	}
+	return Event{Kind: EvSpawn, Pos: g.Pos(), What: sp.What, Spawn: sp}
+}
+
+// argObjs maps call arguments to their sync objects (nil where the
+// argument is not a nameable channel/mutex/WaitGroup/context).
+func (w *eventWalker) argObjs(call *ast.CallExpr) []types.Object {
+	out := make([]types.Object, len(call.Args))
+	for i, arg := range call.Args {
+		out[i] = w.syncObj(arg)
+	}
+	return out
+}
+
+// syncObj resolves an expression to the variable object identifying a
+// sync primitive: a plain identifier or a struct-field selection.
+// &x and (*x) peel to x.
+func (w *eventWalker) syncObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := w.fn.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := w.fn.Info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := w.fn.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.syncObj(e.X)
+		}
+	case *ast.StarExpr:
+		return w.syncObj(e.X)
+	}
+	return nil
+}
+
+func (w *eventWalker) defOrUse(e ast.Expr) types.Object {
+	return w.syncObj(e)
+}
+
+func (w *eventWalker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.fn.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isMakeChan reports a make(chan T[, n]) call.
+func (w *eventWalker) isMakeChan(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := w.fn.Info.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if tv, ok := w.fn.Info.Types[call.Args[0]]; ok && tv.IsType() {
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}
+	return false
+}
+
+// chanCap evaluates the make(chan) capacity: 0 for unbuffered, the
+// constant for buffered, -1 when the capacity is not a constant.
+func (w *eventWalker) chanCap(call *ast.CallExpr) int {
+	if len(call.Args) < 2 {
+		return 0
+	}
+	if tv, ok := w.fn.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+		if v, exact := constIntValue(tv.Value.ExactString()); exact {
+			return v
+		}
+	}
+	return -1
+}
+
+// isCtxWithCancel reports context.WithCancel/WithTimeout/WithDeadline.
+func (w *eventWalker) isCtxWithCancel(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.fn.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+		return true
+	}
+	return false
+}
+
+// isContextExpr reports whether e has type context.Context.
+func (w *eventWalker) isContextExpr(e ast.Expr) bool {
+	t := w.typeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// constIntValue parses a small non-negative decimal constant rendering.
+func constIntValue(s string) (int, bool) {
+	n := 0
+	if s == "" {
+		return 0, false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+	}
+	return n, true
+}

@@ -17,6 +17,7 @@
 package proto
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -315,8 +316,8 @@ func readFrame(r io.Reader) (*Message, []byte, int, error) {
 	if payloadLen > MaxPayloadBytes {
 		return nil, nil, 0, fmt.Errorf("%w: payload %d bytes", ErrFrameTooLarge, payloadLen)
 	}
-	header := make([]byte, headerLen)
-	if _, err := io.ReadFull(r, header); err != nil {
+	header, err := readExact(r, headerLen)
+	if err != nil {
 		return nil, nil, 0, fmt.Errorf("proto: read header: %w", err)
 	}
 	var msg Message
@@ -325,12 +326,40 @@ func readFrame(r io.Reader) (*Message, []byte, int, error) {
 	}
 	var payload []byte
 	if payloadLen > 0 {
-		payload = make([]byte, payloadLen)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		payload, err = readExact(r, payloadLen)
+		if err != nil {
 			return nil, nil, 0, fmt.Errorf("proto: read payload: %w", err)
 		}
 	}
 	return &msg, payload, len(lens) + len(header) + len(payload), nil
+}
+
+// eagerReadBytes is the largest announced length readExact allocates up
+// front. Typical frames (headers, stream chunks) fit in one exact-size
+// allocation; anything larger grows only as bytes actually arrive.
+const eagerReadBytes = 1 << 20
+
+// readExact reads exactly n announced bytes. The length prefix is
+// peer-controlled, so it must not size an allocation on its own: a
+// malicious 256 MiB announcement on a connection that then stalls would
+// otherwise pin max-frame memory per connection.
+func readExact(r io.Reader, n uint32) ([]byte, error) {
+	if n <= eagerReadBytes {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var b bytes.Buffer
+	b.Grow(eagerReadBytes)
+	if _, err := io.CopyN(&b, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b.Bytes(), nil
 }
 
 // ErrorMessage builds an error response.

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # datapath_smoke.sh — CI smoke test for the streamed data path.
 #
 # Boots the testbed experiment with streaming forced on (a small chunk
@@ -7,14 +7,19 @@
 # the chunk/byte counters actually moved: a silent fallback to one-shot
 # block RPCs would leave them at zero while every test still passes.
 # See DESIGN.md §15 and `make datapath-smoke`.
-set -eu
+set -euo pipefail
 
 bin=$(mktemp /tmp/aurora-testbed.XXXXXX)
 log=$(mktemp /tmp/datapath-smoke.XXXXXX)
 pid=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    status=$?
+    trap - EXIT INT TERM
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+    fi
     rm -f "$bin" "$log"
+    exit "$status"
 }
 trap cleanup EXIT INT TERM
 
@@ -32,7 +37,7 @@ pid=$!
 addr=""
 i=0
 while [ "$i" -lt 30 ]; do
-    addr=$(sed -n 's/^telemetry listening on //p' "$log" | head -n 1)
+    addr=$(sed -n 's/^telemetry listening on //p' "$log" | head -n 1 || true)
     [ -n "$addr" ] && break
     if ! kill -0 "$pid" 2>/dev/null; then
         cat "$log"
@@ -76,7 +81,8 @@ fail() {
 
 # positive <series-prefix>: the series must exist with a value > 0.
 positive() {
-    v=$(printf '%s\n' "$metrics" | sed -n "s/^$1 //p" | head -n 1)
+    local v
+    v=$(printf '%s\n' "$metrics" | sed -n "s/^$1 //p" | head -n 1 || true)
     [ -n "$v" ] || fail "$1 missing from /metrics"
     [ "$v" -gt 0 ] 2>/dev/null || fail "$1 is $v; expected > 0 (data path fell back to one-shot RPCs?)"
 }
@@ -86,5 +92,5 @@ positive 'aurora_stream_chunks_total{dir="recv"}'
 positive 'aurora_stream_bytes_total{dir="send"}'
 positive 'aurora_stream_bytes_total{dir="recv"}'
 
-sent=$(printf '%s\n' "$metrics" | sed -n 's/^aurora_stream_chunks_total{dir="send"} //p' | head -n 1)
+sent=$(printf '%s\n' "$metrics" | sed -n 's/^aurora_stream_chunks_total{dir="send"} //p' | head -n 1 || true)
 echo "datapath-smoke: OK — $sent chunk frames sent through the streamed data path at $addr"

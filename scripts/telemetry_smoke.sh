@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # telemetry_smoke.sh — CI smoke test for the live telemetry subsystem.
 #
 # Boots the testbed experiment with -telemetry-addr, waits for the run to
@@ -6,14 +6,19 @@
 # scrapeable), scrapes /metrics once and asserts the optimizer's SOL
 # series, the per-machine load gauges and the per-RPC latency histograms
 # are all exposed. See DESIGN.md §12 and `make telemetry-smoke`.
-set -eu
+set -euo pipefail
 
 bin=$(mktemp /tmp/aurora-testbed.XXXXXX)
 log=$(mktemp /tmp/telemetry-smoke.XXXXXX)
 pid=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    status=$?
+    trap - EXIT INT TERM
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+    fi
     rm -f "$bin" "$log"
+    exit "$status"
 }
 trap cleanup EXIT INT TERM
 
@@ -29,7 +34,7 @@ pid=$!
 addr=""
 i=0
 while [ "$i" -lt 30 ]; do
-    addr=$(sed -n 's/^telemetry listening on //p' "$log" | head -n 1)
+    addr=$(sed -n 's/^telemetry listening on //p' "$log" | head -n 1 || true)
     [ -n "$addr" ] && break
     if ! kill -0 "$pid" 2>/dev/null; then
         cat "$log"
@@ -66,7 +71,7 @@ fi
 metrics=$(curl -fsS "http://$addr/metrics")
 
 fail() {
-    printf '%s\n' "$metrics" | head -n 40
+    printf '%s\n' "$metrics" | head -n 40 || true
     echo "telemetry-smoke: $1" >&2
     exit 1
 }
