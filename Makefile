@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos fuzz-smoke telemetry-smoke datapath-smoke ci
+.PHONY: all build test vet lint lint-baseline lint-sarif race bench bench-check chaos fuzz-smoke telemetry-smoke datapath-smoke scenario-smoke ci
 
 # Hot-path benchmarks recorded by `make bench` (see README.md,
 # "Benchmark ledger"). BENCH_LABEL picks the ledger column. The metrics
@@ -78,6 +78,13 @@ telemetry-smoke:
 # silent fallback to one-shot block RPCs. See DESIGN.md §15.
 datapath-smoke:
 	bash scripts/datapath_smoke.sh
+
+# Run the seeded predictor scenario matrix twice and assert byte-identical
+# output, nonzero aurora_predictor_* telemetry, and that the seasonal
+# predictor's mean per-period SOL is strictly below reactive's on the
+# diurnal and flashcrowd scenarios. See DESIGN.md §17.
+scenario-smoke:
+	bash scripts/scenario_smoke.sh
 
 # Run the core hot-path benchmarks and merge the numbers into
 # BENCH_core.json under $(BENCH_LABEL). The intermediate file keeps a

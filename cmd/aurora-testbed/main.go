@@ -40,6 +40,7 @@ func run(args []string) error {
 		chunk     = fs.Int("chunk-size", 0, "streamed data-path chunk size in bytes (0 = client default, negative = one-shot block RPCs; DESIGN.md §15)")
 		readAhead = fs.Int("read-ahead", 0, "blocks the client prefetches beyond the one draining (0 = client default)")
 		fullEvery = fs.Int("full-report-every", 0, "heartbeats between periodic full block reports (0 = datanode default)")
+		predictor = fs.String("predictor", "", "namenode popularity forecaster: historical | ewma | seasonal | ranker (empty = reactive window counts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +64,7 @@ func run(args []string) error {
 	setup.ChunkSize = *chunk
 	setup.ReadAhead = *readAhead
 	setup.FullReportEvery = *fullEvery
+	setup.Predictor = *predictor
 	if *faultSpec != "" {
 		sch, err := buildFaultSchedule(*faultSpec, *faultSeed, *nodes)
 		if err != nil {

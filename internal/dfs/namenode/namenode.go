@@ -122,6 +122,12 @@ type Config struct {
 	// namenode. A loaded fsimage's recorded shard count overrides this:
 	// the partitioning must match the persisted placement.
 	Shards int
+	// Predictor selects the popularity forecaster the optimizer runs
+	// under: one of popularity.Names(), or a reactive name ("",
+	// "reactive") for raw window counts. Each shard's monitor gets its
+	// own predictor instance; per-period prediction-error series are
+	// exported as aurora_predictor_* metrics.
+	Predictor string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -255,6 +261,12 @@ type NameNode struct {
 	// monitors hold one usage-monitor window per shard; a block's
 	// accesses are recorded in its hash shard's monitor.
 	monitors []*popularity.Monitor[core.BlockID]
+	// preds, when non-nil, hold one popularity forecaster per shard
+	// (cfg.Predictor); lastPred remembers each shard's outstanding
+	// forecast so the next refresh can score it against the realized
+	// window.
+	preds    []popularity.Predictor[core.BlockID]
+	lastPred []map[core.BlockID]float64
 	clock    func() time.Time
 
 	stop chan struct{}
@@ -316,6 +328,19 @@ func Start(cfg Config) (*NameNode, error) {
 		}
 		nn.monitors[i] = mon
 	}
+	if !popularity.IsReactive(cfg.Predictor) {
+		nn.preds = make([]popularity.Predictor[core.BlockID], nn.cfg.Shards)
+		nn.lastPred = make([]map[core.BlockID]float64, nn.cfg.Shards)
+		for i := range nn.preds {
+			pred, err := popularity.New[core.BlockID](cfg.Predictor, popularity.PredictorOptions{})
+			if err != nil {
+				//lint:ignore errcheck best effort: the predictor error is what matters
+				_ = ln.Close()
+				return nil, err
+			}
+			nn.preds[i] = pred
+		}
+	}
 	nn.server = proto.Serve(ln, nn.handle, cfg.Timeout)
 	go nn.reconcileLoop()
 	return nn, nil
@@ -371,16 +396,21 @@ func (nn *NameNode) monitorFor(id core.BlockID) *popularity.Monitor[core.BlockID
 	return nn.monitors[core.ShardOf(id, len(nn.monitors))]
 }
 
-// popularitySnapshotLocked merges the per-shard monitor windows into one
-// map. Shards hold disjoint block sets, so the merge is a plain union.
-func (nn *NameNode) popularitySnapshotLocked() map[core.BlockID]int64 {
+// peekSnapshotLocked merges the per-shard monitor windows into one map,
+// read-only. Shards hold disjoint block sets, so the merge is a plain
+// union. All exporter/observer paths (telemetry, PopularitySnapshot)
+// use this Peek-based view: a scrape must never advance or prune
+// monitor state, or the counts the optimizer reads would depend on
+// scrape frequency. Pruning happens only on the consuming path,
+// refreshPopularityLocked.
+func (nn *NameNode) peekSnapshotLocked() map[core.BlockID]int64 {
 	now := nn.clock().UnixNano()
 	if len(nn.monitors) == 1 {
-		return nn.monitors[0].Snapshot(now)
+		return nn.monitors[0].Peek(now)
 	}
 	merged := make(map[core.BlockID]int64)
 	for _, mon := range nn.monitors {
-		for id, v := range mon.Snapshot(now) {
+		for id, v := range mon.Peek(now) {
 			merged[id] = v
 		}
 	}

@@ -1,0 +1,104 @@
+package namenode
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"aurora/internal/core"
+)
+
+// Regression for scrape-mutates-state: telemetry read paths
+// (PopularitySnapshot, the reconcile loop's load export) must never
+// advance or prune the usage monitors, no matter how often they run —
+// the counts the optimizer consumes may not depend on scrape frequency.
+func TestTelemetryScrapesNeverChangeMonitorState(t *testing.T) {
+	nn := startNN(t, 1, 1)
+	registerFake(t, nn, 0, "127.0.0.1:19001")
+	now := nn.clock().UnixNano()
+	// Seed accesses, including one key already outside the window so a
+	// pruning pass would visibly shrink Len.
+	for b := core.BlockID(1); b <= 5; b++ {
+		nn.monitorFor(b).RecordN(b, now, int64(b)*3)
+	}
+	stale := core.BlockID(99)
+	nn.monitorFor(stale).Record(stale, now-10*int64(nn.cfg.WindowBucket)*int64(nn.cfg.WindowBuckets))
+
+	lenOf := func() int {
+		total := 0
+		for _, mon := range nn.monitors {
+			total += mon.Len()
+		}
+		return total
+	}
+	lenBefore := lenOf()
+	first := nn.PopularitySnapshot()
+	if len(first) != 5 {
+		t.Fatalf("snapshot = %v, want 5 live keys", first)
+	}
+	for i := 0; i < 200; i++ {
+		if got := nn.PopularitySnapshot(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("scrape %d: snapshot drifted: %v vs %v", i, got, first)
+		}
+		nn.ReconcileOnce() // runs the telemetry export path
+	}
+	if got := lenOf(); got != lenBefore {
+		t.Fatalf("monitor Len changed %d -> %d under repeated scrapes", lenBefore, got)
+	}
+	// The consuming path still prunes: one popularity refresh drops the
+	// expired key.
+	nn.mu.Lock()
+	if err := nn.refreshPopularityLocked(); err != nil {
+		nn.mu.Unlock()
+		t.Fatal(err)
+	}
+	nn.mu.Unlock()
+	if got := lenOf(); got != lenBefore-1 {
+		t.Fatalf("Len after consuming refresh = %d, want %d (stale key pruned)", got, lenBefore-1)
+	}
+}
+
+// A predictor-enabled namenode must build one forecaster per shard,
+// feed forecasts into the placement on refresh, and reject unknown
+// predictor names at startup.
+func TestNameNodePredictorWiring(t *testing.T) {
+	if _, err := Start(Config{ExpectedNodes: 1, Predictor: "bogus"}); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+	nn, err := Start(Config{
+		ExpectedNodes:      1,
+		Racks:              1,
+		DefaultReplication: 1,
+		DefaultMinRacks:    1,
+		DeadTimeout:        500 * time.Millisecond,
+		ReconcileInterval:  10 * time.Millisecond,
+		Seed:               1,
+		Shards:             2,
+		Predictor:          "seasonal",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = nn.Close() })
+	registerFake(t, nn, 0, "127.0.0.1:19002")
+	if len(nn.preds) != 2 {
+		t.Fatalf("preds per shard = %d, want 2", len(nn.preds))
+	}
+	now := nn.clock().UnixNano()
+	for b := core.BlockID(1); b <= 8; b++ {
+		nn.monitorFor(b).RecordN(b, now, 10)
+	}
+	nn.mu.Lock()
+	err = nn.refreshPopularityLocked()
+	nn.mu.Unlock()
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	var forecasts int
+	for i := range nn.lastPred {
+		forecasts += len(nn.lastPred[i])
+	}
+	if forecasts != 8 {
+		t.Fatalf("outstanding forecasts = %d, want 8", forecasts)
+	}
+}

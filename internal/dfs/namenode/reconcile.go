@@ -3,6 +3,7 @@ package namenode
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"aurora/internal/core"
@@ -10,6 +11,7 @@ import (
 	"aurora/internal/invariant"
 	"aurora/internal/loadindex"
 	"aurora/internal/metrics"
+	"aurora/internal/popularity"
 	"aurora/internal/telemetry"
 	"aurora/internal/topology"
 )
@@ -71,7 +73,7 @@ func (nn *NameNode) ReconcileOnce() {
 // telemetry never perturbs the placement state the optimizer and
 // reconcile decisions read.
 func (nn *NameNode) exportLoadTelemetryLocked() {
-	snap := nn.popularitySnapshotLocked()
+	snap := nn.peekSnapshotLocked()
 	loads := make([]float64, nn.cluster.NumMachines())
 	for _, id := range nn.placement.Blocks() {
 		k := nn.placement.ReplicaCount(id)
@@ -348,15 +350,35 @@ func (nn *NameNode) WithPlacement(refreshPopularity bool, fn func(*core.Placemen
 	return nil
 }
 
-// refreshPopularityLocked copies each shard's usage-monitor window into
-// its placement's block popularities.
+// refreshPopularityLocked feeds each shard's usage-monitor window into
+// its placement's block popularities — raw counts when reactive, the
+// per-shard predictor's forecast when cfg.Predictor is set. This is the
+// one consuming path allowed to call Monitor.Snapshot (and so to prune
+// expired keys); with a predictor it also scores the shard's previous
+// forecast against the realized window and exports the error series.
 func (nn *NameNode) refreshPopularityLocked() error {
 	now := nn.clock().UnixNano()
 	for i, mon := range nn.monitors {
 		snap := mon.Snapshot(now)
+		vals := make(map[core.BlockID]float64, len(snap))
+		for id, v := range snap {
+			vals[id] = float64(v)
+		}
+		if nn.preds != nil {
+			if prev := nn.lastPred[i]; prev != nil {
+				telemetry.ExportPredictionError(metrics.Default,
+					popularity.WeightedAbsError(prev, snap),
+					popularity.TopKOverlap(prev, snap, popularity.DefaultTopK),
+					metrics.L("predictor", nn.cfg.Predictor),
+					metrics.L("shard", strconv.Itoa(i)))
+			}
+			nn.preds[i].Observe(snap)
+			vals = nn.preds[i].Predict()
+			nn.lastPred[i] = vals
+		}
 		p := nn.placement.Shard(i)
 		for _, id := range p.Blocks() {
-			if err := p.SetPopularity(id, float64(snap[id])); err != nil {
+			if err := p.SetPopularity(id, vals[id]); err != nil {
 				return err
 			}
 		}
@@ -380,7 +402,7 @@ func (nn *NameNode) OptimizeNow(opts core.OptimizerOptions) (core.OptimizeResult
 	if err := nn.refreshPopularityLocked(); err != nil {
 		return core.OptimizeResult{}, err
 	}
-	snap := nn.popularitySnapshotLocked()
+	snap := nn.peekSnapshotLocked()
 	// In debug builds, a feasible placement must stay feasible through
 	// the optimizer: assert the paper invariants after the run.
 	assertAfter := invariant.Enabled && nn.placement.CheckFeasible() == nil
@@ -434,11 +456,13 @@ func (nn *NameNode) repairDeadDesiredLocked() {
 }
 
 // PopularitySnapshot returns the usage monitors' current per-block
-// counts, merged across shards.
+// counts, merged across shards. It is a read-only observer: calling it
+// any number of times never advances, prunes or otherwise changes
+// monitor state.
 func (nn *NameNode) PopularitySnapshot() map[core.BlockID]int64 {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	return nn.popularitySnapshotLocked()
+	return nn.peekSnapshotLocked()
 }
 
 // PlacementClone returns a deep copy of the desired placement for

@@ -72,6 +72,9 @@ type Setup struct {
 	// optimization (values below 2 run the classic unsharded optimizer).
 	// Baseline policies are unaffected.
 	Shards int
+	// Predictor selects the popularity forecaster every row runs under
+	// (see popularity.Names); empty/reactive keeps raw window counts.
+	Predictor string
 }
 
 // auroraPolicy builds the sweep's Aurora policy: the classic single-map
@@ -186,7 +189,15 @@ func (s Setup) trace(minRacks int) (*trace.Trace, error) {
 
 // runOne executes one policy over the shared trace and summarizes it.
 func runOne(cl *topology.Cluster, tr *trace.Trace, pol sim.Policy, label string, eps float64, hours int) (SweepRow, error) {
-	res, err := sim.Run(sim.Config{Cluster: cl, Trace: tr, Policy: pol})
+	return runOnePredicted(cl, tr, pol, label, eps, hours, "", 0)
+}
+
+// runOnePredicted is runOne with a popularity forecaster in the loop.
+func runOnePredicted(cl *topology.Cluster, tr *trace.Trace, pol sim.Policy, label string, eps float64, hours int, predictor string, season int) (SweepRow, error) {
+	res, err := sim.Run(sim.Config{
+		Cluster: cl, Trace: tr, Policy: pol,
+		Predictor: predictor, PredictorSeason: season,
+	})
 	if err != nil {
 		return SweepRow{}, fmt.Errorf("experiments: %s: %w", label, err)
 	}
@@ -261,7 +272,7 @@ func figSweep(s Setup, name string, minRacks int, withBudget bool) (*Figure, err
 				errs[0] = err
 				return
 			}
-			rows[0], errs[0] = runOne(cl, tr, hdfs, "HDFS", 0, s.Hours)
+			rows[0], errs[0] = runOnePredicted(cl, tr, hdfs, "HDFS", 0, s.Hours, s.Predictor, 0)
 			return
 		}
 		eps := s.Epsilons[i-1]
@@ -275,7 +286,7 @@ func figSweep(s Setup, name string, minRacks int, withBudget bool) (*Figure, err
 			opts.MaxReplicationMoves = s.K
 		}
 		label := fmt.Sprintf("Aurora eps=%.1f", eps)
-		rows[i], errs[i] = runOne(cl, tr, s.auroraPolicy(opts), label, eps, s.Hours)
+		rows[i], errs[i] = runOnePredicted(cl, tr, s.auroraPolicy(opts), label, eps, s.Hours, s.Predictor, 0)
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
@@ -316,18 +327,18 @@ func Fig5(s Setup) (*Figure, error) {
 				errs[0] = err
 				return
 			}
-			rows[0], errs[0] = runOne(cl, tr, scar, "Scarlett", 0, s.Hours)
+			rows[0], errs[0] = runOnePredicted(cl, tr, scar, "Scarlett", 0, s.Hours, s.Predictor, 0)
 			return
 		}
 		eps := s.Epsilons[i-1]
 		label := fmt.Sprintf("Aurora eps=%.1f", eps)
-		rows[i], errs[i] = runOne(cl, tr, s.auroraPolicy(core.OptimizerOptions{
+		rows[i], errs[i] = runOnePredicted(cl, tr, s.auroraPolicy(core.OptimizerOptions{
 			Epsilon:             eps,
 			RackAware:           true,
 			ReplicationBudget:   budget,
 			MaxReplicationMoves: s.K,
 			MaxSearchIterations: s.MaxSearchIterations,
-		}), label, eps, s.Hours)
+		}), label, eps, s.Hours, s.Predictor, 0)
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err

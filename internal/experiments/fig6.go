@@ -71,6 +71,9 @@ type TestbedSetup struct {
 	// FullReportEvery is the datanode periodic full-block-report cadence
 	// in heartbeats. Zero keeps the datanode library default.
 	FullReportEvery int
+	// Predictor selects each system's namenode popularity forecaster
+	// (see popularity.Names); empty/reactive keeps raw window counts.
+	Predictor string
 }
 
 // DefaultTestbedSetup mirrors the paper's testbed shape at test speed.
@@ -232,6 +235,7 @@ func runTestbedSystem(s TestbedSetup, tr *trace.Trace, system string) (TestbedRo
 		Placer:             placer,
 		Seed:               s.Seed,
 		Shards:             s.Shards,
+		Predictor:          s.Predictor,
 	})
 	if err != nil {
 		return row, err

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aurora/internal/metrics"
+	"aurora/internal/popularity"
+	"aurora/internal/telemetry"
+	"aurora/internal/trace"
+)
+
+// smallScenarioSetup keeps matrix tests fast: two scenarios, short
+// horizon, light load.
+func smallScenarioSetup(seed uint64) ScenarioSetup {
+	s := DefaultScenarioSetup(seed)
+	s.Files = 40
+	s.Hours = 12
+	s.JobsPerHour = 250
+	s.PeriodHours = 4
+	s.MaxSearchIterations = 4000
+	s.Scenarios = []string{trace.ScenarioDiurnal, trace.ScenarioFlashCrowd}
+	s.Predictors = []string{ReactiveName, popularity.NameSeasonal}
+	return s
+}
+
+func TestScenarioMatrixRuns(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := smallScenarioSetup(11)
+	s.Registry = reg
+	m, err := RunScenarioMatrix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(m.Rows))
+	}
+	for _, r := range m.Rows {
+		if r.MeanSOL <= 0 || r.MaxSOL < r.MeanSOL {
+			t.Errorf("%s/%s: SOL summary mean=%v max=%v", r.Scenario, r.Predictor, r.MeanSOL, r.MaxSOL)
+		}
+		if len(r.SOLSeries) == 0 {
+			t.Errorf("%s/%s: empty SOL series", r.Scenario, r.Predictor)
+		}
+		if r.Predictor == ReactiveName {
+			if r.PredPeriods != 0 || len(r.WAESeries) != 0 {
+				t.Errorf("reactive row has prediction scores: %+v", r)
+			}
+		} else {
+			if r.PredPeriods == 0 || len(r.WAESeries) != r.PredPeriods || len(r.TopKSeries) != r.PredPeriods {
+				t.Errorf("%s/%s: pred series periods=%d wae=%d topk=%d",
+					r.Scenario, r.Predictor, r.PredPeriods, len(r.WAESeries), len(r.TopKSeries))
+			}
+		}
+	}
+	if m.Row(trace.ScenarioDiurnal, popularity.NameSeasonal) == nil {
+		t.Fatal("Row lookup failed")
+	}
+	out := m.String()
+	for _, want := range []string{
+		"cell scenario=diurnal predictor=reactive",
+		"cell scenario=flashcrowd predictor=seasonal",
+		"mean_sol=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The registry picked up the labeled prediction-error series.
+	var prom strings.Builder
+	if err := telemetry.WriteProm(&prom, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aurora_predictor_wae", "aurora_predictor_periods", "aurora_scenario_mean_sol"} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("registry missing %s:\n%s", want, prom.String())
+		}
+	}
+}
+
+// A parallel matrix must render byte-identically to a serial one — the
+// guarantee scripts/scenario_smoke.sh leans on.
+func TestScenarioMatrixDeterministicAcrossWorkers(t *testing.T) {
+	serial := smallScenarioSetup(7)
+	serial.Workers = 1
+	parallel := smallScenarioSetup(7)
+	parallel.Workers = 4
+	a, err := RunScenarioMatrix(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenarioMatrix(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("serial vs parallel render differ:\n--- serial\n%s\n--- parallel\n%s", a, b)
+	}
+}
+
+func TestScenarioMatrixValidation(t *testing.T) {
+	s := smallScenarioSetup(1)
+	s.Predictors = []string{"nonsense"}
+	if _, err := RunScenarioMatrix(s); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+	s = smallScenarioSetup(1)
+	s.Scenarios = []string{"not-a-scenario"}
+	if _, err := RunScenarioMatrix(s); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	s = smallScenarioSetup(1)
+	s.PeriodHours = 0
+	if _, err := RunScenarioMatrix(s); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

@@ -116,7 +116,10 @@ func (m *Monitor[K]) Popularity(key K, now int64) int64 {
 // Snapshot returns the popularity of every key with a nonzero count in
 // the window ending at now. Keys whose counts have fully expired are
 // pruned from the monitor as a side effect, bounding memory to the
-// working set.
+// working set. Because of that side effect Snapshot belongs on the
+// *consuming* path (one call per optimization period); read-only
+// observers — telemetry exporters, debug endpoints — must use Peek, or
+// monitor state starts depending on scrape frequency.
 func (m *Monitor[K]) Snapshot(now int64) map[K]int64 {
 	bucket := m.bucketIndex(now)
 	m.mu.Lock()
@@ -133,6 +136,25 @@ func (m *Monitor[K]) Snapshot(now int64) map[K]int64 {
 			continue
 		}
 		out[key] = total
+	}
+	return out
+}
+
+// Peek returns the same per-key window totals Snapshot would, but
+// read-only: no cell advances, no pruning, no visible state change of
+// any kind. Telemetry and observer paths use it so that repeated
+// scrapes can never perturb what the optimizer later reads — Len() and
+// the prune schedule are identical whether Peek ran zero times or a
+// thousand.
+func (m *Monitor[K]) Peek(now int64) map[K]int64 {
+	bucket := m.bucketIndex(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[K]int64, len(m.cells))
+	for key, c := range m.cells {
+		if total := c.sumAt(bucket, m.numBuckets); total != 0 {
+			out[key] = total
+		}
 	}
 	return out
 }
@@ -182,6 +204,35 @@ func (c *cell) advance(to int64, numBuckets int) {
 		}
 	}
 	c.last = to
+}
+
+// sumAt computes the window total as of absolute bucket `to` without
+// mutating the cell. It mirrors advance-then-sum exactly: for a query
+// in the cell's future, buckets that an advance to `to` would scroll
+// out of the ring — those at or before to-numBuckets — are excluded;
+// for a query at or before the cell's frontier the whole ring counts,
+// matching advance's backwards no-op.
+func (c *cell) sumAt(to int64, numBuckets int) int64 {
+	var total int64
+	if to <= c.last {
+		for _, v := range c.counts {
+			total += v
+		}
+		return total
+	}
+	if to-c.last >= int64(numBuckets) {
+		return 0
+	}
+	// Live buckets after an advance to `to` would be (to-numBuckets,
+	// c.last]; anything newer than c.last is still zero.
+	for b := to - int64(numBuckets) + 1; b <= c.last; b++ {
+		idx := b % int64(numBuckets)
+		if idx < 0 {
+			idx += int64(numBuckets)
+		}
+		total += c.counts[idx]
+	}
+	return total
 }
 
 // Predictor forecasts next-period popularity from observed snapshots. The
@@ -254,7 +305,14 @@ func (e *EWMA[K]) Observe(snapshot map[K]int64) {
 	}
 	for k, v := range snapshot {
 		if _, ok := e.est[k]; !ok {
-			e.est[k] = e.alpha * float64(v)
+			// First observation: seed the estimate at the observed value
+			// itself. Seeding at alpha*v (the recurrence with an implicit
+			// prior of 0) underestimates a brand-new hot key by 1/alpha
+			// for the first ~1/alpha periods — exactly the flash-crowd
+			// onset prediction exists to catch. The observed value is the
+			// best available estimate when there is no history at all;
+			// the recurrence takes over from the second observation.
+			e.est[k] = float64(v)
 		}
 	}
 }

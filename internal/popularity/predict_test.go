@@ -1,0 +1,497 @@
+package popularity
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// Regression for the EWMA cold-start bias: a brand-new key's first
+// observation must seed the estimate at the observed value itself, so a
+// new hot block reaches its steady-state estimate within one
+// observation. The old code seeded at alpha*v, which underestimated new
+// keys by 1/alpha for ~1/alpha periods.
+func TestEWMAColdStartReachesSteadyStateInOneObservation(t *testing.T) {
+	const alpha = 0.25
+	e, err := NewEWMA[string](alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(map[string]int64{"new-hot": 400})
+	first := e.Predict()["new-hot"]
+	if math.Abs(first-400) > 1e-9 {
+		t.Fatalf("first-observation estimate = %v, want 400 (cold-start bias)", first)
+	}
+	// Steady state for a constant signal is the signal itself; the first
+	// estimate must already be there, not 1/alpha below it.
+	for i := 0; i < 50; i++ {
+		e.Observe(map[string]int64{"new-hot": 400})
+	}
+	steady := e.Predict()["new-hot"]
+	if math.Abs(first-steady) > 1e-6 {
+		t.Fatalf("first estimate %v != steady state %v", first, steady)
+	}
+}
+
+// Regression for scrape-mutates-state: Peek must return exactly what
+// Snapshot would, while leaving the monitor untouched — Len, per-key
+// popularity and later Peeks are identical no matter how many times a
+// telemetry exporter scrapes.
+func TestPeekNeverMutatesMonitor(t *testing.T) {
+	m := mustMonitor(t, 10, 2)
+	m.Record("hot", 0)
+	m.Record("hot", 1)
+	m.Record("cold", 0)
+	m.Record("stale", -100) // fully expired long ago
+
+	const now = 15
+	want := map[string]int64{"hot": 2, "cold": 1}
+	lenBefore := m.Len()
+	for i := 0; i < 1000; i++ {
+		got := m.Peek(now)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Peek #%d = %v, want %v", i, got, want)
+		}
+	}
+	if got := m.Len(); got != lenBefore {
+		t.Fatalf("Len changed %d -> %d after repeated Peeks", lenBefore, got)
+	}
+	// Peeking far in the future must not prune either; only Snapshot may.
+	if got := m.Peek(10_000); len(got) != 0 {
+		t.Fatalf("future Peek = %v, want empty", got)
+	}
+	if got := m.Len(); got != lenBefore {
+		t.Fatalf("Len changed %d -> %d after future Peek (pruned)", lenBefore, got)
+	}
+	// And Peek must agree with Snapshot at the same instant.
+	if got := m.Snapshot(now); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot after Peeks = %v, want %v", got, want)
+	}
+}
+
+// refModel is a brute-force reference for Monitor: it keeps every
+// accepted (bucket, n) record per key plus the same last-advanced
+// frontier, and recomputes window sums from scratch. The only shared
+// logic with the real implementation is the floor-division bucket
+// index.
+type refModel struct {
+	bucketLen  int64
+	numBuckets int64
+	keys       map[string]*refKey
+}
+
+type refKey struct {
+	recs map[int64]int64 // absolute bucket -> count
+	last int64
+}
+
+func (r *refModel) bucket(now int64) int64 {
+	b := now / r.bucketLen
+	if now < 0 && now%r.bucketLen != 0 {
+		b--
+	}
+	return b
+}
+
+func (r *refModel) advance(k *refKey, to int64) {
+	if to <= k.last {
+		return
+	}
+	// Buckets at or before to-numBuckets scroll out of the ring forever.
+	for b := range k.recs {
+		if b <= to-r.numBuckets {
+			delete(k.recs, b)
+		}
+	}
+	k.last = to
+}
+
+func (r *refModel) recordN(key string, now, n int64) {
+	if n <= 0 {
+		return
+	}
+	b := r.bucket(now)
+	k, ok := r.keys[key]
+	if !ok {
+		k = &refKey{recs: map[int64]int64{}, last: b}
+		r.keys[key] = k
+	}
+	r.advance(k, b)
+	if b <= k.last-r.numBuckets {
+		return // too old
+	}
+	k.recs[b] += n
+}
+
+func (r *refModel) sum(k *refKey) int64 {
+	var total int64
+	for b, n := range k.recs {
+		if b > k.last-r.numBuckets {
+			total += n
+		}
+	}
+	return total
+}
+
+func (r *refModel) popularity(key string, now int64) int64 {
+	k, ok := r.keys[key]
+	if !ok {
+		return 0
+	}
+	r.advance(k, r.bucket(now))
+	return r.sum(k)
+}
+
+func (r *refModel) snapshot(now int64) map[string]int64 {
+	b := r.bucket(now)
+	out := map[string]int64{}
+	for key, k := range r.keys {
+		r.advance(k, b)
+		if total := r.sum(k); total != 0 {
+			out[key] = total
+		} else {
+			delete(r.keys, key)
+		}
+	}
+	return out
+}
+
+func (r *refModel) peek(now int64) map[string]int64 {
+	b := r.bucket(now)
+	out := map[string]int64{}
+	for key, k := range r.keys {
+		// Read-only: count records that would survive an advance to b,
+		// without performing it. A query at or before the frontier sees
+		// the whole live window (advance is a backwards no-op).
+		limit := max(b, k.last) - r.numBuckets
+		var total int64
+		for rb, n := range k.recs {
+			if rb > limit {
+				total += n
+			}
+		}
+		if total != 0 {
+			out[key] = total
+		}
+	}
+	return out
+}
+
+// Model-based property test for the circular-buffer advance/too-old
+// logic: seeded random op sequences (out-of-order records, negative
+// ticks, exact window-boundary ticks, RecordN with huge and non-positive
+// n, interleaved queries, pruning snapshots and read-only peeks) must
+// agree with the brute-force reference on every query, and Peek must
+// never change observable state.
+func TestMonitorMatchesReferenceModel(t *testing.T) {
+	const (
+		bucketLen  = 7
+		numBuckets = 3
+		ops        = 4000
+	)
+	keys := []string{"a", "b", "c", "d"}
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		m := mustMonitor(t, bucketLen, numBuckets)
+		ref := &refModel{bucketLen: bucketLen, numBuckets: numBuckets, keys: map[string]*refKey{}}
+		// Ticks wander around a moving frontier so records land before,
+		// inside and exactly on window boundaries, including negatives.
+		frontier := int64(-20)
+		randTick := func() int64 {
+			d := rng.Int64N(4 * bucketLen * numBuckets)
+			off := d - bucketLen*numBuckets // past and future of the frontier
+			if rng.IntN(8) == 0 {
+				// Exact window-boundary ticks: the first tick of a
+				// bucket and the last tick of the previous one.
+				off = (off / bucketLen) * bucketLen
+				if rng.IntN(2) == 0 {
+					off--
+				}
+			}
+			return frontier + off
+		}
+		for i := 0; i < ops; i++ {
+			if rng.IntN(10) == 0 {
+				frontier += rng.Int64N(2 * bucketLen * numBuckets)
+			}
+			key := keys[rng.IntN(len(keys))]
+			switch op := rng.IntN(10); {
+			case op < 4: // Record
+				ts := randTick()
+				m.Record(key, ts)
+				ref.recordN(key, ts, 1)
+			case op < 6: // RecordN incl. saturating and non-positive n
+				ts := randTick()
+				var n int64
+				switch rng.IntN(4) {
+				case 0:
+					n = math.MaxInt64 / 4 // saturation-scale counts
+				case 1:
+					n = -rng.Int64N(100) // no-op
+				default:
+					n = 1 + rng.Int64N(50)
+				}
+				m.RecordN(key, ts, n)
+				ref.recordN(key, ts, n)
+			case op < 8: // Popularity query (also advances)
+				ts := randTick()
+				got, want := m.Popularity(key, ts), ref.popularity(key, ts)
+				if got != want {
+					t.Fatalf("seed %d op %d: Popularity(%q, %d) = %d, want %d", seed, i, key, ts, got, want)
+				}
+			case op < 9: // Snapshot (advances + prunes)
+				ts := randTick()
+				got, want := m.Snapshot(ts), ref.snapshot(ts)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d op %d: Snapshot(%d) = %v, want %v", seed, i, ts, got, want)
+				}
+				if m.Len() != len(ref.keys) {
+					t.Fatalf("seed %d op %d: Len after snapshot = %d, want %d", seed, i, m.Len(), len(ref.keys))
+				}
+			default: // Peek (pure)
+				ts := randTick()
+				lenBefore := m.Len()
+				got, want := m.Peek(ts), ref.peek(ts)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d op %d: Peek(%d) = %v, want %v", seed, i, ts, got, want)
+				}
+				if m.Len() != lenBefore {
+					t.Fatalf("seed %d op %d: Peek changed Len %d -> %d", seed, i, lenBefore, m.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestPredictorRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New[int](name, PredictorOptions{})
+		if err != nil || p == nil {
+			t.Errorf("New(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := New[int]("SEASONAL", PredictorOptions{}); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := New[int]("bogus", PredictorOptions{}); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	for _, name := range []string{"", "reactive", "none", "off", "Reactive"} {
+		if !IsReactive(name) {
+			t.Errorf("IsReactive(%q) = false, want true", name)
+		}
+	}
+	for _, name := range Names() {
+		if IsReactive(name) {
+			t.Errorf("IsReactive(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestSeasonalErrors(t *testing.T) {
+	if _, err := NewSeasonal[int](1, 0.5); err == nil {
+		t.Error("season=1 accepted")
+	}
+	if _, err := NewSeasonal[int](24, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+// A square-wave workload (hot half-season, cold half-season) is the
+// paper's diurnal case. After a couple of seasons the seasonal
+// predictor must forecast the phase transition before it happens, where
+// EWMA necessarily lags by construction.
+func TestSeasonalLearnsSquareWaveAndBeatsEWMA(t *testing.T) {
+	const (
+		season = 8
+		hi     = 100
+		lo     = 4
+	)
+	s, err := NewSeasonal[string](season, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := NewEWMA[string](0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(tick int) int64 {
+		if tick%season < season/2 {
+			return hi
+		}
+		return lo
+	}
+	var seasonalErr, ewmaErr float64
+	for tick := 0; tick < 6*season; tick++ {
+		obs := map[string]int64{"k": val(tick)}
+		if tick >= 3*season { // scoring window: model had 3 seasons to learn
+			target := float64(val(tick))
+			seasonalErr += math.Abs(s.Predict()["k"] - target)
+			ewmaErr += math.Abs(ew.Predict()["k"] - target)
+		}
+		s.Observe(obs)
+		ew.Observe(obs)
+	}
+	if seasonalErr >= ewmaErr {
+		t.Fatalf("seasonal error %v >= ewma error %v on a square wave", seasonalErr, ewmaErr)
+	}
+	// And the learned forecast at the transition must be near the right
+	// level: next phase is 6*season % season = 0, i.e. the hot phase.
+	if got := s.Predict()["k"]; math.Abs(got-hi) > hi/4 {
+		t.Fatalf("forecast at hot-phase boundary = %v, want ~%d", got, hi)
+	}
+}
+
+// An aperiodic (constant) signal must make the seasonal predictor fall
+// back to its level EWMA — the flat phase profile fails the spread
+// test — so it behaves no worse than EWMA on non-seasonal keys.
+func TestSeasonalFallsBackOnAperiodicSignal(t *testing.T) {
+	s, err := NewSeasonal[string](6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 30; tick++ {
+		s.Observe(map[string]int64{"k": 50})
+	}
+	if got := s.Predict()["k"]; math.Abs(got-50) > 1e-6 {
+		t.Fatalf("aperiodic forecast = %v, want 50 (level fallback)", got)
+	}
+}
+
+func TestSeasonalDropsDecayedKeys(t *testing.T) {
+	s, err := NewSeasonal[int](4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(map[int]int64{1: 10})
+	for i := 0; i < 200; i++ {
+		s.Observe(map[int]int64{})
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after decay = %d, want 0", got)
+	}
+}
+
+func TestRankerErrors(t *testing.T) {
+	if _, err := NewRanker[int](0); err == nil {
+		t.Error("lr=0 accepted")
+	}
+	if _, err := NewRanker[int](2); err == nil {
+		t.Error("lr=2 accepted")
+	}
+}
+
+// Before any training the ranker starts as the Historical predictor.
+func TestRankerStartsAsHistorical(t *testing.T) {
+	r, err := NewRanker[string](0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(map[string]int64{"a": 12, "b": 3})
+	got := r.Predict()
+	if got["a"] != 12 || got["b"] != 3 {
+		t.Fatalf("initial Predict = %v, want a:12 b:3", got)
+	}
+}
+
+// On a linear ramp the ranker must learn a positive delta weight and
+// forecast ahead of the last value, beating Historical's one-period lag.
+func TestRankerLearnsRisingTrend(t *testing.T) {
+	r, err := NewRanker[string](0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 200; tick++ {
+		r.Observe(map[string]int64{"k": int64(10 + 5*tick)})
+	}
+	last := float64(10 + 5*199)
+	next := last + 5
+	got := r.Predict()["k"]
+	histErr := math.Abs(last - next)  // Historical always lags by one step
+	rankErr := math.Abs(got - next)
+	if rankErr >= histErr {
+		t.Fatalf("ranker forecast %v (err %v) no better than historical (err %v) on a ramp", got, rankErr, histErr)
+	}
+}
+
+// Determinism: two rankers fed the same snapshots (built in different
+// map insertion orders) must end with identical weights and forecasts.
+func TestRankerDeterministic(t *testing.T) {
+	build := func(reverse bool) *Ranker[int] {
+		r, err := NewRanker[int](0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tick := 0; tick < 60; tick++ {
+			snap := map[int]int64{}
+			if reverse {
+				for k := 19; k >= 0; k-- {
+					snap[k] = int64((k*7+tick*3)%50 + 1)
+				}
+			} else {
+				for k := 0; k < 20; k++ {
+					snap[k] = int64((k*7+tick*3)%50 + 1)
+				}
+			}
+			r.Observe(snap)
+		}
+		return r
+	}
+	a, b := build(false), build(true)
+	if !reflect.DeepEqual(a.Weights(), b.Weights()) {
+		t.Fatalf("weights diverged: %v vs %v", a.Weights(), b.Weights())
+	}
+	if !reflect.DeepEqual(a.Predict(), b.Predict()) {
+		t.Fatal("forecasts diverged for identical observation sequences")
+	}
+}
+
+func TestRankerDropsDeadKeys(t *testing.T) {
+	r, err := NewRanker[int](0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(map[int]int64{1: 10, 2: 20})
+	for i := 0; i < rankerHist + 1; i++ {
+		r.Observe(map[int]int64{2: 20})
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (dead key kept)", got)
+	}
+}
+
+func TestWeightedAbsError(t *testing.T) {
+	pred := map[string]float64{"a": 10, "b": 5, "ghost": 3}
+	actual := map[string]int64{"a": 10, "b": 10, "c": 5}
+	// |10-10| + |5-10| + |0-5| + |3-0| = 13 over total 25.
+	if got, want := WeightedAbsError(pred, actual), 13.0/25.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightedAbsError = %v, want %v", got, want)
+	}
+	// Perfect forecast scores 0; empty period divides by 1, not 0.
+	if got := WeightedAbsError(map[string]float64{"a": 10}, map[string]int64{"a": 10}); got != 0 {
+		t.Fatalf("perfect forecast error = %v, want 0", got)
+	}
+	if got := WeightedAbsError(map[string]float64{"a": 2}, map[string]int64{}); got != 2 {
+		t.Fatalf("empty-period error = %v, want 2", got)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	pred := map[int]float64{1: 100, 2: 90, 3: 80, 4: 1}
+	actual := map[int]int64{1: 50, 2: 40, 9: 30, 4: 2}
+	// top3(pred) = {1,2,3}, top3(actual) = {1,2,9} -> 2/3.
+	if got, want := TopKOverlap(pred, actual, 3), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TopKOverlap = %v, want %v", got, want)
+	}
+	// Short hot sets: divisor is the realized hot-set size.
+	if got := TopKOverlap(map[int]float64{7: 5}, map[int]int64{7: 5}, 20); got != 1 {
+		t.Fatalf("short hot-set overlap = %v, want 1", got)
+	}
+	if got := TopKOverlap(map[int]float64{}, map[int]int64{}, 3); got != 0 {
+		t.Fatalf("empty overlap = %v, want 0", got)
+	}
+	if got := TopKOverlap(pred, actual, 0); got != 0 {
+		t.Fatalf("k=0 overlap = %v, want 0", got)
+	}
+}

@@ -37,8 +37,19 @@ type Config struct {
 	// with an exponentially weighted moving average across epochs
 	// instead of the raw window counts. The paper found historical
 	// values sufficient (Section V), so 0 (off) is the default; the
-	// knob exists for burstier workloads.
+	// knob exists for burstier workloads. Kept for back-compat: it is
+	// shorthand for Predictor = "ewma" with this alpha, and also feeds
+	// the alpha used by the seasonal predictor's level estimate.
 	EWMAAlpha float64
+	// Predictor selects the popularity forecaster fed to the policy at
+	// each Algorithm-5 period: one of popularity.Names(), or a reactive
+	// name ("", "reactive", ...) for raw window counts.
+	Predictor string
+	// PredictorSeason is the seasonal predictor's season length in
+	// epochs (0 = popularity default of 24). Set it to the workload's
+	// period (e.g. trace.ScenarioConfig.PeriodHours when EpochTicks is
+	// one hour).
+	PredictorSeason int
 }
 
 // Errors returned by the simulator.
@@ -75,7 +86,23 @@ func (c Config) withDefaults() (Config, error) {
 	if c.EWMAAlpha < 0 || c.EWMAAlpha > 1 {
 		return c, fmt.Errorf("%w: EWMAAlpha %v outside [0,1]", ErrBadSimConfig, c.EWMAAlpha)
 	}
+	if c.PredictorSeason < 0 {
+		return c, fmt.Errorf("%w: PredictorSeason %d", ErrBadSimConfig, c.PredictorSeason)
+	}
 	return c, nil
+}
+
+// predictorName resolves the effective predictor: the Predictor field,
+// or "ewma" when only the legacy EWMAAlpha knob is set. Empty means
+// reactive.
+func (c Config) predictorName() string {
+	if popularity.IsReactive(c.Predictor) {
+		if c.EWMAAlpha > 0 {
+			return popularity.NameEWMA
+		}
+		return ""
+	}
+	return c.Predictor
 }
 
 // EpochStats aggregates one reconfiguration period.
@@ -88,7 +115,27 @@ type EpochStats struct {
 	Evictions    int
 	// Cost is the placement objective λ right after reconfiguration.
 	Cost float64
+	// Reconfigured marks epochs closed by an Algorithm-5 period (the
+	// final partial epoch is flushed without one); the fields below are
+	// only meaningful when it is set.
+	Reconfigured bool
+	// RealizedSOL is the objective λ of the placement that *served*
+	// this epoch, evaluated against the window counts realized at its
+	// close — the honest basis for predictor-vs-reactive comparison,
+	// since Cost after a predicted SetPopularity reflects forecast
+	// popularity, not what the cluster actually experienced.
+	RealizedSOL float64
+	// PredWAE and PredTopK score the forecast this epoch ran under
+	// against the realized window (popularity.WeightedAbsError and
+	// popularity.TopKOverlap with K=20). PredScored marks epochs where
+	// a forecast existed to score.
+	PredWAE    float64
+	PredTopK   float64
+	PredScored bool
 }
+
+// PredTopKK is the hot-set size used for EpochStats.PredTopK.
+const PredTopKK = popularity.DefaultTopK
 
 // JobStat records one job's lifetime.
 type JobStat struct {
@@ -102,7 +149,10 @@ type JobStat struct {
 
 // Result is the outcome of a simulation run.
 type Result struct {
-	Policy          string
+	Policy string
+	// Predictor is the effective popularity forecaster ("reactive" when
+	// the policy saw raw window counts).
+	Predictor       string
 	Epochs          []EpochStats
 	Jobs            []JobStat
 	TasksPerMachine []int64
@@ -132,6 +182,45 @@ func (r *Result) RemoteFraction() float64 {
 		return 0
 	}
 	return float64(r.NonLocalTasks()) / float64(total)
+}
+
+// MeanRealizedSOL averages EpochStats.RealizedSOL over the epochs
+// closed by a reconfiguration period, and also returns the max. Zero
+// periods yields (0, 0).
+func (r *Result) MeanRealizedSOL() (mean, max float64) {
+	var sum float64
+	var n int
+	for _, e := range r.Epochs {
+		if !e.Reconfigured {
+			continue
+		}
+		sum += e.RealizedSOL
+		if e.RealizedSOL > max {
+			max = e.RealizedSOL
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), max
+}
+
+// MeanPredError averages the per-period prediction-error series over
+// the epochs where a forecast was scored.
+func (r *Result) MeanPredError() (wae, topK float64, periods int) {
+	for _, e := range r.Epochs {
+		if !e.PredScored {
+			continue
+		}
+		wae += e.PredWAE
+		topK += e.PredTopK
+		periods++
+	}
+	if periods == 0 {
+		return 0, 0, 0
+	}
+	return wae / float64(periods), topK / float64(periods), periods
 }
 
 // task is one pending map task. done marks it consumed (it may still be
@@ -410,26 +499,47 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	var ewma *popularity.EWMA[core.BlockID]
-	if cfg.EWMAAlpha > 0 {
-		ewma, err = popularity.NewEWMA[core.BlockID](cfg.EWMAAlpha)
+	var pred popularity.Predictor[core.BlockID]
+	if name := cfg.predictorName(); name != "" {
+		pred, err = popularity.New[core.BlockID](name, popularity.PredictorOptions{
+			Alpha:  cfg.EWMAAlpha,
+			Season: cfg.PredictorSeason,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("sim: ewma: %w", err)
+			return nil, fmt.Errorf("sim: predictor: %w", err)
 		}
+		res.Predictor = name
+	} else {
+		res.Predictor = "reactive"
 	}
+	var lastPred map[core.BlockID]float64
+	havePred := false
 	refreshAndReconfigure := func() error {
 		snap := mon.Snapshot(now)
-		if ewma != nil {
-			ewma.Observe(snap)
-			predicted := ewma.Predict()
-			for _, id := range pl.Blocks() {
-				if err := pl.SetPopularity(id, predicted[id]); err != nil {
-					return err
-				}
+		// Score the epoch that just closed against what it actually
+		// saw: load the realized window counts and record the objective
+		// of the placement that served it, plus the error of the
+		// forecast it ran under.
+		for _, id := range pl.Blocks() {
+			if err := pl.SetPopularity(id, float64(snap[id])); err != nil {
+				return err
 			}
-		} else {
+		}
+		epochStats.Reconfigured = true
+		epochStats.RealizedSOL = pl.Cost()
+		if havePred {
+			epochStats.PredWAE = popularity.WeightedAbsError(lastPred, snap)
+			epochStats.PredTopK = popularity.TopKOverlap(lastPred, snap, PredTopKK)
+			epochStats.PredScored = true
+		}
+		// Then forecast the next epoch and hand the policy the
+		// prediction instead of the trailing window.
+		if pred != nil {
+			pred.Observe(snap)
+			lastPred = pred.Predict()
+			havePred = true
 			for _, id := range pl.Blocks() {
-				if err := pl.SetPopularity(id, float64(snap[id])); err != nil {
+				if err := pl.SetPopularity(id, lastPred[id]); err != nil {
 					return err
 				}
 			}

@@ -64,6 +64,20 @@ func ExportShardedOptimizePeriod(reg *metrics.Registry, res core.ShardedOptimize
 	}
 }
 
+// ExportPredictionError publishes one optimization period's
+// prediction-quality scores: the weighted absolute error and top-K
+// hot-set overlap of the forecast the period ran under versus the
+// realized window counts (popularity.WeightedAbsError /
+// popularity.TopKOverlap). Callers label the series with the predictor
+// name (and shard, when sharded); the period counter makes "is the
+// forecaster alive at all" a one-series alert.
+func ExportPredictionError(reg *metrics.Registry, wae, topK float64, labels ...metrics.Label) {
+	reg.Counter("aurora_predictor_periods", labels...).Inc()
+	reg.Gauge("aurora_predictor_wae", labels...).Set(wae)
+	reg.Gauge("aurora_predictor_topk_overlap", labels...).Set(topK)
+	reg.Histogram("aurora_predictor_wae_hist", labels...).Observe(wae)
+}
+
 // ExportMachineLoads publishes per-machine load gauges (index =
 // MachineID) plus the λ objective, the cluster-wide maximum.
 func ExportMachineLoads(reg *metrics.Registry, loads []float64) {

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"aurora/internal/core"
+)
+
+func scenarioCfg(seed uint64) ScenarioConfig {
+	return ScenarioConfig{Seed: seed, Files: 40, Hours: 12, JobsPerHour: 300, PeriodHours: 6}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := GenerateScenario("nope", scenarioCfg(1)); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	bad := scenarioCfg(1)
+	bad.Files = 2
+	if _, err := GenerateScenario(ScenarioDiurnal, bad); err == nil {
+		t.Error("Files=2 accepted")
+	}
+	bad = scenarioCfg(1)
+	bad.PeriodHours = 1
+	if _, err := GenerateScenario(ScenarioDiurnal, bad); err == nil {
+		t.Error("PeriodHours=1 accepted")
+	}
+}
+
+// Every named scenario must generate a well-formed trace: sorted dense
+// job IDs, arrivals inside the horizon, jobs referencing real files, a
+// nontrivial job count, and the scenario name recorded in the config.
+func TestScenariosWellFormed(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		tr, err := GenerateScenario(name, scenarioCfg(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Config.Scenario != name {
+			t.Errorf("%s: Config.Scenario = %q", name, tr.Config.Scenario)
+		}
+		if len(tr.Jobs) < 100 {
+			t.Errorf("%s: only %d jobs", name, len(tr.Jobs))
+		}
+		horizon := int64(tr.Config.Hours) * TicksPerHour
+		byID := map[FileID]File{}
+		for _, f := range tr.Files {
+			byID[f.ID] = f
+		}
+		var prev int64 = -1
+		for i, j := range tr.Jobs {
+			if j.ID != int64(i+1) {
+				t.Fatalf("%s: job %d has ID %d", name, i, j.ID)
+			}
+			if j.Arrival < prev {
+				t.Fatalf("%s: arrivals not sorted at job %d", name, i)
+			}
+			prev = j.Arrival
+			if j.Arrival < 0 || j.Arrival >= horizon {
+				t.Fatalf("%s: arrival %d outside horizon", name, j.Arrival)
+			}
+			f, ok := byID[j.File]
+			if !ok {
+				t.Fatalf("%s: job references unknown file %d", name, j.File)
+			}
+			if !reflect.DeepEqual(j.Blocks, f.Blocks) {
+				t.Fatalf("%s: job blocks diverge from file blocks", name)
+			}
+			if j.TaskDuration < 1 {
+				t.Fatalf("%s: task duration %d", name, j.TaskDuration)
+			}
+		}
+	}
+}
+
+// Same seed, same trace — byte for byte. Different seed, different
+// trace.
+func TestScenariosDeterministic(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		a, err := GenerateScenario(name, scenarioCfg(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateScenario(name, scenarioCfg(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", name)
+		}
+		c, err := GenerateScenario(name, scenarioCfg(43))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Jobs, c.Jobs) {
+			t.Errorf("%s: different seeds produced identical job logs", name)
+		}
+	}
+}
+
+// The diurnal scenario's defining property: the two file-group
+// populations swap hot/cold roles between the first and second half of
+// each period.
+func TestDiurnalSwapsPopulations(t *testing.T) {
+	cfg := scenarioCfg(11)
+	tr, err := GenerateScenario(ScenarioDiurnal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := int64(cfg.PeriodHours) * TicksPerHour
+	half := period / 2
+	mid := FileID(cfg.Files/2 + 1) // group A is files [1, mid)
+	var dayA, dayB, nightA, nightB int
+	for _, j := range tr.Jobs {
+		day := j.Arrival%period < half
+		groupA := j.File < mid
+		switch {
+		case day && groupA:
+			dayA++
+		case day && !groupA:
+			dayB++
+		case !day && groupA:
+			nightA++
+		default:
+			nightB++
+		}
+	}
+	if dayA <= 3*dayB {
+		t.Errorf("daytime split A=%d B=%d, want A dominant", dayA, dayB)
+	}
+	if nightB <= 3*nightA {
+		t.Errorf("night split A=%d B=%d, want B dominant", nightA, nightB)
+	}
+}
+
+// The flash crowd scenario's defining property: the viral file's blocks
+// dominate accesses during the burst window and recur every period at
+// the same phase.
+func TestFlashCrowdRecursEachPeriod(t *testing.T) {
+	cfg := scenarioCfg(13)
+	tr, err := GenerateScenario(ScenarioFlashCrowd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := int64(cfg.PeriodHours) * TicksPerHour
+	burstStart := period / 2
+	burstLen := min64(2*TicksPerHour, period/4)
+	// Find the viral file: the single file with the most burst-window jobs.
+	perFile := map[FileID]int{}
+	for _, j := range tr.Jobs {
+		ph := j.Arrival % period
+		if ph >= burstStart && ph < burstStart+burstLen {
+			perFile[j.File]++
+		}
+	}
+	var viral FileID
+	best := -1
+	for f, n := range perFile {
+		if n > best || (n == best && f < viral) {
+			viral, best = f, n
+		}
+	}
+	periods := int64(cfg.Hours) * TicksPerHour / period
+	for p := int64(0); p < periods; p++ {
+		var n int
+		for _, j := range tr.Jobs {
+			if j.File != viral {
+				continue
+			}
+			ph := j.Arrival - p*period
+			if ph >= burstStart && ph < burstStart+burstLen {
+				n++
+			}
+		}
+		if n < 10 {
+			t.Errorf("period %d: viral file seen %d times in burst window, want >= 10", p, n)
+		}
+	}
+}
+
+// AccessCounts over a scenario trace must cover only real blocks.
+func TestScenarioAccessCounts(t *testing.T) {
+	tr, err := GenerateScenario(ScenarioRegionSkew, scenarioCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[core.BlockID]bool{}
+	for _, f := range tr.Files {
+		for _, b := range f.Blocks {
+			known[b] = true
+		}
+	}
+	counts := tr.AccessCounts()
+	if len(counts) == 0 {
+		t.Fatal("no access counts")
+	}
+	for b := range counts {
+		if !known[b] {
+			t.Fatalf("count for unknown block %d", b)
+		}
+	}
+}

@@ -75,6 +75,10 @@ type Config struct {
 	// Replication defaults for the generated blocks.
 	MinReplicas int `json:"minReplicas"`
 	MinRacks    int `json:"minRacks"`
+	// Scenario records which named scenario generator produced the
+	// trace (empty for the plain Zipf/Poisson generator); see
+	// GenerateScenario.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Errors returned by generation.
